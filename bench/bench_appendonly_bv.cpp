@@ -1,0 +1,107 @@
+// Theorem 4.5: the append-only bitvector supports Access, Rank, Select and
+// Append in O(1) with nH0 + o(n) bits.
+//
+// Verified shapes:
+//   * Rank/Access latency flat in n (worst-case O(1));
+//   * Append amortized O(1) (throughput flat in n);
+//   * Select near-flat (our engineering substitute binary-searches chunk
+//     partial sums, see DESIGN.md #3.2 — the bench quantifies it);
+//   * space/nH0 -> small constant across densities.
+#include <benchmark/benchmark.h>
+
+#include <cmath>
+#include <random>
+
+#include "bitvector/append_only.hpp"
+
+namespace {
+
+using namespace wt;
+
+AppendOnlyBitVector MakeVector(size_t n, double density, uint64_t seed) {
+  std::mt19937_64 rng(seed);
+  std::bernoulli_distribution coin(density);
+  AppendOnlyBitVector v;
+  for (size_t i = 0; i < n; ++i) v.Append(coin(rng));
+  return v;
+}
+
+void BM_Append(benchmark::State& state) {
+  const size_t n = size_t(1) << state.range(0);
+  std::mt19937_64 rng(1);
+  for (auto _ : state) {
+    AppendOnlyBitVector v;
+    for (size_t i = 0; i < n; ++i) v.Append(rng() & 1);
+    benchmark::DoNotOptimize(v.num_ones());
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+  state.SetLabel("amortized O(1) append");
+}
+BENCHMARK(BM_Append)->DenseRange(14, 22, 2)->Unit(benchmark::kMillisecond);
+
+void BM_Rank(benchmark::State& state) {
+  const size_t n = size_t(1) << state.range(0);
+  const auto v = MakeVector(n, 0.3, 2);
+  std::mt19937_64 rng(3);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(v.Rank1(rng() % (n + 1)));
+  }
+  state.SetLabel("worst-case O(1) rank");
+}
+BENCHMARK(BM_Rank)->DenseRange(14, 24, 2);
+
+void BM_Access(benchmark::State& state) {
+  const size_t n = size_t(1) << state.range(0);
+  const auto v = MakeVector(n, 0.3, 4);
+  std::mt19937_64 rng(5);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(v.Get(rng() % n));
+  }
+}
+BENCHMARK(BM_Access)->DenseRange(14, 24, 2);
+
+void BM_Select(benchmark::State& state) {
+  const size_t n = size_t(1) << state.range(0);
+  const auto v = MakeVector(n, 0.3, 6);
+  std::mt19937_64 rng(7);
+  const size_t ones = v.num_ones();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(v.Select1(rng() % ones));
+  }
+  state.SetLabel("O(log(n/L)) engineering select");
+}
+BENCHMARK(BM_Select)->DenseRange(14, 24, 2);
+
+// Space vs entropy across densities: reported as counters.
+void BM_SpaceVsEntropy(benchmark::State& state) {
+  const size_t n = 1 << 22;
+  const double density = state.range(0) / 1000.0;
+  const auto v = MakeVector(n, density, 8);
+  const double p = double(v.num_ones()) / double(n);
+  const double h = (p <= 0 || p >= 1)
+                       ? 0.0
+                       : -p * std::log2(p) - (1 - p) * std::log2(1 - p);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(v.SizeInBits());
+  }
+  state.counters["bits_per_bit"] = double(v.SizeInBits()) / double(n);
+  state.counters["H0"] = h;
+  state.counters["overhead_vs_H0"] =
+      h > 0 ? double(v.SizeInBits()) / (h * n) : 0.0;
+}
+BENCHMARK(BM_SpaceVsEntropy)->Arg(1)->Arg(10)->Arg(50)->Arg(200)->Arg(500);
+
+// Init(b, m): must be O(1) regardless of m (the Theorem 4.3 offset trick).
+void BM_InitVirtualRun(benchmark::State& state) {
+  const size_t m = size_t(1) << state.range(0);
+  for (auto _ : state) {
+    AppendOnlyBitVector v(true, m);
+    benchmark::DoNotOptimize(v.size());
+  }
+  state.SetLabel("O(1) Init for any run length");
+}
+BENCHMARK(BM_InitVirtualRun)->Arg(10)->Arg(20)->Arg(30)->Arg(40);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,149 @@
+// Section 5 range analytics: distinct-values, range majority, frequent
+// elements and sequential access on the static Wavelet Trie, against the
+// naive full-scan baseline.
+//
+// Verified shapes:
+//   * distinct-in-range cost tracks the number of *distinct* values reported
+//     (not the range length) — the naive scan tracks the range length;
+//   * majority is O(h log n)-ish regardless of range length;
+//   * frequent-elements with a high threshold prunes almost everything;
+//   * sequential access via iterators beats per-position Access.
+#include <benchmark/benchmark.h>
+
+#include <random>
+
+#include "core/codec.hpp"
+#include "core/naive.hpp"
+#include "core/wavelet_trie.hpp"
+#include "util/workloads.hpp"
+
+namespace {
+
+using namespace wt;
+
+constexpr size_t kN = 1 << 18;
+
+const std::vector<BitString>& Sequence() {
+  static const std::vector<BitString>* seq = [] {
+    UrlLogOptions opt;
+    opt.num_domains = 32;
+    opt.paths_per_domain = 16;
+    opt.domain_skew = 1.2;
+    UrlLogGenerator gen(opt);
+    auto* s = new std::vector<BitString>();
+    for (const auto& u : gen.Take(kN)) s->push_back(ByteCodec::Encode(u));
+    return s;
+  }();
+  return *seq;
+}
+
+const WaveletTrie& Trie() {
+  static const WaveletTrie* trie = new WaveletTrie(Sequence());
+  return *trie;
+}
+
+void BM_DistinctInRange(benchmark::State& state) {
+  const size_t range = size_t(1) << state.range(0);
+  const auto& trie = Trie();
+  std::mt19937_64 rng(1);
+  size_t reported = 0, calls = 0;
+  for (auto _ : state) {
+    const size_t l = rng() % (kN - range);
+    size_t count = 0;
+    trie.DistinctInRange(l, l + range, [&](const BitString&, size_t) { ++count; });
+    benchmark::DoNotOptimize(count);
+    reported += count;
+    ++calls;
+  }
+  state.counters["distinct"] = double(reported) / double(calls);
+  state.SetLabel("cost ~ #distinct, not range length");
+}
+BENCHMARK(BM_DistinctInRange)->DenseRange(8, 16, 2);
+
+void BM_DistinctNaiveScan(benchmark::State& state) {
+  const size_t range = size_t(1) << state.range(0);
+  static const NaiveIndexedSequence* naive = new NaiveIndexedSequence(Sequence());
+  std::mt19937_64 rng(2);
+  for (auto _ : state) {
+    const size_t l = rng() % (kN - range);
+    benchmark::DoNotOptimize(naive->DistinctInRange(l, l + range).size());
+  }
+  state.SetLabel("naive scan ~ range length");
+}
+BENCHMARK(BM_DistinctNaiveScan)->DenseRange(8, 14, 2);
+
+void BM_RangeMajority(benchmark::State& state) {
+  const size_t range = size_t(1) << state.range(0);
+  const auto& trie = Trie();
+  std::mt19937_64 rng(3);
+  for (auto _ : state) {
+    const size_t l = rng() % (kN - range);
+    benchmark::DoNotOptimize(trie.RangeMajority(l, l + range));
+  }
+  state.SetLabel("~flat in range length");
+}
+BENCHMARK(BM_RangeMajority)->DenseRange(8, 16, 2);
+
+void BM_RangeFrequent(benchmark::State& state) {
+  const size_t range = 1 << 14;
+  const size_t divisor = static_cast<size_t>(state.range(0));
+  const auto& trie = Trie();
+  std::mt19937_64 rng(4);
+  for (auto _ : state) {
+    const size_t l = rng() % (kN - range);
+    size_t found = 0;
+    trie.RangeFrequent(l, l + range, range / divisor,
+                       [&](const BitString&, size_t) { ++found; });
+    benchmark::DoNotOptimize(found);
+  }
+  state.SetLabel("threshold = range/arg; higher threshold prunes more");
+}
+BENCHMARK(BM_RangeFrequent)->Arg(2)->Arg(8)->Arg(64)->Arg(512);
+
+void BM_SequentialIterate(benchmark::State& state) {
+  const size_t range = size_t(1) << state.range(0);
+  const auto& trie = Trie();
+  std::mt19937_64 rng(5);
+  for (auto _ : state) {
+    const size_t l = rng() % (kN - range);
+    size_t bits = 0;
+    trie.ForEachInRange(l, l + range,
+                        [&](size_t, const BitString& s) { bits += s.size(); });
+    benchmark::DoNotOptimize(bits);
+  }
+  state.SetItemsProcessed(state.iterations() * range);
+  state.SetLabel("iterator-based: one Rank per node per range");
+}
+BENCHMARK(BM_SequentialIterate)->DenseRange(8, 14, 2);
+
+void BM_SequentialViaAccess(benchmark::State& state) {
+  const size_t range = size_t(1) << state.range(0);
+  const auto& trie = Trie();
+  std::mt19937_64 rng(6);
+  for (auto _ : state) {
+    const size_t l = rng() % (kN - range);
+    size_t bits = 0;
+    for (size_t i = l; i < l + range; ++i) bits += trie.Access(i).size();
+    benchmark::DoNotOptimize(bits);
+  }
+  state.SetItemsProcessed(state.iterations() * range);
+  state.SetLabel("per-position Access baseline");
+}
+BENCHMARK(BM_SequentialViaAccess)->DenseRange(8, 14, 2);
+
+void BM_RangeCountPrefix(benchmark::State& state) {
+  const size_t range = size_t(1) << state.range(0);
+  const auto& trie = Trie();
+  const BitString p = ByteCodec::EncodePrefix("www.site0.com/");
+  std::mt19937_64 rng(7);
+  for (auto _ : state) {
+    const size_t l = rng() % (kN - range);
+    benchmark::DoNotOptimize(trie.RangeCountPrefix(p, l, l + range));
+  }
+  state.SetLabel("two RankPrefix calls, flat in range");
+}
+BENCHMARK(BM_RangeCountPrefix)->DenseRange(8, 16, 4);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,188 @@
+// Table 1, time column: per-operation latency of the three Wavelet Trie
+// variants as the sequence length n grows.
+//
+// Paper claims to verify (shape, not absolute numbers):
+//   static      Query  O(|s| + h_s)          -> flat in n
+//   append-only Query  O(|s| + h_s)          -> flat in n
+//   append-only Append O(|s| + h_s)          -> flat in n
+//   dynamic     Query  O(|s| + h_s log n)    -> grows ~log n
+//   dynamic     Insert/Delete O(|s|+h_s log n) -> grows ~log n
+//
+// Workload: synthetic URL access log (Zipfian domains, shared prefixes),
+// the paper's motivating application. |s| and h_s are held ~constant across
+// n by fixing the URL universe.
+#include <benchmark/benchmark.h>
+
+#include <random>
+#include <vector>
+
+#include "core/codec.hpp"
+#include "core/dynamic_wavelet_trie.hpp"
+#include "core/wavelet_trie.hpp"
+#include "util/workloads.hpp"
+
+namespace {
+
+using namespace wt;
+
+std::vector<BitString> MakeLog(size_t n) {
+  UrlLogOptions opt;
+  opt.num_domains = 64;
+  opt.paths_per_domain = 32;
+  opt.seed = 1234;
+  UrlLogGenerator gen(opt);
+  std::vector<BitString> seq;
+  seq.reserve(n);
+  for (size_t i = 0; i < n; ++i) seq.push_back(ByteCodec::Encode(gen.Next()));
+  return seq;
+}
+
+std::vector<BitString> MakeProbes() {
+  UrlLogOptions opt;
+  opt.num_domains = 64;
+  opt.paths_per_domain = 32;
+  opt.seed = 1234;
+  UrlLogGenerator gen(opt);
+  std::vector<BitString> probes;
+  for (size_t d = 0; d < 16; ++d) {
+    probes.push_back(ByteCodec::Encode(gen.Url(d, d % 32)));
+  }
+  return probes;
+}
+
+// ------------------------------------------------------------- static
+
+void BM_StaticRank(benchmark::State& state) {
+  const size_t n = size_t(1) << state.range(0);
+  const auto seq = MakeLog(n);
+  WaveletTrie trie(seq);
+  const auto probes = MakeProbes();
+  std::mt19937_64 rng(1);
+  size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(trie.Rank(probes[i++ % probes.size()], rng() % (n + 1)));
+  }
+  state.SetLabel("query flat in n (Thm 3.7)");
+}
+BENCHMARK(BM_StaticRank)->DenseRange(12, 20, 2);
+
+void BM_StaticAccess(benchmark::State& state) {
+  const size_t n = size_t(1) << state.range(0);
+  WaveletTrie trie(MakeLog(n));
+  std::mt19937_64 rng(2);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(trie.Access(rng() % n));
+  }
+}
+BENCHMARK(BM_StaticAccess)->DenseRange(12, 20, 2);
+
+void BM_StaticSelectPrefix(benchmark::State& state) {
+  const size_t n = size_t(1) << state.range(0);
+  WaveletTrie trie(MakeLog(n));
+  const BitString p = ByteCodec::EncodePrefix("www.site0.com/");
+  const size_t total = trie.RankPrefix(p, n);
+  std::mt19937_64 rng(3);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(trie.SelectPrefix(p, rng() % total));
+  }
+}
+BENCHMARK(BM_StaticSelectPrefix)->DenseRange(12, 20, 2);
+
+// ---------------------------------------------------------- append-only
+
+void BM_AppendOnlyAppend(benchmark::State& state) {
+  const size_t n = size_t(1) << state.range(0);
+  const auto seq = MakeLog(n);
+  // Amortized per-append cost at size ~n: rebuild on each iteration batch.
+  for (auto _ : state) {
+    state.PauseTiming();
+    AppendOnlyWaveletTrie trie;
+    for (size_t i = 0; i + n / 4 < n; ++i) trie.Append(seq[i]);  // prefill 3/4
+    state.ResumeTiming();
+    for (size_t i = n - n / 4; i < n; ++i) trie.Append(seq[i]);
+  }
+  state.SetItemsProcessed(state.iterations() * (n / 4));
+  state.SetLabel("amortized append, flat in n (Thm 4.3)");
+}
+BENCHMARK(BM_AppendOnlyAppend)
+    ->DenseRange(12, 18, 2)
+    ->Iterations(2)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_AppendOnlyRank(benchmark::State& state) {
+  const size_t n = size_t(1) << state.range(0);
+  const auto seq = MakeLog(n);
+  AppendOnlyWaveletTrie trie;
+  for (const auto& s : seq) trie.Append(s);
+  const auto probes = MakeProbes();
+  std::mt19937_64 rng(4);
+  size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(trie.Rank(probes[i++ % probes.size()], rng() % (n + 1)));
+  }
+}
+BENCHMARK(BM_AppendOnlyRank)->DenseRange(12, 20, 2);
+
+void BM_AppendOnlyAccess(benchmark::State& state) {
+  const size_t n = size_t(1) << state.range(0);
+  const auto seq = MakeLog(n);
+  AppendOnlyWaveletTrie trie;
+  for (const auto& s : seq) trie.Append(s);
+  std::mt19937_64 rng(5);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(trie.Access(rng() % n));
+  }
+}
+BENCHMARK(BM_AppendOnlyAccess)->DenseRange(12, 20, 2);
+
+// -------------------------------------------------------- fully dynamic
+
+void BM_DynamicRank(benchmark::State& state) {
+  const size_t n = size_t(1) << state.range(0);
+  const auto seq = MakeLog(n);
+  DynamicWaveletTrie trie;
+  for (const auto& s : seq) trie.Append(s);
+  const auto probes = MakeProbes();
+  std::mt19937_64 rng(6);
+  size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(trie.Rank(probes[i++ % probes.size()], rng() % (n + 1)));
+  }
+  state.SetLabel("query ~log n (Thm 4.4)");
+}
+BENCHMARK(BM_DynamicRank)->DenseRange(12, 18, 2);
+
+void BM_DynamicInsert(benchmark::State& state) {
+  const size_t n = size_t(1) << state.range(0);
+  const auto seq = MakeLog(n);
+  DynamicWaveletTrie trie;
+  for (const auto& s : seq) trie.Append(s);
+  std::mt19937_64 rng(7);
+  size_t i = 0;
+  for (auto _ : state) {
+    trie.Insert(seq[i++ % seq.size()], rng() % (trie.size() + 1));
+  }
+  state.SetLabel("insert ~log n (Thm 4.4)");
+}
+BENCHMARK(BM_DynamicInsert)->DenseRange(12, 18, 2);
+
+void BM_DynamicDelete(benchmark::State& state) {
+  const size_t n = size_t(1) << state.range(0);
+  const auto seq = MakeLog(n);
+  DynamicWaveletTrie trie;
+  for (const auto& s : seq) trie.Append(s);
+  std::mt19937_64 rng(8);
+  size_t i = 0;
+  for (auto _ : state) {
+    // Keep the size roughly constant: delete one, insert one.
+    trie.Delete(rng() % trie.size());
+    state.PauseTiming();
+    trie.Append(seq[i++ % seq.size()]);
+    state.ResumeTiming();
+  }
+}
+BENCHMARK(BM_DynamicDelete)->DenseRange(12, 16, 2);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,102 @@
+// Access-log analytics (the paper's flagship motivation, Section 1):
+// "The accessed URLs are chronologically stored as a sequence of strings,
+//  and a common prefix denotes a common domain [...] we can retrieve access
+//  statistics using RankPrefix and report the corresponding items by
+//  iterating SelectPrefix (e.g. what has been the most accessed domain
+//  during winter vacation?)".
+//
+// This example streams a synthetic URL log into the *append-only* Wavelet
+// Trie (Theorem 4.3: O(|s| + h_s) per append — compress-and-index on the
+// fly), then answers time-windowed questions with the prefix and range
+// operations. Positions are timestamps: position i = the i-th request.
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "core/codec.hpp"
+#include "core/dynamic_wavelet_trie.hpp"
+#include "util/workloads.hpp"
+
+int main() {
+  using namespace wt;
+
+  // A year of traffic: 100k requests across 40 domains.
+  constexpr size_t kRequests = 100000;
+  UrlLogOptions opt;
+  opt.num_domains = 40;
+  opt.paths_per_domain = 60;
+  opt.seed = 2026;
+  UrlLogGenerator gen(opt);
+
+  AppendOnlyWaveletTrie log;
+  size_t raw_bits = 0;
+  for (size_t i = 0; i < kRequests; ++i) {
+    const BitString enc = ByteCodec::Encode(gen.Next());
+    raw_bits += enc.size();
+    log.Append(enc);  // indexed the moment it arrives
+  }
+  std::printf("indexed %zu requests, %zu distinct URLs\n", log.size(),
+              log.NumDistinct());
+  std::printf("space: %.2f MB vs %.2f MB raw (%.1fx)\n",
+              log.SizeInBits() / 8e6, raw_bits / 8e6,
+              double(raw_bits) / double(log.SizeInBits()));
+
+  // "Winter vacation": requests 20k..30k.
+  const size_t l = 20000, r = 30000;
+
+  // Q1: accesses per domain in the window, via RankPrefix — O(|p| + h_p)
+  // each, no scan.
+  std::printf("\ntop domains in window [%zu, %zu):\n", l, r);
+  for (size_t d = 0; d < 5; ++d) {
+    const std::string domain = gen.Domain(d) + "/";
+    const BitString p = ByteCodec::EncodePrefix(domain);
+    const size_t hits = log.RankPrefix(p, r) - log.RankPrefix(p, l);
+    std::printf("  %-18s %6zu hits\n", domain.c_str(), hits);
+  }
+
+  // Q2: was any single URL the majority of the window? (Section 5)
+  if (auto m = log.RangeMajority(l, r)) {
+    std::printf("\nmajority URL: %s (%zu of %zu)\n",
+                ByteCodec::Decode(m->first.Span()).c_str(), m->second, r - l);
+  } else {
+    std::printf("\nno majority URL in the window\n");
+  }
+
+  // Q3: all URLs with >= 2%% of the window's traffic (Section 5 heuristic:
+  // branches below the threshold are pruned, so this touches only the
+  // heavy part of the trie).
+  std::printf("\nURLs with >= 2%% of window traffic:\n");
+  log.RangeFrequent(l, r, (r - l) / 50, [](const BitString& s, size_t count) {
+    std::printf("  %-34s %5zu\n", ByteCodec::Decode(s.Span()).c_str(), count);
+  });
+
+  // Q4: when did the most popular URL get its 1000th hit? Select gives the
+  // position (= timestamp) directly.
+  const BitString top = ByteCodec::Encode(gen.Url(0, 0));
+  if (auto pos = log.Select(top, 999)) {
+    std::printf("\n1000th hit of %s at request #%zu\n", gen.Url(0, 0).c_str(),
+                *pos);
+  }
+
+  // Q5: distinct URLs under one domain in the window, with counts
+  // (Section 5 distinct-values, restricted by prefix via counting first).
+  const std::string d0 = gen.Domain(0) + "/";
+  const BitString p0 = ByteCodec::EncodePrefix(d0);
+  std::printf("\n%s URLs seen in window: %zu distinct paths\n", d0.c_str(),
+              [&] {
+                size_t distinct = 0;
+                log.DistinctInRange(l, r, [&](const BitString& s, size_t) {
+                  if (p0.Span().IsPrefixOf(s.Span())) ++distinct;
+                });
+                return distinct;
+              }());
+
+  // Q6: replay a slice of the log in order (Section 5 sequential access:
+  // one Rank per trie node for the whole range, then O(1)-advance
+  // iterators).
+  std::printf("\nfirst 5 requests of the window:\n");
+  log.ForEachInRange(l, l + 5, [](size_t i, const BitString& s) {
+    std::printf("  #%zu %s\n", i, ByteCodec::Decode(s.Span()).c_str());
+  });
+  return 0;
+}

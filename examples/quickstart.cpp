@@ -1,0 +1,82 @@
+// Quickstart: the indexed-sequence-of-strings API in five minutes.
+//
+// Build & run:   cmake -B build -G Ninja && cmake --build build
+//                ./build/examples/quickstart
+//
+// The sequence model (paper Section 1): a list of strings where order and
+// multiplicity matter, supporting Access / Rank / Select plus the prefix
+// variants, in compressed space, with optional dynamic updates.
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "core/codec.hpp"
+#include "core/dynamic_wavelet_trie.hpp"
+#include "core/wavelet_trie.hpp"
+
+int main() {
+  using namespace wt;
+
+  // ------------------------------------------------ static construction
+  // Encode application strings into prefix-free binary strings with a
+  // codec, then build the static Wavelet Trie.
+  const std::vector<std::string> log = {
+      "api/users", "api/orders", "web/home",   "api/users",
+      "web/cart",  "api/users",  "api/orders", "web/home",
+  };
+  std::vector<BitString> encoded;
+  for (const auto& s : log) encoded.push_back(ByteCodec::Encode(s));
+  WaveletTrie trie(encoded);
+
+  std::printf("sequence length: %zu, distinct strings: %zu\n", trie.size(),
+              trie.NumDistinct());
+
+  // Access: the string at a position.
+  std::printf("Access(3) = %s\n", ByteCodec::Decode(trie.Access(3).Span()).c_str());
+
+  // Rank: occurrences of a string before a position.
+  std::printf("Rank(\"api/users\", 6) = %zu\n",
+              trie.Rank(ByteCodec::Encode("api/users"), 6));
+
+  // Select: position of the k-th occurrence (0-based).
+  if (auto pos = trie.Select(ByteCodec::Encode("api/users"), 2)) {
+    std::printf("Select(\"api/users\", 2) = %zu\n", *pos);
+  }
+
+  // Prefix operations: count / locate strings by shared prefix. Note the
+  // prefix is encoded WITHOUT the terminator.
+  const BitString api = ByteCodec::EncodePrefix("api/");
+  std::printf("RankPrefix(\"api/\", 8) = %zu\n", trie.RankPrefix(api, 8));
+  if (auto pos = trie.SelectPrefix(api, 3)) {
+    std::printf("SelectPrefix(\"api/\", 3) = %zu\n", *pos);
+  }
+
+  // Range analytics (paper Section 5).
+  std::printf("distinct values in [2, 7):\n");
+  trie.DistinctInRange(2, 7, [](const BitString& s, size_t count) {
+    std::printf("  %-12s x%zu\n", ByteCodec::Decode(s.Span()).c_str(), count);
+  });
+  if (auto m = trie.RangeMajority(0, 6)) {
+    std::printf("majority of [0, 6): %s (%zu times)\n",
+                ByteCodec::Decode(m->first.Span()).c_str(), m->second);
+  }
+
+  // ------------------------------------------------ dynamic updates
+  // The fully dynamic variant supports Insert/Delete of *previously unseen*
+  // strings — the alphabet grows and shrinks with the data.
+  DynamicWaveletTrie dyn;
+  for (const auto& s : log) dyn.Append(ByteCodec::Encode(s));
+  dyn.Insert(ByteCodec::Encode("api/payments"), 4);  // brand new string
+  std::printf("after insert: distinct = %zu, Access(4) = %s\n", dyn.NumDistinct(),
+              ByteCodec::Decode(dyn.Access(4).Span()).c_str());
+  dyn.Delete(4);  // last occurrence: the alphabet shrinks back
+  std::printf("after delete: distinct = %zu, size = %zu\n", dyn.NumDistinct(),
+              dyn.size());
+
+  // Space accounting.
+  size_t raw_bits = 0;
+  for (const auto& e : encoded) raw_bits += e.size();
+  std::printf("static trie: %zu bits vs %zu raw encoded bits\n",
+              trie.SizeInBits(), raw_bits);
+  return 0;
+}

@@ -1,0 +1,80 @@
+// Text-search example: the FM-index substrate and the approach-(2) baseline
+// side by side with the Wavelet Trie.
+//
+// The same query log is stored twice:
+//   * TextCollection — concatenated with separators and full-text indexed
+//     (related-work approach (2), "Dynamic Text Collection");
+//   * StringSequence<WaveletTrie> — the paper's structure.
+// Both answer sequence queries (Access / Count / prefix counts); only the
+// text index answers substring queries, and only the Wavelet Trie answers
+// Rank/Select in time independent of the number of occurrences. The printed
+// numbers make the paper's trade-off concrete.
+#include <chrono>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "core/string_sequence.hpp"
+#include "core/wavelet_trie.hpp"
+#include "text/text_collection.hpp"
+#include "util/workloads.hpp"
+
+namespace {
+
+double MsSince(std::chrono::steady_clock::time_point t0) {
+  return std::chrono::duration<double, std::milli>(
+             std::chrono::steady_clock::now() - t0)
+      .count();
+}
+
+}  // namespace
+
+int main() {
+  using namespace wt;
+
+  UrlLogGenerator gen({.num_domains = 25, .paths_per_domain = 20, .seed = 17});
+  const std::vector<std::string> log = gen.Take(20000);
+
+  auto t0 = std::chrono::steady_clock::now();
+  TextCollection text(log);
+  std::printf("TextCollection built in %.1f ms, %.2f MB\n", MsSince(t0),
+              text.SizeInBits() / 8e6);
+
+  t0 = std::chrono::steady_clock::now();
+  StringSequence<WaveletTrie> trie(log);
+  std::printf("WaveletTrie    built in %.1f ms, %.2f MB\n", MsSince(t0),
+              trie.SizeInBits() / 8e6);
+
+  // Both support the sequence API.
+  const std::string probe = log[4242];
+  std::printf("\ndoc 4242: '%s'\n", text.Access(4242).c_str());
+  std::printf("count('%s'): text=%zu trie=%zu\n", probe.c_str(),
+              text.Count(probe), trie.Count(probe));
+  const std::string domain = gen.Domain(2);
+  std::printf("count(prefix '%s'): text=%zu trie=%zu\n", domain.c_str(),
+              text.CountPrefix(domain), trie.CountPrefix(domain));
+
+  // Rank: one backward search costs the text index O(occ) locates; the
+  // Wavelet Trie pays O(|s| + h_s) regardless of occurrences.
+  t0 = std::chrono::steady_clock::now();
+  const size_t rank_text = text.Rank(probe, 15000);
+  const double ms_text = MsSince(t0);
+  t0 = std::chrono::steady_clock::now();
+  const size_t rank_trie = trie.Rank(probe, 15000);
+  const double ms_trie = MsSince(t0);
+  std::printf("rank@15000: text=%zu (%.3f ms) trie=%zu (%.3f ms)\n", rank_text,
+              ms_text, rank_trie, ms_trie);
+
+  // What only the text index can do: substring search inside documents.
+  const auto hits = text.DocsContaining("/sec3/page17");
+  std::printf("\ndocs containing '/sec3/page17': %zu", hits.size());
+  if (!hits.empty()) std::printf(" (first: doc %zu)", hits.front());
+  std::printf("\n");
+
+  // What only the Wavelet Trie does in O(h): the idx-th doc with a prefix.
+  if (auto pos = trie.SelectPrefix(domain, 99)) {
+    std::printf("100th request under %s is at position %zu\n", domain.c_str(),
+                *pos);
+  }
+  return 0;
+}

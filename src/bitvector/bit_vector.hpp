@@ -1,0 +1,168 @@
+// Plain (uncompressed) bitvector with constant-time Rank and sampled Select.
+//
+// This is the baseline Fully Indexable Dictionary (FID) of Section 2 of the
+// paper, and the substrate for the Elias--Fano partial-sum structure.
+//
+// Layout: 512-bit superblocks with an absolute 64-bit rank counter each
+// (rank9-style without the packed relative counters), plus position samples
+// every kSelectSample-th 1 (and 0) that narrow Select to a binary search over
+// superblocks.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/assert.hpp"
+#include "common/bit_array.hpp"
+#include "common/bits.hpp"
+
+namespace wt {
+
+class BitVector {
+ public:
+  static constexpr size_t kSuperBits = 512;
+  static constexpr size_t kWordsPerSuper = kSuperBits / kWordBits;
+  static constexpr size_t kSelectSample = 4096;
+
+  BitVector() = default;
+
+  explicit BitVector(BitArray bits) : bits_(std::move(bits)) { Build(); }
+
+  bool Get(size_t i) const { return bits_.Get(i); }
+
+  /// Number of 1s in [0, pos). pos may equal size().
+  size_t Rank1(size_t pos) const {
+    WT_DASSERT(pos <= bits_.size());
+    const size_t sb = pos / kSuperBits;
+    size_t cnt = super_[sb];
+    const uint64_t* w = bits_.data();
+    const size_t word_end = pos / kWordBits;
+    for (size_t i = sb * kWordsPerSuper; i < word_end; ++i) cnt += PopCount(w[i]);
+    const size_t tail = pos & (kWordBits - 1);
+    if (tail != 0) cnt += PopCount(w[word_end] & LowMask(tail));
+    return cnt;
+  }
+
+  size_t Rank0(size_t pos) const { return pos - Rank1(pos); }
+  size_t Rank(bool b, size_t pos) const { return b ? Rank1(pos) : Rank0(pos); }
+
+  /// Position of the (k+1)-th 1 (k is 0-based). Precondition: k < num_ones().
+  size_t Select1(size_t k) const {
+    WT_DASSERT(k < num_ones_);
+    // Binary search superblocks within the sampled window.
+    size_t lo = select1_samples_[k / kSelectSample];
+    size_t hi = (k / kSelectSample + 1 < select1_samples_.size())
+                    ? select1_samples_[k / kSelectSample + 1] + 1
+                    : super_.size() - 1;
+    // Largest sb with super_[sb] <= k.
+    while (lo < hi) {
+      const size_t mid = (lo + hi + 1) / 2;
+      if (super_[mid] <= k)
+        lo = mid;
+      else
+        hi = mid - 1;
+    }
+    size_t remaining = k - super_[lo];
+    const uint64_t* w = bits_.data();
+    size_t word = lo * kWordsPerSuper;
+    for (;; ++word) {
+      WT_DASSERT(word < WordsFor(bits_.size()));
+      const size_t cnt = static_cast<size_t>(PopCount(w[word]));
+      if (remaining < cnt) break;
+      remaining -= cnt;
+    }
+    return word * kWordBits + SelectInWord(w[word], static_cast<unsigned>(remaining));
+  }
+
+  /// Position of the (k+1)-th 0 (k is 0-based). Precondition: k < num_zeros().
+  size_t Select0(size_t k) const {
+    WT_DASSERT(k < bits_.size() - num_ones_);
+    auto zeros_before = [&](size_t sb) {
+      return sb * kSuperBits - super_[sb];
+    };
+    size_t lo = select0_samples_[k / kSelectSample];
+    size_t hi = (k / kSelectSample + 1 < select0_samples_.size())
+                    ? select0_samples_[k / kSelectSample + 1] + 1
+                    : super_.size() - 1;
+    while (lo < hi) {
+      const size_t mid = (lo + hi + 1) / 2;
+      if (zeros_before(mid) <= k)
+        lo = mid;
+      else
+        hi = mid - 1;
+    }
+    size_t remaining = k - zeros_before(lo);
+    const uint64_t* w = bits_.data();
+    size_t word = lo * kWordsPerSuper;
+    for (;; ++word) {
+      WT_DASSERT(word < WordsFor(bits_.size()));
+      const size_t cnt = kWordBits - static_cast<size_t>(PopCount(w[word]));
+      if (remaining < cnt) break;
+      remaining -= cnt;
+    }
+    return word * kWordBits + SelectZeroInWord(w[word], static_cast<unsigned>(remaining));
+  }
+
+  size_t Select(bool b, size_t k) const { return b ? Select1(k) : Select0(k); }
+
+  size_t size() const { return bits_.size(); }
+  size_t num_ones() const { return num_ones_; }
+  size_t num_zeros() const { return bits_.size() - num_ones_; }
+  const BitArray& bits() const { return bits_; }
+
+  void Save(std::ostream& out) const { bits_.Save(out); }
+  void Load(std::istream& in) {
+    bits_.Load(in);
+    super_.clear();
+    Build();
+  }
+
+  size_t SizeInBits() const {
+    return bits_.SizeInBits() + 64 * super_.capacity() +
+           32 * (select1_samples_.capacity() + select0_samples_.capacity());
+  }
+
+ private:
+  void Build() {
+    const size_t n = bits_.size();
+    const size_t num_super = n / kSuperBits + 1;
+    super_.resize(num_super + 1);
+    const uint64_t* w = bits_.data();
+    const size_t nwords = WordsFor(n);
+    size_t ones = 0;
+    for (size_t sb = 0; sb <= num_super; ++sb) {
+      super_[sb] = ones;
+      if (sb == num_super) break;
+      const size_t wend = std::min(nwords, (sb + 1) * kWordsPerSuper);
+      for (size_t i = sb * kWordsPerSuper; i < wend; ++i) {
+        ones += static_cast<size_t>(PopCount(w[i]));
+      }
+    }
+    num_ones_ = ones;
+    // select1_samples_[j] = superblock containing the (j*kSelectSample)-th 1.
+    select1_samples_.clear();
+    for (size_t target = 0, sb = 0; target < num_ones_; target += kSelectSample) {
+      while (super_[sb + 1] <= target) ++sb;
+      select1_samples_.push_back(static_cast<uint32_t>(sb));
+    }
+    if (select1_samples_.empty()) select1_samples_.push_back(0);
+    // Same for 0s; zeros before superblock sb is sb*kSuperBits - super_[sb]
+    // (the phantom padding of the final superblock is never reached because
+    // Select0's argument is bounded by the number of real zeros).
+    select0_samples_.clear();
+    const size_t num_zeros = n - num_ones_;
+    for (size_t target = 0, sb = 0; target < num_zeros; target += kSelectSample) {
+      while ((sb + 1) * kSuperBits - super_[sb + 1] <= target) ++sb;
+      select0_samples_.push_back(static_cast<uint32_t>(sb));
+    }
+    if (select0_samples_.empty()) select0_samples_.push_back(0);
+  }
+
+  BitArray bits_;
+  std::vector<uint64_t> super_;
+  std::vector<uint32_t> select1_samples_;
+  std::vector<uint32_t> select0_samples_;
+  size_t num_ones_ = 0;
+};
+
+}  // namespace wt

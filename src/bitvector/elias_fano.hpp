@@ -1,0 +1,94 @@
+// Elias--Fano encoding of a monotone non-decreasing integer sequence.
+//
+// This plays the role of the "partial sum structure of [22]" in the paper:
+// it delimits the concatenated node labels L and the concatenated RRR node
+// bitvectors of the static Wavelet Trie. Access(i) is O(1) via Select1 on the
+// upper-bits bitvector.
+//
+// Space: n * (2 + ceil(log2(u/n))) + o(n) bits for n values in [0, u].
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "bitvector/bit_vector.hpp"
+#include "common/assert.hpp"
+#include "common/bits.hpp"
+#include "common/serialize.hpp"
+
+namespace wt {
+
+class EliasFano {
+ public:
+  EliasFano() = default;
+
+  /// Encodes `values`, which must be non-decreasing; `universe` must be an
+  /// upper bound on the last value.
+  EliasFano(const std::vector<uint64_t>& values, uint64_t universe) {
+    n_ = values.size();
+    universe_ = universe;
+    if (n_ == 0) return;
+    WT_ASSERT_MSG(values.back() <= universe, "EliasFano: universe too small");
+    low_bits_ = (universe / n_ >= 2) ? CeilLog2(universe / n_) : 0;
+    BitArray high;
+    uint64_t prev = 0;
+    uint64_t prev_high = 0;
+    for (size_t i = 0; i < n_; ++i) {
+      const uint64_t v = values[i];
+      WT_ASSERT_MSG(v >= prev, "EliasFano: sequence not monotone");
+      prev = v;
+      if (low_bits_ > 0) low_.AppendBits(v & LowMask(low_bits_), low_bits_);
+      const uint64_t h = v >> low_bits_;
+      high.AppendRun(false, h - prev_high);
+      high.PushBack(true);
+      prev_high = h;
+    }
+    high_ = BitVector(std::move(high));
+  }
+
+  /// The i-th value (0-based).
+  uint64_t Access(size_t i) const {
+    WT_DASSERT(i < n_);
+    const uint64_t h = high_.Select1(i) - i;
+    const uint64_t l =
+        low_bits_ == 0 ? 0 : low_.GetBits(i * low_bits_, low_bits_);
+    return (h << low_bits_) | l;
+  }
+
+  /// Convenience for delimiter use: the pair (start, end) of segment i when
+  /// the sequence stores cumulative lengths with a leading implicit 0 — i.e.
+  /// values[i] = end of segment i.
+  uint64_t SegmentStart(size_t i) const { return i == 0 ? 0 : Access(i - 1); }
+  uint64_t SegmentEnd(size_t i) const { return Access(i); }
+
+  size_t size() const { return n_; }
+  uint64_t universe() const { return universe_; }
+
+  void Save(std::ostream& out) const {
+    WritePod<uint64_t>(out, n_);
+    WritePod<uint64_t>(out, universe_);
+    WritePod<uint32_t>(out, low_bits_);
+    high_.Save(out);
+    low_.Save(out);
+  }
+  void Load(std::istream& in) {
+    n_ = ReadPod<uint64_t>(in);
+    universe_ = ReadPod<uint64_t>(in);
+    low_bits_ = ReadPod<uint32_t>(in);
+    high_.Load(in);
+    low_.Load(in);
+  }
+
+  size_t SizeInBits() const {
+    return high_.SizeInBits() + low_.SizeInBits();
+  }
+
+ private:
+  size_t n_ = 0;
+  uint64_t universe_ = 0;
+  unsigned low_bits_ = 0;
+  BitVector high_;
+  BitArray low_;
+};
+
+}  // namespace wt

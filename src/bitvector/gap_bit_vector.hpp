@@ -1,0 +1,317 @@
+// GapBitVector: dynamic bitvector with gap + Elias-delta leaf encoding —
+// the Makinen--Navarro [18] Sec. 3.4 structure that the paper's Section 4.2
+// *starts from and rejects*: by Remark 4.2, a gap-encoded constant bitvector
+// 1^n requires Theta(n) encoded gaps, so Init(1, n) cannot be fast. This
+// class exists as the ablation baseline for that remark (bench_dynamic_bv);
+// the paper's RLE+gamma replacement is DynamicBitVector.
+//
+// Leaf layout: the bits 0^{g_0} 1 0^{g_1} 1 ... 0^{g_{m-1}} 1 0^{tail} are
+// stored as delta(g_i + 1) codes plus an explicit tail count. Note the
+// asymmetry that motivates the remark: a run of zeros is one cheap tail
+// field, a run of n ones is n unit gaps.
+#pragma once
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "bitvector/bit_tree.hpp"
+#include "coding/elias.hpp"
+#include "common/assert.hpp"
+#include "common/bit_array.hpp"
+
+namespace wt {
+
+class GapLeaf {
+ public:
+  static constexpr size_t kMaxEncodedBits = 768;
+  static constexpr size_t kMinEncodedBits = 96;
+  // Ones materialized per leaf during Init(1, n): each is a delta(1) code.
+  static constexpr size_t kInitOnesPerLeaf = 512;
+
+  size_t bits() const { return bits_; }
+  size_t ones() const { return ones_; }
+  size_t EncodedBits() const { return buf_.size(); }
+  bool NeedsSplit() const { return buf_.size() > kMaxEncodedBits; }
+  bool IsUnderfull() const {
+    // A leaf that is a huge zero-run has a tiny encoding but plenty of
+    // content; merging it would only churn. Merge only genuinely small leaves.
+    return buf_.size() < kMinEncodedBits && bits_ < 4096;
+  }
+
+  size_t SizeInBits() const { return buf_.SizeInBits(); }
+
+  /// Theta(n) for bit=1 — the Remark 4.2 pathology; O(1) for bit=0.
+  static std::pair<GapLeaf, size_t> MakeRunPrefix(bool bit, size_t n) {
+    GapLeaf leaf;
+    if (!bit) {
+      leaf.tail_ = n;
+      leaf.bits_ = n;
+      return {std::move(leaf), n};
+    }
+    const size_t take = std::min<size_t>(n, kInitOnesPerLeaf);
+    BitWriter w(&leaf.buf_);
+    for (size_t i = 0; i < take; ++i) w.WriteDelta(1);  // gap 0 before each 1
+    leaf.bits_ = take;
+    leaf.ones_ = take;
+    return {std::move(leaf), take};
+  }
+
+  bool Get(size_t i) const {
+    WT_DASSERT(i < bits_);
+    BitReader r(buf_);
+    size_t acc = 0;
+    for (size_t j = 0; j < ones_; ++j) {
+      const uint64_t g = r.ReadDelta() - 1;
+      if (i < acc + g) return false;
+      if (i == acc + g) return true;
+      acc += g + 1;
+    }
+    return false;  // tail zeros
+  }
+
+  size_t Rank1(size_t pos) const {
+    WT_DASSERT(pos <= bits_);
+    BitReader r(buf_);
+    size_t acc = 0;
+    for (size_t j = 0; j < ones_; ++j) {
+      const uint64_t g = r.ReadDelta() - 1;
+      if (pos <= acc + g) return j;
+      acc += g + 1;
+    }
+    return ones_;
+  }
+
+  size_t Select(bool bit, size_t k) const {
+    WT_DASSERT(k < (bit ? ones_ : bits_ - ones_));
+    BitReader r(buf_);
+    size_t acc = 0;
+    if (bit) {
+      for (size_t j = 0;; ++j) {
+        const uint64_t g = r.ReadDelta() - 1;
+        if (j == k) return acc + g;
+        acc += g + 1;
+      }
+    }
+    size_t zeros = 0;
+    for (size_t j = 0; j < ones_; ++j) {
+      const uint64_t g = r.ReadDelta() - 1;
+      if (k < zeros + g) return acc + (k - zeros);
+      zeros += g;
+      acc += g + 1;
+    }
+    return acc + (k - zeros);  // in the tail
+  }
+
+  void Insert(size_t pos, bool b) {
+    WT_DASSERT(pos <= bits_);
+    std::vector<uint64_t> gaps = Decode();
+    const size_t r1 = Rank1(pos);
+    if (!b) {
+      if (r1 < ones_)
+        ++gaps[r1];
+      else
+        ++tail_;
+    } else {
+      size_t zeros_before_region = 0;
+      for (size_t j = 0; j < r1; ++j) zeros_before_region += gaps[j];
+      const size_t rel = (pos - r1) - zeros_before_region;
+      if (r1 < ones_) {
+        const uint64_t g = gaps[r1];
+        WT_DASSERT(rel <= g);
+        gaps[r1] = rel;
+        gaps.insert(gaps.begin() + static_cast<ptrdiff_t>(r1) + 1, g - rel);
+      } else {
+        WT_DASSERT(rel <= tail_);
+        gaps.push_back(rel);
+        tail_ -= rel;
+      }
+      ++ones_;
+    }
+    ++bits_;
+    Encode(gaps);
+  }
+
+  bool Erase(size_t pos) {
+    WT_DASSERT(pos < bits_);
+    std::vector<uint64_t> gaps = Decode();
+    const size_t r1 = Rank1(pos);
+    // pos is the 1 with index r1 iff it sits exactly after gap r1's zeros.
+    bool is_one = false;
+    if (r1 < ones_) {
+      size_t one_pos = r1;
+      for (size_t j = 0; j <= r1; ++j) one_pos += gaps[j];
+      is_one = (pos == one_pos);
+    }
+    if (is_one) {
+      if (r1 + 1 < ones_) {
+        gaps[r1] += gaps[r1 + 1];
+        gaps.erase(gaps.begin() + static_cast<ptrdiff_t>(r1) + 1);
+      } else {
+        tail_ += gaps[r1];
+        gaps.pop_back();
+      }
+      --ones_;
+    } else {
+      if (r1 < ones_)
+        --gaps[r1];
+      else
+        --tail_;
+    }
+    --bits_;
+    Encode(gaps);
+    return is_one;
+  }
+
+  GapLeaf SplitTail() {
+    std::vector<uint64_t> gaps = Decode();
+    WT_DASSERT(gaps.size() >= 2);
+    const size_t total = buf_.size();
+    size_t cut = 1, enc = DeltaLen(gaps[0] + 1);
+    while (cut + 1 < gaps.size() && enc < total / 2) {
+      enc += DeltaLen(gaps[cut] + 1);
+      ++cut;
+    }
+    GapLeaf right;
+    std::vector<uint64_t> right_gaps(gaps.begin() + static_cast<ptrdiff_t>(cut),
+                                     gaps.end());
+    right.tail_ = tail_;
+    right.ones_ = ones_ - cut;
+    gaps.resize(cut);
+    tail_ = 0;
+    ones_ = cut;
+    Encode(gaps);
+    right.Encode(right_gaps);
+    return right;
+  }
+
+  void MergeRight(GapLeaf&& right) {
+    if (right.bits_ == 0) return;
+    std::vector<uint64_t> gaps = Decode();
+    std::vector<uint64_t> rgaps = right.Decode();
+    if (!rgaps.empty()) {
+      rgaps.front() += tail_;
+      gaps.insert(gaps.end(), rgaps.begin(), rgaps.end());
+      tail_ = right.tail_;
+    } else {
+      tail_ += right.tail_;
+    }
+    ones_ += right.ones_;
+    Encode(gaps);
+  }
+
+  /// Sequential bit iterator; O(1) amortized Next().
+  class Iterator {
+   public:
+    Iterator(const GapLeaf* leaf, size_t pos)
+        : reader_(leaf->buf_), m_(leaf->ones_), tail_(leaf->tail_) {
+      WT_DASSERT(pos <= leaf->bits());
+      end_ = leaf->bits();
+      pos_ = pos;
+      if (pos >= end_) return;
+      j_ = 0;
+      zeros_left_ = (m_ > 0) ? reader_.ReadDelta() - 1 : tail_;
+      size_t skip = pos;
+      while (skip > 0) {
+        if (j_ < m_) {
+          if (skip <= zeros_left_) {
+            zeros_left_ -= skip;
+            break;
+          }
+          skip -= zeros_left_ + 1;  // remaining zeros plus the region's 1
+          ++j_;
+          zeros_left_ = (j_ < m_) ? reader_.ReadDelta() - 1 : tail_;
+        } else {
+          zeros_left_ -= skip;
+          break;
+        }
+      }
+    }
+
+    bool Next() {
+      WT_DASSERT(pos_ < end_);
+      ++pos_;
+      if (j_ < m_) {
+        if (zeros_left_ > 0) {
+          --zeros_left_;
+          return false;
+        }
+        ++j_;
+        zeros_left_ = (j_ < m_) ? reader_.ReadDelta() - 1 : tail_;
+        return true;
+      }
+      --zeros_left_;
+      return false;
+    }
+
+   private:
+    BitReader reader_;
+    size_t m_ = 0;
+    uint64_t tail_ = 0;
+    size_t j_ = 0;
+    uint64_t zeros_left_ = 0;
+    size_t pos_ = 0;
+    size_t end_ = 0;
+  };
+
+ private:
+  std::vector<uint64_t> Decode() const {
+    std::vector<uint64_t> gaps;
+    gaps.reserve(ones_);
+    BitReader r(buf_);
+    for (size_t j = 0; j < ones_; ++j) gaps.push_back(r.ReadDelta() - 1);
+    return gaps;
+  }
+
+  void Encode(const std::vector<uint64_t>& gaps) {
+    buf_.Clear();
+    BitWriter w(&buf_);
+    size_t zeros = 0;
+    for (uint64_t g : gaps) {
+      w.WriteDelta(g + 1);
+      zeros += g;
+    }
+    WT_DASSERT(gaps.size() == ones_);
+    bits_ = zeros + ones_ + tail_;
+  }
+
+  BitArray buf_;       // delta(g_i + 1) per 1-bit
+  uint64_t tail_ = 0;  // trailing zeros
+  size_t bits_ = 0;
+  size_t ones_ = 0;
+};
+
+/// Dynamic bitvector over gap-encoded leaves; see file comment. API matches
+/// DynamicBitVector.
+class GapBitVector {
+ public:
+  GapBitVector() = default;
+  GapBitVector(bool bit, size_t n) { tree_.Init(bit, n); }
+
+  void Init(bool bit, size_t n) { tree_.Init(bit, n); }
+  void Insert(size_t pos, bool b) { tree_.Insert(pos, b); }
+  void Append(bool b) { tree_.Append(b); }
+  bool Erase(size_t pos) { return tree_.Erase(pos); }
+
+  bool Get(size_t pos) const { return tree_.Get(pos); }
+  size_t Rank1(size_t pos) const { return tree_.Rank1(pos); }
+  size_t Rank0(size_t pos) const { return tree_.Rank0(pos); }
+  size_t Rank(bool b, size_t pos) const { return tree_.Rank(b, pos); }
+  size_t Select1(size_t k) const { return tree_.Select1(k); }
+  size_t Select0(size_t k) const { return tree_.Select0(k); }
+  size_t Select(bool b, size_t k) const { return tree_.Select(b, k); }
+
+  size_t size() const { return tree_.size(); }
+  size_t num_ones() const { return tree_.num_ones(); }
+  size_t num_zeros() const { return tree_.num_zeros(); }
+  size_t SizeInBits() const { return tree_.SizeInBits(); }
+  void CheckInvariants() const { tree_.CheckInvariants(); }
+
+  using Iterator = BitTree<GapLeaf>::Iterator;
+  Iterator IteratorAt(size_t pos) const { return Iterator(&tree_, pos); }
+
+ private:
+  BitTree<GapLeaf> tree_;
+};
+
+}  // namespace wt

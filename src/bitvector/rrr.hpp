@@ -1,0 +1,444 @@
+// RRR compressed bitvector [Raman, Raman, Rao 2007].
+//
+// Encodes a bitvector of n bits with m ones in B(m,n) + o(n) bits while
+// supporting Rank/Select/Access in O(1) table-free word operations.
+//
+// Layout: blocks of 63 bits; each block is stored as a 6-bit *class* (its
+// popcount k) plus a ceil(log2 C(63,k))-bit *offset* (its rank within the
+// class, via the combinadic number system). Superblocks of 32 blocks store an
+// absolute rank counter and an absolute bit position into the offset stream,
+// so a query scans at most 31 class bytes and decodes one block. Select is
+// supported by position samples every kSelectSample-th 1 (and 0) plus a
+// bounded binary search over superblocks. Combinadic ranking/unranking is
+// done on the fly (<= 63 steps) instead of the paper's Four-Russians tables;
+// this preserves O(1) behaviour in the word-RAM sense with a fixed constant.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "common/assert.hpp"
+#include "common/bit_array.hpp"
+#include "common/bits.hpp"
+#include "common/serialize.hpp"
+
+namespace wt {
+
+namespace rrr_internal {
+
+inline constexpr size_t kBlockBits = 63;
+inline constexpr size_t kBlocksPerSuper = 32;
+inline constexpr size_t kSuperBits = kBlockBits * kBlocksPerSuper;
+
+// Binomial table: kBinomial[n][k] = C(n, k) for 0 <= k <= n <= 63.
+// C(63, 31) ~ 9.16e17 < 2^63, so all entries fit in uint64_t.
+struct BinomialTable {
+  std::array<std::array<uint64_t, kBlockBits + 1>, kBlockBits + 1> c{};
+};
+
+constexpr BinomialTable MakeBinomialTable() {
+  BinomialTable t{};
+  for (size_t n = 0; n <= kBlockBits; ++n) {
+    t.c[n][0] = 1;
+    for (size_t k = 1; k <= n; ++k) {
+      t.c[n][k] = t.c[n - 1][k - 1] + (k <= n - 1 ? t.c[n - 1][k] : 0);
+    }
+  }
+  return t;
+}
+
+inline constexpr BinomialTable kBinomial = MakeBinomialTable();
+
+// Width in bits of the offset field for each class k: ceil(log2 C(63,k)).
+struct OffsetWidths {
+  std::array<uint8_t, kBlockBits + 1> w{};
+};
+
+constexpr OffsetWidths MakeOffsetWidths() {
+  OffsetWidths ow{};
+  for (size_t k = 0; k <= kBlockBits; ++k) {
+    const uint64_t classes = kBinomial.c[kBlockBits][k];
+    ow.w[k] = static_cast<uint8_t>(CeilLog2(classes));
+  }
+  return ow;
+}
+
+inline constexpr OffsetWidths kOffsetWidth = MakeOffsetWidths();
+
+/// Combinadic rank of a 63-bit block `w` with popcount `k` within its class.
+inline uint64_t EncodeBlock(uint64_t w, unsigned k) {
+  uint64_t off = 0;
+  unsigned r = k;
+  for (int i = kBlockBits - 1; i >= 0 && r > 0; --i) {
+    if ((w >> i) & 1) {
+      off += kBinomial.c[i][r];
+      --r;
+    }
+  }
+  return off;
+}
+
+/// Inverse of EncodeBlock.
+inline uint64_t DecodeBlock(uint64_t off, unsigned k) {
+  uint64_t w = 0;
+  unsigned r = k;
+  for (int i = kBlockBits - 1; i >= 0 && r > 0; --i) {
+    const uint64_t c = kBinomial.c[i][r];
+    if (off >= c) {
+      off -= c;
+      w |= uint64_t(1) << i;
+      --r;
+    }
+  }
+  return w;
+}
+
+}  // namespace rrr_internal
+
+class Rrr {
+ public:
+  static constexpr size_t kBlockBits = rrr_internal::kBlockBits;
+  static constexpr size_t kBlocksPerSuper = rrr_internal::kBlocksPerSuper;
+  static constexpr size_t kSelectSample = 4096;
+
+  Rrr() = default;
+
+  explicit Rrr(const BitArray& bits) : Rrr(bits.data(), bits.size()) {}
+
+  /// Builds from `n` bits stored LSB-first in `words` (the decomposable
+  /// black-box constructor of Theorem 4.5: any word range can be compressed
+  /// independently).
+  Rrr(const uint64_t* words, size_t n) {
+    using namespace rrr_internal;
+    n_ = n;
+    num_blocks_ = (n + kBlockBits - 1) / kBlockBits;
+    const size_t num_super = num_blocks_ / kBlocksPerSuper + 1;
+    sb_rank_.reserve(num_super + 1);
+    sb_offset_.reserve(num_super + 1);
+    size_t ones = 0;
+    for (size_t b = 0; b < num_blocks_; ++b) {
+      if (b % kBlocksPerSuper == 0) {
+        sb_rank_.push_back(ones);
+        sb_offset_.push_back(offsets_.size());
+      }
+      const size_t begin = b * kBlockBits;
+      const size_t len = std::min(kBlockBits, n - begin);
+      const uint64_t w = LoadBitsBounded(words, begin, len, n);
+      const unsigned k = static_cast<unsigned>(PopCount(w));
+      classes_.AppendBits(k, kClassFieldBits);
+      offsets_.AppendBits(EncodeBlock(w, k), kOffsetWidth.w[k]);
+      ones += k;
+    }
+    sb_rank_.push_back(ones);
+    sb_offset_.push_back(offsets_.size());
+    num_ones_ = ones;
+    BuildSelectSamples();
+    classes_.ShrinkToFit();
+    offsets_.ShrinkToFit();
+    sb_rank_.shrink_to_fit();
+    sb_offset_.shrink_to_fit();
+    select1_samples_.shrink_to_fit();
+    select0_samples_.shrink_to_fit();
+  }
+
+  /// Resumable construction — the paper's decomposable-RRR requirement
+  /// (Theorem 4.5): "this O(n'/log n)-time work can be spread over
+  /// O(n'/log n) steps, each of O(1) time". Each Step() encodes a bounded
+  /// number of 63-bit blocks; the caller interleaves steps with other work
+  /// (bitvector/append_only_deamortized.hpp uses one Step per Append,
+  /// realizing Lemma 4.8's de-amortization). Defined after the class (it
+  /// holds an Rrr member). The source words must stay alive until Take().
+  class Builder;
+
+  bool Get(size_t i) const {
+    WT_DASSERT(i < n_);
+    const size_t b = i / kBlockBits;
+    return (DecodeBlockAt(b) >> (i % kBlockBits)) & 1;
+  }
+
+  /// Number of 1s in [0, pos). pos may equal size().
+  size_t Rank1(size_t pos) const {
+    WT_DASSERT(pos <= n_);
+    if (pos == 0) return 0;
+    const size_t b = pos / kBlockBits;
+    const size_t tail = pos % kBlockBits;
+    size_t ones;
+    if (tail == 0) {
+      ones = RankAtBlock(b);
+    } else {
+      size_t off_pos;
+      ones = RankAtBlock(b, &off_pos);
+      if (b < num_blocks_) {
+        const uint64_t w = DecodeBlockAtPos(b, off_pos);
+        ones += static_cast<size_t>(PopCount(w & LowMask(tail)));
+      }
+    }
+    return ones;
+  }
+
+  size_t Rank0(size_t pos) const { return pos - Rank1(pos); }
+  size_t Rank(bool b, size_t pos) const { return b ? Rank1(pos) : Rank0(pos); }
+
+  /// Position of the (k+1)-th 1 (0-based k). Precondition: k < num_ones().
+  size_t Select1(size_t k) const {
+    using namespace rrr_internal;
+    WT_DASSERT(k < num_ones_);
+    size_t lo = select1_samples_[k / kSelectSample];
+    size_t hi = (k / kSelectSample + 1 < select1_samples_.size())
+                    ? select1_samples_[k / kSelectSample + 1] + 1
+                    : sb_rank_.size() - 1;
+    while (lo < hi) {  // largest sb with sb_rank_[sb] <= k
+      const size_t mid = (lo + hi + 1) / 2;
+      if (sb_rank_[mid] <= k)
+        lo = mid;
+      else
+        hi = mid - 1;
+    }
+    size_t remaining = k - sb_rank_[lo];
+    size_t b = lo * kBlocksPerSuper;
+    size_t off_pos = sb_offset_[lo];
+    for (;; ++b) {
+      WT_DASSERT(b < num_blocks_);
+      const unsigned cls = ClassOf(b);
+      if (remaining < cls) break;
+      remaining -= cls;
+      off_pos += kOffsetWidth.w[cls];
+    }
+    const uint64_t w = DecodeBlockAtPos(b, off_pos);
+    return b * kBlockBits + SelectInWord(w, static_cast<unsigned>(remaining));
+  }
+
+  /// Position of the (k+1)-th 0 (0-based k). Precondition: k < num_zeros().
+  size_t Select0(size_t k) const {
+    using namespace rrr_internal;
+    WT_DASSERT(k < n_ - num_ones_);
+    auto zeros_before = [&](size_t sb) {
+      // Phantom padding of the final superblock is never selected because
+      // k is bounded by the number of real zeros.
+      return sb * kSuperBits - sb_rank_[sb];
+    };
+    size_t lo = select0_samples_[k / kSelectSample];
+    size_t hi = (k / kSelectSample + 1 < select0_samples_.size())
+                    ? select0_samples_[k / kSelectSample + 1] + 1
+                    : sb_rank_.size() - 1;
+    while (lo < hi) {
+      const size_t mid = (lo + hi + 1) / 2;
+      if (zeros_before(mid) <= k)
+        lo = mid;
+      else
+        hi = mid - 1;
+    }
+    size_t remaining = k - zeros_before(lo);
+    size_t b = lo * kBlocksPerSuper;
+    size_t off_pos = sb_offset_[lo];
+    for (;; ++b) {
+      WT_DASSERT(b < num_blocks_);
+      const unsigned cls = ClassOf(b);
+      const size_t block_len = std::min(kBlockBits, n_ - b * kBlockBits);
+      const size_t zeros = block_len - cls;
+      if (remaining < zeros) break;
+      remaining -= zeros;
+      off_pos += kOffsetWidth.w[cls];
+    }
+    const uint64_t w = DecodeBlockAtPos(b, off_pos);
+    return b * kBlockBits + SelectZeroInWord(w, static_cast<unsigned>(remaining));
+  }
+
+  size_t Select(bool b, size_t k) const { return b ? Select1(k) : Select0(k); }
+
+  size_t size() const { return n_; }
+  size_t num_ones() const { return num_ones_; }
+  size_t num_zeros() const { return n_ - num_ones_; }
+
+  void Save(std::ostream& out) const {
+    WritePod<uint64_t>(out, n_);
+    WritePod<uint64_t>(out, num_ones_);
+    WritePod<uint64_t>(out, num_blocks_);
+    classes_.Save(out);
+    offsets_.Save(out);
+    WriteVec(out, sb_rank_);
+    WriteVec(out, sb_offset_);
+  }
+  void Load(std::istream& in) {
+    n_ = ReadPod<uint64_t>(in);
+    num_ones_ = ReadPod<uint64_t>(in);
+    num_blocks_ = ReadPod<uint64_t>(in);
+    classes_.Load(in);
+    offsets_.Load(in);
+    sb_rank_ = ReadVec<uint64_t>(in);
+    sb_offset_ = ReadVec<uint64_t>(in);
+    BuildSelectSamples();
+  }
+
+  size_t SizeInBits() const {
+    return offsets_.SizeInBits() + classes_.SizeInBits() +
+           64 * (sb_rank_.capacity() + sb_offset_.capacity()) +
+           32 * (select1_samples_.capacity() + select0_samples_.capacity());
+  }
+
+  /// Sequential bit iterator with O(1) amortized Next(); used by the
+  /// Section 5 range algorithms.
+  class Iterator {
+   public:
+    Iterator(const Rrr* rrr, size_t pos) : rrr_(rrr), pos_(pos) {
+      if (pos_ < rrr_->size()) LoadBlock();
+    }
+
+    bool Next() {
+      WT_DASSERT(pos_ < rrr_->size());
+      const bool bit = (cur_word_ >> (pos_ % kBlockBits)) & 1;
+      ++pos_;
+      if (pos_ < rrr_->size() && pos_ % kBlockBits == 0) LoadBlock();
+      return bit;
+    }
+
+    size_t position() const { return pos_; }
+
+   private:
+    void LoadBlock() {
+      const size_t b = pos_ / kBlockBits;
+      size_t off_pos;
+      rrr_->RankAtBlock(b, &off_pos);  // cheap way to locate the offset
+      cur_word_ = rrr_->DecodeBlockAtPos(b, off_pos);
+    }
+
+    const Rrr* rrr_;
+    size_t pos_;
+    uint64_t cur_word_ = 0;
+  };
+
+ private:
+  // LoadBits that never reads past the end of the backing words.
+  static uint64_t LoadBitsBounded(const uint64_t* words, size_t start, size_t len,
+                                  size_t total_bits) {
+    (void)total_bits;
+    WT_DASSERT(start + len <= total_bits);
+    return len == 0 ? 0 : LoadBits(words, start, len);
+  }
+
+  /// Ones strictly before block b; optionally reports the bit position of
+  /// block b's offset field.
+  size_t RankAtBlock(size_t b, size_t* off_pos_out = nullptr) const {
+    using namespace rrr_internal;
+    const size_t sb = b / kBlocksPerSuper;
+    size_t ones = sb_rank_[sb];
+    size_t off_pos = sb_offset_[sb];
+    for (size_t i = sb * kBlocksPerSuper; i < b; ++i) {
+      const unsigned cls = ClassOf(i);
+      ones += cls;
+      off_pos += kOffsetWidth.w[cls];
+    }
+    if (off_pos_out != nullptr) *off_pos_out = off_pos;
+    return ones;
+  }
+
+  uint64_t DecodeBlockAt(size_t b) const {
+    size_t off_pos;
+    RankAtBlock(b, &off_pos);
+    return DecodeBlockAtPos(b, off_pos);
+  }
+
+  uint64_t DecodeBlockAtPos(size_t b, size_t off_pos) const {
+    using namespace rrr_internal;
+    const unsigned k = ClassOf(b);
+    const unsigned width = kOffsetWidth.w[k];
+    const uint64_t off = width == 0 ? 0 : offsets_.GetBits(off_pos, width);
+    return DecodeBlock(off, k);
+  }
+
+  void BuildSelectSamples() {
+    using namespace rrr_internal;
+    select1_samples_.clear();
+    for (size_t target = 0, sb = 0; target < num_ones_; target += kSelectSample) {
+      while (sb_rank_[sb + 1] <= target) ++sb;
+      select1_samples_.push_back(static_cast<uint32_t>(sb));
+    }
+    if (select1_samples_.empty()) select1_samples_.push_back(0);
+    select0_samples_.clear();
+    const size_t num_zeros = n_ - num_ones_;
+    for (size_t target = 0, sb = 0; target < num_zeros; target += kSelectSample) {
+      while ((sb + 1) * kSuperBits - sb_rank_[sb + 1] <= target) ++sb;
+      select0_samples_.push_back(static_cast<uint32_t>(sb));
+    }
+    if (select0_samples_.empty()) select0_samples_.push_back(0);
+  }
+
+  unsigned ClassOf(size_t b) const {
+    return static_cast<unsigned>(classes_.GetBits(b * kClassFieldBits, kClassFieldBits));
+  }
+
+  static constexpr size_t kClassFieldBits = 6;  // classes are in [0, 63]
+
+  size_t n_ = 0;
+  size_t num_ones_ = 0;
+  size_t num_blocks_ = 0;
+  BitArray classes_;  // popcount of each 63-bit block, 6-bit packed
+  BitArray offsets_;  // variable-width combinadic offsets
+  std::vector<uint64_t> sb_rank_;    // ones before each superblock (+ total)
+  std::vector<uint64_t> sb_offset_;  // offset-stream position per superblock
+  std::vector<uint32_t> select1_samples_;
+  std::vector<uint32_t> select0_samples_;
+};
+
+class Rrr::Builder {
+ public:
+  Builder() = default;
+
+  Builder(const uint64_t* words, size_t n) : words_(words) {
+    out_.n_ = n;
+    out_.num_blocks_ = (n + kBlockBits - 1) / kBlockBits;
+    out_.sb_rank_.reserve(out_.num_blocks_ / kBlocksPerSuper + 2);
+    out_.sb_offset_.reserve(out_.num_blocks_ / kBlocksPerSuper + 2);
+  }
+
+  bool done() const { return finished_; }
+
+  /// Encodes up to `blocks` more blocks; returns true once construction is
+  /// complete (the finishing bookkeeping counts as one block).
+  bool Step(size_t blocks) {
+    using namespace rrr_internal;
+    if (finished_) return true;
+    while (blocks > 0 && next_block_ < out_.num_blocks_) {
+      const size_t b = next_block_;
+      if (b % kBlocksPerSuper == 0) {
+        out_.sb_rank_.push_back(ones_);
+        out_.sb_offset_.push_back(out_.offsets_.size());
+      }
+      const size_t begin = b * kBlockBits;
+      const size_t len = std::min(kBlockBits, out_.n_ - begin);
+      const uint64_t w = LoadBitsBounded(words_, begin, len, out_.n_);
+      const unsigned k = static_cast<unsigned>(PopCount(w));
+      out_.classes_.AppendBits(k, kClassFieldBits);
+      out_.offsets_.AppendBits(EncodeBlock(w, k), kOffsetWidth.w[k]);
+      ones_ += k;
+      ++next_block_;
+      --blocks;
+    }
+    if (next_block_ == out_.num_blocks_ && blocks > 0) {
+      out_.sb_rank_.push_back(ones_);
+      out_.sb_offset_.push_back(out_.offsets_.size());
+      out_.num_ones_ = ones_;
+      out_.BuildSelectSamples();
+      out_.classes_.ShrinkToFit();
+      out_.offsets_.ShrinkToFit();
+      finished_ = true;
+    }
+    return finished_;
+  }
+
+  /// The finished structure; requires done().
+  Rrr Take() {
+    WT_ASSERT_MSG(finished_, "Rrr::Builder: construction not finished");
+    return std::move(out_);
+  }
+
+ private:
+  const uint64_t* words_ = nullptr;
+  size_t next_block_ = 0;
+  size_t ones_ = 0;
+  bool finished_ = false;
+  Rrr out_;
+};
+
+}  // namespace wt

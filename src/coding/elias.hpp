@@ -1,0 +1,111 @@
+// Elias gamma and delta codes [Elias 1975] over the library's LSB-first bit
+// order, plus streaming BitWriter/BitReader.
+//
+// gamma(v), v >= 1:  (N-1) zero bits, a one bit, then the N-1 bits of v below
+// its MSB (LSB-first), where N = bit_width(v). Length: 2N-1 bits.
+// delta(v), v >= 1:  gamma(N) followed by the N-1 bits of v below its MSB.
+//
+// These are the run-length codes used by the dynamic RLE+gamma bitvector
+// (paper Sec. 4.2) and the gap+delta baseline of Makinen--Navarro [18].
+#pragma once
+
+#include <cstdint>
+
+#include "common/assert.hpp"
+#include "common/bit_array.hpp"
+#include "common/bits.hpp"
+
+namespace wt {
+
+/// Encoded length of gamma(v) in bits.
+constexpr size_t GammaLen(uint64_t v) {
+  WT_DASSERT(v >= 1);
+  return 2 * BitWidth(v) - 1;
+}
+
+/// Encoded length of delta(v) in bits.
+constexpr size_t DeltaLen(uint64_t v) {
+  WT_DASSERT(v >= 1);
+  const unsigned n = BitWidth(v);
+  return GammaLen(n) + (n - 1);
+}
+
+/// Appends bits to a BitArray.
+class BitWriter {
+ public:
+  explicit BitWriter(BitArray* out) : out_(out) {}
+
+  void WriteBit(bool b) { out_->PushBack(b); }
+  void WriteBits(uint64_t value, size_t len) { out_->AppendBits(value, len); }
+
+  void WriteGamma(uint64_t v) {
+    WT_DASSERT(v >= 1);
+    const unsigned n = BitWidth(v);
+    // (n-1) zeros then a one: the value 2^(n-1) written LSB-first in n bits.
+    out_->AppendBits(uint64_t(1) << (n - 1), n);
+    out_->AppendBits(v & LowMask(n - 1), n - 1);
+  }
+
+  void WriteDelta(uint64_t v) {
+    WT_DASSERT(v >= 1);
+    const unsigned n = BitWidth(v);
+    WriteGamma(n);
+    out_->AppendBits(v & LowMask(n - 1), n - 1);
+  }
+
+ private:
+  BitArray* out_;
+};
+
+/// Reads bits from a word array starting at a given bit position.
+/// `end` bounds the readable range so that word loads never run past the
+/// backing storage.
+class BitReader {
+ public:
+  BitReader(const uint64_t* words, size_t pos, size_t end)
+      : words_(words), pos_(pos), end_(end) {}
+  explicit BitReader(const BitArray& a, size_t pos = 0)
+      : words_(a.data()), pos_(pos), end_(a.size()) {}
+
+  bool ReadBit() {
+    WT_DASSERT(pos_ < end_);
+    const bool b = (words_[pos_ >> 6] >> (pos_ & 63)) & 1;
+    ++pos_;
+    return b;
+  }
+
+  uint64_t ReadBits(size_t len) {
+    WT_DASSERT(pos_ + len <= end_);
+    const uint64_t v = LoadBits(words_, pos_, len);
+    pos_ += len;
+    return v;
+  }
+
+  uint64_t ReadGamma() {
+    // Find the terminating 1 of the unary part. A valid gamma code always
+    // has its terminator within 64 bits of the current position, so one
+    // bounded load suffices.
+    const uint64_t probe = LoadBits(words_, pos_, std::min<size_t>(64, end_ - pos_));
+    WT_DASSERT(probe != 0);
+    const unsigned zeros = static_cast<unsigned>(std::countr_zero(probe));
+    pos_ += zeros + 1;
+    const uint64_t low = ReadBits(zeros);
+    return (uint64_t(1) << zeros) | low;
+  }
+
+  uint64_t ReadDelta() {
+    const uint64_t n = ReadGamma();
+    const uint64_t low = ReadBits(static_cast<size_t>(n - 1));
+    return (uint64_t(1) << (n - 1)) | low;
+  }
+
+  size_t position() const { return pos_; }
+  void Seek(size_t pos) { pos_ = pos; }
+
+ private:
+  const uint64_t* words_;
+  size_t pos_;
+  size_t end_;
+};
+
+}  // namespace wt

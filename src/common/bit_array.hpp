@@ -1,0 +1,146 @@
+// BitArray: a growable, random-access sequence of bits.
+//
+// This is the raw storage type every bitvector in the library is built from.
+// It deliberately has no rank/select support; see bitvector/ for indexed
+// structures.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/assert.hpp"
+#include "common/bits.hpp"
+#include "common/serialize.hpp"
+
+namespace wt {
+
+class BitArray {
+ public:
+  BitArray() = default;
+
+  /// Constructs an array of `n` copies of `bit`.
+  BitArray(size_t n, bool bit) : words_(WordsFor(n), bit ? ~uint64_t(0) : 0), size_(n) {
+    TrimLastWord();
+  }
+
+  /// Appends a single bit.
+  void PushBack(bool bit) {
+    const size_t w = size_ >> 6;
+    if (w == words_.size()) words_.push_back(0);
+    if (bit) words_[w] |= uint64_t(1) << (size_ & 63);
+    ++size_;
+  }
+
+  /// Appends the low `len` (<= 64) bits of `value`, LSB first.
+  void AppendBits(uint64_t value, size_t len) {
+    WT_DASSERT(len <= 64);
+    Reserve(size_ + len);
+    StoreBits(words_.data(), size_, len, value);
+    size_ += len;
+  }
+
+  /// Appends `len` bits read from `other` starting at bit `start`.
+  void AppendRange(const BitArray& other, size_t start, size_t len) {
+    WT_DASSERT(start + len <= other.size_);
+    Reserve(size_ + len);
+    size_t i = 0;
+    while (i < len) {
+      const size_t chunk = std::min<size_t>(64, len - i);
+      StoreBits(words_.data(), size_ + i, chunk,
+                LoadBits(other.words_.data(), start + i, chunk));
+      i += chunk;
+    }
+    size_ += len;
+  }
+
+  /// Appends `n` copies of `bit`.
+  void AppendRun(bool bit, size_t n) {
+    Reserve(size_ + n);
+    const uint64_t fill = bit ? ~uint64_t(0) : 0;
+    size_t i = 0;
+    while (i < n) {
+      const size_t chunk = std::min<size_t>(64, n - i);
+      StoreBits(words_.data(), size_ + i, chunk, fill);
+      i += chunk;
+    }
+    size_ += n;
+  }
+
+  bool Get(size_t i) const {
+    WT_DASSERT(i < size_);
+    return (words_[i >> 6] >> (i & 63)) & 1;
+  }
+
+  void Set(size_t i, bool bit) {
+    WT_DASSERT(i < size_);
+    if (bit)
+      words_[i >> 6] |= uint64_t(1) << (i & 63);
+    else
+      words_[i >> 6] &= ~(uint64_t(1) << (i & 63));
+  }
+
+  /// Reads `len` (<= 64) bits starting at `start`.
+  uint64_t GetBits(size_t start, size_t len) const {
+    WT_DASSERT(start + len <= size_);
+    if (len == 0) return 0;
+    return LoadBits(words_.data(), start, len);
+  }
+
+  size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+  const uint64_t* data() const { return words_.data(); }
+  size_t num_words() const { return words_.size(); }
+
+  void Clear() {
+    words_.clear();
+    size_ = 0;
+  }
+
+  /// Drops trailing bits so that exactly `n` (<= size()) remain.
+  void Truncate(size_t n) {
+    WT_DASSERT(n <= size_);
+    size_ = n;
+    words_.resize(WordsFor(n));
+    TrimLastWord();
+  }
+
+  /// Heap footprint in bits (capacity-based; excludes the struct itself).
+  /// Library convention: SizeInBits() counts heap memory only, and owners
+  /// add 8*sizeof(Node) for structs they allocate.
+  size_t SizeInBits() const { return words_.capacity() * kWordBits; }
+
+  /// Releases slack capacity; call once a structure becomes static.
+  void ShrinkToFit() { words_.shrink_to_fit(); }
+
+  void Save(std::ostream& out) const {
+    WritePod<uint64_t>(out, size_);
+    WriteVec(out, words_);
+  }
+  void Load(std::istream& in) {
+    size_ = ReadPod<uint64_t>(in);
+    words_ = ReadVec<uint64_t>(in);
+    WT_ASSERT_MSG(words_.size() == WordsFor(size_), "BitArray: corrupt stream");
+  }
+
+  friend bool operator==(const BitArray& a, const BitArray& b) {
+    if (a.size_ != b.size_) return false;
+    return a.words_ == b.words_;
+  }
+
+ private:
+  void Reserve(size_t bits) {
+    const size_t need = WordsFor(bits);
+    if (need > words_.size()) words_.resize(need, 0);
+  }
+
+  // Keeps bits beyond size_ zero so that operator== and word reads are clean.
+  void TrimLastWord() {
+    const size_t tail = size_ & 63;
+    if (tail != 0 && !words_.empty()) words_.back() &= LowMask(tail);
+  }
+
+  std::vector<uint64_t> words_;
+  size_t size_ = 0;
+};
+
+}  // namespace wt

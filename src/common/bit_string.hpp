@@ -1,0 +1,155 @@
+// BitString: an owned binary string, and BitSpan: a zero-copy view of a
+// contiguous bit range (used to walk query-string suffixes down a trie
+// without copying).
+//
+// Bit 0 is the first bit of the string; comparisons are lexicographic with
+// 0 < 1 and "prefix sorts first".
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "common/bit_array.hpp"
+#include "common/bits.hpp"
+
+namespace wt {
+
+class BitString;
+
+/// Non-owning view of `len` bits starting at absolute bit `start` of a
+/// backing word array. Cheap to copy; invalidated if the backing store
+/// reallocates.
+class BitSpan {
+ public:
+  BitSpan() : words_(nullptr), start_(0), len_(0) {}
+  BitSpan(const uint64_t* words, size_t start, size_t len)
+      : words_(words), start_(start), len_(len) {}
+  /*implicit*/ BitSpan(const BitArray& a)  // NOLINT
+      : words_(a.data()), start_(0), len_(a.size()) {}
+
+  size_t size() const { return len_; }
+  bool empty() const { return len_ == 0; }
+
+  bool Get(size_t i) const {
+    WT_DASSERT(i < len_);
+    return (words_[(start_ + i) >> 6] >> ((start_ + i) & 63)) & 1;
+  }
+
+  /// The suffix starting at bit `pos`.
+  BitSpan SubSpan(size_t pos) const {
+    WT_DASSERT(pos <= len_);
+    return BitSpan(words_, start_ + pos, len_ - pos);
+  }
+
+  /// The bit range [pos, pos+n).
+  BitSpan SubSpan(size_t pos, size_t n) const {
+    WT_DASSERT(pos + n <= len_);
+    return BitSpan(words_, start_ + pos, n);
+  }
+
+  /// Longest common prefix length with `other`.
+  size_t Lcp(BitSpan other) const {
+    return BitsLcp(words_, start_, other.words_, other.start_,
+                   std::min(len_, other.len_));
+  }
+
+  /// True iff `other` has the same bit content.
+  bool ContentEquals(BitSpan other) const {
+    return len_ == other.len_ && Lcp(other) == len_;
+  }
+
+  /// True iff this span is a prefix of `other`.
+  bool IsPrefixOf(BitSpan other) const {
+    return len_ <= other.len_ && Lcp(other) == len_;
+  }
+
+  const uint64_t* words() const { return words_; }
+  size_t start_bit() const { return start_; }
+
+  std::string ToString() const {
+    std::string s;
+    s.reserve(len_);
+    for (size_t i = 0; i < len_; ++i) s.push_back(Get(i) ? '1' : '0');
+    return s;
+  }
+
+ private:
+  const uint64_t* words_;
+  size_t start_;
+  size_t len_;
+};
+
+/// An owned binary string backed by a BitArray.
+class BitString {
+ public:
+  BitString() = default;
+  explicit BitString(BitArray bits) : bits_(std::move(bits)) {}
+
+  /// Builds from a '0'/'1' character string, e.g. BitString::FromString("0010101").
+  static BitString FromString(std::string_view s) {
+    BitString out;
+    for (char c : s) {
+      WT_ASSERT_MSG(c == '0' || c == '1', "BitString::FromString: not a 0/1 string");
+      out.PushBack(c == '1');
+    }
+    return out;
+  }
+
+  /// Copies the content of a span.
+  static BitString FromSpan(BitSpan s) {
+    BitString out;
+    out.Append(s);
+    return out;
+  }
+
+  void PushBack(bool bit) { bits_.PushBack(bit); }
+
+  void Append(BitSpan s) {
+    size_t i = 0;
+    while (i < s.size()) {
+      const size_t chunk = std::min<size_t>(64, s.size() - i);
+      bits_.AppendBits(LoadBits(s.words(), s.start_bit() + i, chunk), chunk);
+      i += chunk;
+    }
+  }
+
+  void Append(const BitString& s) { Append(s.Span()); }
+
+  /// Appends the low `len` bits of `value`, LSB-first (bit 0 of value first).
+  void AppendBits(uint64_t value, size_t len) { bits_.AppendBits(value, len); }
+
+  bool Get(size_t i) const { return bits_.Get(i); }
+  size_t size() const { return bits_.size(); }
+  bool empty() const { return bits_.empty(); }
+
+  BitSpan Span() const { return BitSpan(bits_.data(), 0, bits_.size()); }
+  BitSpan SubSpan(size_t pos) const { return Span().SubSpan(pos); }
+  BitSpan SubSpan(size_t pos, size_t n) const { return Span().SubSpan(pos, n); }
+  /*implicit*/ operator BitSpan() const { return Span(); }  // NOLINT
+
+  void Truncate(size_t n) { bits_.Truncate(n); }
+  void Clear() { bits_.Clear(); }
+
+  const BitArray& bits() const { return bits_; }
+  std::string ToString() const { return Span().ToString(); }
+
+  size_t SizeInBits() const { return bits_.SizeInBits(); }
+
+  friend bool operator==(const BitString& a, const BitString& b) {
+    return a.bits_ == b.bits_;
+  }
+
+  /// Lexicographic order: 0 < 1, and a proper prefix sorts first.
+  friend bool operator<(const BitString& a, const BitString& b) {
+    const size_t lcp = a.Span().Lcp(b.Span());
+    if (lcp == a.size()) return a.size() < b.size();
+    if (lcp == b.size()) return false;
+    return !a.Get(lcp) && b.Get(lcp);
+  }
+
+ private:
+  BitArray bits_;
+};
+
+}  // namespace wt

@@ -1,0 +1,130 @@
+// Word-level bit primitives for the word-RAM model (w = 64).
+//
+// Conventions used across the library:
+//   * A logical bit sequence stores bit i at words[i / 64], bit (i % 64),
+//     i.e. LSB-first within each word. Bit 0 is the *first* bit of a string.
+//   * All "select" operations are 0-based: SelectInWord(x, 0) is the position
+//     of the first set bit.
+#pragma once
+
+#include <algorithm>
+#include <array>
+#include <bit>
+#include <cstdint>
+#include <cstddef>
+
+#include "common/assert.hpp"
+
+namespace wt {
+
+inline constexpr size_t kWordBits = 64;
+
+/// Number of 64-bit words needed to hold `bits` bits.
+constexpr size_t WordsFor(size_t bits) { return (bits + kWordBits - 1) / kWordBits; }
+
+/// Population count of a word.
+inline int PopCount(uint64_t x) { return std::popcount(x); }
+
+/// Mask with the low `len` bits set; `len` must be <= 64.
+constexpr uint64_t LowMask(size_t len) {
+  return len >= 64 ? ~uint64_t(0) : ((uint64_t(1) << len) - 1);
+}
+
+namespace internal {
+
+// select_in_byte[b][k] = position (0..7) of the (k+1)-th set bit of byte b.
+struct SelectByteTable {
+  std::array<std::array<uint8_t, 8>, 256> pos{};
+};
+
+constexpr SelectByteTable MakeSelectByteTable() {
+  SelectByteTable t{};
+  for (int b = 0; b < 256; ++b) {
+    int k = 0;
+    for (int i = 0; i < 8; ++i) {
+      if (b & (1 << i)) t.pos[b][k++] = static_cast<uint8_t>(i);
+    }
+    for (; k < 8; ++k) t.pos[b][k] = 8;  // out of range marker
+  }
+  return t;
+}
+
+inline constexpr SelectByteTable kSelectByte = MakeSelectByteTable();
+
+}  // namespace internal
+
+/// Position of the (k+1)-th set bit of `x` (k is 0-based).
+/// Precondition: k < PopCount(x).
+inline unsigned SelectInWord(uint64_t x, unsigned k) {
+  WT_DASSERT(k < static_cast<unsigned>(PopCount(x)));
+  unsigned base = 0;
+  for (int i = 0; i < 8; ++i) {
+    unsigned byte = x & 0xFF;
+    unsigned cnt = static_cast<unsigned>(std::popcount(byte));
+    if (k < cnt) return base + internal::kSelectByte.pos[byte][k];
+    k -= cnt;
+    x >>= 8;
+    base += 8;
+  }
+  WT_ASSERT_MSG(false, "SelectInWord: k out of range");
+  return 64;
+}
+
+/// Position of the (k+1)-th *zero* bit of `x` (k is 0-based).
+inline unsigned SelectZeroInWord(uint64_t x, unsigned k) { return SelectInWord(~x, k); }
+
+/// Read `len` (<= 64) bits starting at absolute bit `start` from `words`.
+/// Returned value has the first logical bit in its LSB.
+/// Precondition: the containing words exist (start+len within the backing
+/// array's bit capacity).
+inline uint64_t LoadBits(const uint64_t* words, size_t start, size_t len) {
+  WT_DASSERT(len <= 64);
+  if (len == 0) return 0;
+  const size_t w = start >> 6;
+  const size_t off = start & 63;
+  uint64_t res = words[w] >> off;
+  if (off + len > 64) res |= words[w + 1] << (64 - off);
+  return res & LowMask(len);
+}
+
+/// Write `len` (<= 64) bits of `value` at absolute bit `start` in `words`.
+inline void StoreBits(uint64_t* words, size_t start, size_t len, uint64_t value) {
+  WT_DASSERT(len <= 64);
+  if (len == 0) return;
+  value &= LowMask(len);
+  const size_t w = start >> 6;
+  const size_t off = start & 63;
+  words[w] = (words[w] & ~(LowMask(len) << off)) | (value << off);
+  if (off + len > 64) {
+    const size_t hi = off + len - 64;  // bits spilling into the next word
+    words[w + 1] = (words[w + 1] & ~LowMask(hi)) | (value >> (64 - off));
+  }
+}
+
+/// Length of the longest common prefix of the bit ranges
+/// a[a_start, a_start+max_len) and b[b_start, b_start+max_len).
+inline size_t BitsLcp(const uint64_t* a, size_t a_start, const uint64_t* b,
+                      size_t b_start, size_t max_len) {
+  size_t i = 0;
+  while (i < max_len) {
+    const size_t chunk = std::min<size_t>(64, max_len - i);
+    const uint64_t diff =
+        LoadBits(a, a_start + i, chunk) ^ LoadBits(b, b_start + i, chunk);
+    if (diff != 0) {
+      const size_t tz = static_cast<size_t>(std::countr_zero(diff));
+      return i + std::min(tz, chunk);
+    }
+    i += chunk;
+  }
+  return max_len;
+}
+
+/// ceil(log2(x)) for x >= 1; CeilLog2(1) == 0.
+constexpr unsigned CeilLog2(uint64_t x) {
+  return x <= 1 ? 0 : static_cast<unsigned>(std::bit_width(x - 1));
+}
+
+/// Number of bits in the binary representation of x (0 -> 0).
+constexpr unsigned BitWidth(uint64_t x) { return static_cast<unsigned>(std::bit_width(x)); }
+
+}  // namespace wt

@@ -1,0 +1,53 @@
+// Minimal binary serialization helpers for the static structures.
+//
+// Format: little-endian PODs, vectors as u64 length + raw elements. The
+// static WaveletTrie adds a magic/version header (see wavelet_trie.hpp);
+// derived directories (rank counters, excess-search trees) are rebuilt on
+// load rather than versioned.
+#pragma once
+
+#include <cstdint>
+#include <istream>
+#include <ostream>
+#include <type_traits>
+#include <vector>
+
+#include "common/assert.hpp"
+
+namespace wt {
+
+template <typename T>
+void WritePod(std::ostream& out, const T& v) {
+  static_assert(std::is_trivially_copyable_v<T>);
+  out.write(reinterpret_cast<const char*>(&v), sizeof(T));
+}
+
+template <typename T>
+T ReadPod(std::istream& in) {
+  static_assert(std::is_trivially_copyable_v<T>);
+  T v{};
+  in.read(reinterpret_cast<char*>(&v), sizeof(T));
+  WT_ASSERT_MSG(in.good(), "serialize: truncated stream");
+  return v;
+}
+
+template <typename T>
+void WriteVec(std::ostream& out, const std::vector<T>& v) {
+  static_assert(std::is_trivially_copyable_v<T>);
+  WritePod<uint64_t>(out, v.size());
+  out.write(reinterpret_cast<const char*>(v.data()),
+            static_cast<std::streamsize>(v.size() * sizeof(T)));
+}
+
+template <typename T>
+std::vector<T> ReadVec(std::istream& in) {
+  static_assert(std::is_trivially_copyable_v<T>);
+  const uint64_t n = ReadPod<uint64_t>(in);
+  std::vector<T> v(n);
+  in.read(reinterpret_cast<char*>(v.data()),
+          static_cast<std::streamsize>(n * sizeof(T)));
+  WT_ASSERT_MSG(in.good() || n == 0, "serialize: truncated stream");
+  return v;
+}
+
+}  // namespace wt

@@ -1,0 +1,74 @@
+// Probabilistically-balanced dynamic Wavelet Tree (paper Section 6,
+// Theorem 6.2).
+//
+// Maintains a dynamic sequence of integers from a universe U = {0,...,u-1}
+// whose *working alphabet* Sigma (the values actually present) is much
+// smaller than u and not known in advance. Values are mapped through the
+// multiplicative hash h_a(x) = a*x mod 2^ceil(log u) (a random odd), written
+// LSB-to-MSB, and stored in a dynamic Wavelet Trie; by Lemma 6.1 the hashes
+// of any Sigma are distinguished by their first O(log |Sigma|) bits with
+// probability 1 - |Sigma|^-alpha, so the trie height is O(log |Sigma|)
+// regardless of u.
+//
+// Supports Access, Rank, Select, Insert, Delete in O(log u + h log n) with
+// h <= (alpha+2) log |Sigma| w.h.p. — prefix operations are deliberately
+// absent (they are meaningless under hashing).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+
+#include "common/assert.hpp"
+#include "core/codec.hpp"
+#include "core/dynamic_wavelet_trie.hpp"
+
+namespace wt {
+
+class BalancedWaveletTree {
+ public:
+  /// `universe_bits`: ceil(log2 u). `seed` selects the hash multiplier; the
+  /// same seed reproduces the same structure.
+  explicit BalancedWaveletTree(unsigned universe_bits = 64,
+                               uint64_t seed = 0x9E3779B97F4A7C15ull)
+      : codec_(universe_bits, seed) {}
+
+  void Append(uint64_t x) { trie_.Append(codec_.Encode(x)); }
+
+  void Insert(uint64_t x, size_t pos) { trie_.Insert(codec_.Encode(x), pos); }
+
+  void Delete(size_t pos) { trie_.Delete(pos); }
+
+  uint64_t Access(size_t pos) const { return codec_.Decode(trie_.Access(pos)); }
+
+  size_t Rank(uint64_t x, size_t pos) const {
+    return trie_.Rank(codec_.Encode(x), pos);
+  }
+
+  std::optional<size_t> Select(uint64_t x, size_t k) const {
+    return trie_.Select(codec_.Encode(x), k);
+  }
+
+  size_t RangeCount(uint64_t x, size_t l, size_t r) const {
+    return trie_.RangeCount(codec_.Encode(x), l, r);
+  }
+
+  size_t size() const { return trie_.size(); }
+  size_t NumDistinct() const { return trie_.NumDistinct(); }
+
+  /// Trie height (internal nodes on the longest path): Theorem 6.2 predicts
+  /// <= (alpha+2) log |Sigma| with probability 1 - |Sigma|^-alpha.
+  size_t Height() const { return trie_.Height(); }
+
+  size_t SizeInBits() const { return trie_.SizeInBits() + 8 * sizeof(codec_); }
+
+  /// The underlying trie and codec, for callers composing richer queries
+  /// (e.g. Section 5 analytics over the hashed codes — see store/column.hpp).
+  const DynamicWaveletTrie& trie() const { return trie_; }
+  const HashedIntCodec& codec() const { return codec_; }
+
+ private:
+  HashedIntCodec codec_;
+  DynamicWaveletTrie trie_;
+};
+
+}  // namespace wt

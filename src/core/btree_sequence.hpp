@@ -1,0 +1,129 @@
+// BTreeIndexedSequence: the related-work approach (3) baseline — "storing
+// the concatenation (s_i, i) in a string dictionary such as a B-Tree", the
+// way databases traditionally implement a value index on a column.
+//
+// Exactly as the paper describes its limitations:
+//   * Select(s, idx) is what the index is good at: seek to (s, 0) and walk
+//     the leaf chain — O(log n + idx).
+//   * Access(pos) needs "another copy of the sequence", kept here as a plain
+//     string vector (counted in SizeInBits — this is the honest space cost).
+//   * Rank(s, pos) "is not supported": the best the index offers is a range
+//     scan over the occurrences of s — O(log n + occ), not O(h_s).
+//   * No compression: space is the raw strings plus B-tree nodes plus the
+//     duplicated key bytes, typically several times the input.
+//
+// Append-only, like a database index fed by an insert stream.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <variant>
+#include <vector>
+
+#include "common/assert.hpp"
+#include "index/btree.hpp"
+
+namespace wt {
+
+class BTreeIndexedSequence {
+ public:
+  using KeyEntry = std::pair<std::string, uint64_t>;
+
+  BTreeIndexedSequence() = default;
+
+  explicit BTreeIndexedSequence(const std::vector<std::string>& seq) {
+    for (const auto& s : seq) Append(s);
+  }
+
+  void Append(const std::string& s) {
+    index_.Insert({s, seq_.size()}, /*value=*/{});
+    seq_.push_back(s);
+  }
+
+  size_t size() const { return seq_.size(); }
+  bool empty() const { return seq_.empty(); }
+
+  /// O(1), but only because the uncompressed copy is kept alongside.
+  const std::string& Access(size_t pos) const {
+    WT_ASSERT(pos < seq_.size());
+    return seq_[pos];
+  }
+
+  /// Range scan over the (s, *) keys — O(log n + occ), the un-supported
+  /// operation the paper calls out.
+  size_t Rank(std::string_view s, size_t pos) const {
+    size_t count = 0;
+    for (auto it = index_.LowerBound({std::string(s), 0});
+         !it.AtEnd() && it.key().first == s; it.Next()) {
+      count += it.key().second < pos;
+    }
+    return count;
+  }
+
+  /// Seek + walk: the index's native strength.
+  std::optional<size_t> Select(std::string_view s, size_t idx) const {
+    auto it = index_.LowerBound({std::string(s), 0});
+    for (size_t k = 0; !it.AtEnd() && it.key().first == s; it.Next(), ++k) {
+      if (k == idx) return it.key().second;
+    }
+    return std::nullopt;
+  }
+
+  size_t Count(std::string_view s) const { return Rank(s, seq_.size()); }
+
+  /// Prefix variants come free from key order (positions within one string
+  /// are ascending, but across different strings the leaf scan yields
+  /// (string, position) order, so RankPrefix still scans all occurrences).
+  size_t RankPrefix(std::string_view p, size_t pos) const {
+    size_t count = 0;
+    for (auto it = index_.LowerBound({std::string(p), 0});
+         !it.AtEnd() && HasPrefix(it.key().first, p); it.Next()) {
+      count += it.key().second < pos;
+    }
+    return count;
+  }
+
+  /// idx-th *sequence position* holding a string with prefix p. The leaf
+  /// chain is ordered by (string, position), not by position, so this must
+  /// collect and sort — another operation the approach does not really
+  /// support.
+  std::optional<size_t> SelectPrefix(std::string_view p, size_t idx) const {
+    std::vector<uint64_t> positions;
+    for (auto it = index_.LowerBound({std::string(p), 0});
+         !it.AtEnd() && HasPrefix(it.key().first, p); it.Next()) {
+      positions.push_back(it.key().second);
+    }
+    if (idx >= positions.size()) return std::nullopt;
+    std::sort(positions.begin(), positions.end());
+    return positions[idx];
+  }
+
+  /// Raw copy + B-tree nodes + duplicated key strings.
+  size_t SizeInBits() const {
+    size_t bits = 8 * sizeof(*this);
+    for (const auto& s : seq_) bits += 8 * (s.size() + sizeof(std::string));
+    bits += index_.SizeInBits();
+    // BPlusTree counts sizeof(std::string) per key slot; add the heap bytes
+    // of the duplicated key strings themselves.
+    for (auto it = index_.Begin(); !it.AtEnd(); it.Next()) {
+      bits += 8 * it.key().first.size();
+    }
+    return bits;
+  }
+
+  const BPlusTree<KeyEntry, std::monostate>& index() const { return index_; }
+
+ private:
+  static bool HasPrefix(std::string_view s, std::string_view p) {
+    return s.size() >= p.size() && s.compare(0, p.size(), p) == 0;
+  }
+
+  std::vector<std::string> seq_;                 // the mandatory plain copy
+  BPlusTree<KeyEntry, std::monostate> index_;    // (string, position) keys
+};
+
+}  // namespace wt

@@ -1,0 +1,199 @@
+// Codecs: binarization of application values into prefix-free binary
+// strings (paper Section 2, "strings from larger alphabets can be binarized",
+// and Section 6's randomized mapping).
+//
+// The Wavelet Trie requires the *set* of encoded strings to be prefix-free.
+// Each codec here guarantees that by construction:
+//
+//   ByteCodec      — any byte string; each byte becomes a 0-flagged 9-bit
+//                    group (0 then the 8 data bits MSB-first), terminated by
+//                    a lone 1 bit. EncodePrefix omits the terminator, and is
+//                    a bit-prefix of Encode(s) exactly when p is a byte
+//                    prefix of s — which is what RankPrefix/SelectPrefix
+//                    need.
+//   RawByteCodec   — 8 bits per byte plus a 0x00 terminator byte; more
+//                    compact, requires NUL-free input.
+//   FixedIntCodec  — integers as fixed-width MSB-first strings (all the same
+//                    length, hence prefix-free); the resulting Wavelet Trie
+//                    is exactly the classic balanced Wavelet Tree.
+//   HashedIntCodec — Section 6: x -> a*x mod 2^width with a random odd
+//                    multiplier, written MSB-first (see the class comment
+//                    for why the paper's LSB order is corrected); the trie
+//                    on the hashes is balanced w.h.p. (Lemma 6.1 intent).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "common/assert.hpp"
+#include "common/bit_string.hpp"
+
+namespace wt {
+
+class ByteCodec {
+ public:
+  using Value = std::string;
+
+  static BitString Encode(std::string_view s) {
+    BitString out = EncodePrefix(s);
+    out.PushBack(true);  // terminator
+    return out;
+  }
+
+  /// Encoding of a *prefix* query: no terminator, so byte-prefix relations
+  /// are preserved as bit-prefix relations.
+  static BitString EncodePrefix(std::string_view p) {
+    BitString out;
+    for (unsigned char c : p) {
+      out.PushBack(false);
+      for (int b = 7; b >= 0; --b) out.PushBack((c >> b) & 1);
+    }
+    return out;
+  }
+
+  static std::string Decode(BitSpan bits) {
+    std::string out;
+    size_t i = 0;
+    for (;;) {
+      WT_ASSERT_MSG(i < bits.size(), "ByteCodec: truncated encoding");
+      if (bits.Get(i)) return out;  // terminator
+      WT_ASSERT_MSG(i + 9 <= bits.size(), "ByteCodec: truncated group");
+      unsigned char c = 0;
+      for (int b = 0; b < 8; ++b) c = static_cast<unsigned char>((c << 1) | bits.Get(i + 1 + b));
+      out.push_back(static_cast<char>(c));
+      i += 9;
+    }
+  }
+};
+
+class RawByteCodec {
+ public:
+  using Value = std::string;
+
+  static BitString Encode(std::string_view s) {
+    BitString out = EncodePrefix(s);
+    for (int b = 0; b < 8; ++b) out.PushBack(false);  // 0x00 terminator
+    return out;
+  }
+
+  static BitString EncodePrefix(std::string_view p) {
+    BitString out;
+    for (unsigned char c : p) {
+      WT_ASSERT_MSG(c != 0, "RawByteCodec: NUL bytes not supported");
+      for (int b = 7; b >= 0; --b) out.PushBack((c >> b) & 1);
+    }
+    return out;
+  }
+
+  static std::string Decode(BitSpan bits) {
+    WT_ASSERT_MSG(bits.size() % 8 == 0, "RawByteCodec: misaligned encoding");
+    std::string out;
+    for (size_t i = 0; i + 8 <= bits.size(); i += 8) {
+      unsigned char c = 0;
+      for (int b = 0; b < 8; ++b) c = static_cast<unsigned char>((c << 1) | bits.Get(i + b));
+      if (c == 0) return out;
+      out.push_back(static_cast<char>(c));
+    }
+    WT_ASSERT_MSG(false, "RawByteCodec: missing terminator");
+    return out;
+  }
+};
+
+/// Fixed-width MSB-first integer binarization. Lexicographic bit order
+/// equals numeric order, and the induced Wavelet Trie is the classic
+/// balanced Wavelet Tree on {0, ..., 2^width - 1}.
+class FixedIntCodec {
+ public:
+  using Value = uint64_t;
+
+  explicit FixedIntCodec(unsigned width = 64) : width_(width) {
+    WT_ASSERT(width >= 1 && width <= 64);
+  }
+
+  BitString Encode(uint64_t x) const {
+    WT_DASSERT(width_ == 64 || x < (uint64_t(1) << width_));
+    BitString out;
+    for (int b = static_cast<int>(width_) - 1; b >= 0; --b) {
+      out.PushBack((x >> b) & 1);
+    }
+    return out;
+  }
+
+  uint64_t Decode(BitSpan bits) const {
+    WT_ASSERT(bits.size() == width_);
+    uint64_t x = 0;
+    for (size_t i = 0; i < width_; ++i) x = (x << 1) | (bits.Get(i) ? 1 : 0);
+    return x;
+  }
+
+  unsigned width() const { return width_; }
+
+ private:
+  unsigned width_;
+};
+
+/// Section 6 randomized codec: h_a(x) = a*x mod 2^width with a random odd
+/// multiplier a, written *MSB-first*.
+///
+/// Reproduction note (documented in EXPERIMENTS.md): the paper writes the
+/// hash "LSB-to-MSB", but for any odd a the low bits of a multiplicative
+/// hash are deterministic — a(x-y) = 0 mod 2^l iff x = y mod 2^l — so an
+/// LSB-first trie cannot be balanced by the choice of a (an alphabet
+/// {2^k - 1} stays a chain; bench_balanced_wtree demonstrates it). The
+/// Dietzfelbinger et al. lemma the paper cites is about the *high* bits of
+/// ax (multiply-shift universality), which is what MSB-first order uses;
+/// with it the trie height is O(log |Sigma|) w.h.p. as Theorem 6.2 claims.
+class HashedIntCodec {
+ public:
+  using Value = uint64_t;
+
+  explicit HashedIntCodec(unsigned width = 64, uint64_t seed = 0x9E3779B97F4A7C15ull)
+      : width_(width) {
+    WT_ASSERT(width >= 1 && width <= 64);
+    // Full-entropy odd multiplier derived from the seed (splitmix64 finalizer).
+    a_ = Mix(seed) | 1;
+    a_inv_ = InverseOdd(a_);
+  }
+
+  BitString Encode(uint64_t x) const {
+    WT_DASSERT(width_ == 64 || x < (uint64_t(1) << width_));
+    const uint64_t h = (a_ * x) & Mask();
+    BitString out;
+    for (size_t b = width_; b-- > 0;) out.PushBack((h >> b) & 1);  // MSB first
+    return out;
+  }
+
+  uint64_t Decode(BitSpan bits) const {
+    WT_ASSERT(bits.size() == width_);
+    uint64_t h = 0;
+    for (size_t b = 0; b < width_; ++b) h = (h << 1) | (bits.Get(b) ? 1 : 0);
+    return (a_inv_ * h) & Mask();
+  }
+
+  unsigned width() const { return width_; }
+  uint64_t multiplier() const { return a_; }
+
+ private:
+  uint64_t Mask() const { return width_ >= 64 ? ~uint64_t(0) : (uint64_t(1) << width_) - 1; }
+
+  static uint64_t Mix(uint64_t z) {
+    z += 0x9E3779B97F4A7C15ull;
+    z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+    z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+    return z ^ (z >> 31);
+  }
+
+  // Inverse of an odd number mod 2^64 by Newton iteration.
+  static uint64_t InverseOdd(uint64_t a) {
+    uint64_t x = a;  // correct to 3 bits
+    for (int i = 0; i < 5; ++i) x *= 2 - a * x;
+    return x;
+  }
+
+  unsigned width_;
+  uint64_t a_;
+  uint64_t a_inv_;
+};
+
+}  // namespace wt

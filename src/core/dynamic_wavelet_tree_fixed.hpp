@@ -1,0 +1,196 @@
+// Fixed-alphabet dynamic Wavelet Tree — the prior state of the art the
+// paper improves on ([16, 12, 18]: "They all assume that the alphabet is
+// known a priori, hence the tree structure is static").
+//
+// The full balanced tree over [0, sigma) is materialized at construction —
+// whether or not values ever occur — and cannot change afterwards; inserting
+// a value outside [0, sigma) is impossible without a rebuild. Node
+// bitvectors are the dynamic RLE+gamma structure, so updates cost
+// O(log sigma * log n) like the paper's Table 1 comparators.
+//
+// Used by bench_baselines to quantify what the Wavelet Trie's dynamic
+// alphabet buys.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "bitvector/dynamic_bit_vector.hpp"
+#include "common/assert.hpp"
+
+namespace wt {
+
+class DynamicWaveletTreeFixed {
+ public:
+  /// The alphabet [0, sigma) is fixed for the lifetime of the structure.
+  explicit DynamicWaveletTreeFixed(uint64_t sigma) : sigma_(sigma) {
+    WT_ASSERT(sigma >= 1);
+    // Materialize the balanced skeleton: one node per value range of size
+    // >= 2, indexed implicitly (node 0 = root, then heap order on demand).
+    BuildSkeleton(0, sigma_);
+  }
+
+  size_t size() const { return n_; }
+  uint64_t sigma() const { return sigma_; }
+
+  void Insert(uint64_t value, size_t pos) {
+    WT_ASSERT_MSG(value < sigma_,
+                  "DynamicWaveletTreeFixed: value outside the fixed alphabet");
+    WT_ASSERT(pos <= n_);
+    size_t node = 0;
+    uint64_t lo = 0, hi = sigma_;
+    while (hi - lo > 1) {
+      const uint64_t mid = lo + (hi - lo) / 2;  // overflow-safe for hi > 2^63
+      const bool b = value >= mid;
+      nodes_[node].Insert(pos, b);
+      pos = nodes_[node].Rank(b, pos);
+      node = Child(node, b, lo, hi);
+      if (b)
+        lo = mid;
+      else
+        hi = mid;
+    }
+    ++n_;
+  }
+
+  void Append(uint64_t value) { Insert(value, n_); }
+
+  void Delete(size_t pos) {
+    WT_ASSERT(pos < n_);
+    size_t node = 0;
+    uint64_t lo = 0, hi = sigma_;
+    while (hi - lo > 1) {
+      const uint64_t mid = lo + (hi - lo) / 2;  // overflow-safe for hi > 2^63
+      const bool b = nodes_[node].Get(pos);
+      const size_t next_pos = nodes_[node].Rank(b, pos);
+      nodes_[node].Erase(pos);
+      pos = next_pos;
+      node = Child(node, b, lo, hi);
+      if (b)
+        lo = mid;
+      else
+        hi = mid;
+    }
+    --n_;
+  }
+
+  uint64_t Access(size_t pos) const {
+    WT_ASSERT(pos < n_);
+    size_t node = 0;
+    uint64_t lo = 0, hi = sigma_;
+    while (hi - lo > 1) {
+      const uint64_t mid = lo + (hi - lo) / 2;  // overflow-safe for hi > 2^63
+      const bool b = nodes_[node].Get(pos);
+      pos = nodes_[node].Rank(b, pos);
+      node = ChildConst(node, b, lo, hi);
+      if (b)
+        lo = mid;
+      else
+        hi = mid;
+    }
+    return lo;
+  }
+
+  size_t Rank(uint64_t value, size_t pos) const {
+    WT_ASSERT(pos <= n_);
+    if (value >= sigma_) return 0;
+    size_t node = 0;
+    uint64_t lo = 0, hi = sigma_;
+    while (hi - lo > 1) {
+      const uint64_t mid = lo + (hi - lo) / 2;  // overflow-safe for hi > 2^63
+      const bool b = value >= mid;
+      pos = nodes_[node].Rank(b, pos);
+      node = ChildConst(node, b, lo, hi);
+      if (b)
+        lo = mid;
+      else
+        hi = mid;
+    }
+    return pos;
+  }
+
+  std::optional<size_t> Select(uint64_t value, size_t k) const {
+    if (value >= sigma_) return std::nullopt;
+    // Descend to record the path, then unwind.
+    std::vector<std::pair<size_t, bool>> path;
+    size_t node = 0;
+    uint64_t lo = 0, hi = sigma_;
+    while (hi - lo > 1) {
+      const uint64_t mid = lo + (hi - lo) / 2;  // overflow-safe for hi > 2^63
+      const bool b = value >= mid;
+      path.push_back({node, b});
+      node = ChildConst(node, b, lo, hi);
+      if (b)
+        lo = mid;
+      else
+        hi = mid;
+    }
+    if (path.empty()) {  // sigma == 1: the sequence is constant
+      return k < n_ ? std::optional<size_t>(k) : std::nullopt;
+    }
+    // k bounded by the leaf subsequence length.
+    const auto& [last_node, last_bit] = path.back();
+    const auto& bv = nodes_[last_node];
+    if (k >= (last_bit ? bv.num_ones() : bv.num_zeros())) return std::nullopt;
+    size_t idx = k;
+    for (size_t i = path.size(); i-- > 0;) {
+      idx = nodes_[path[i].first].Select(path[i].second, idx);
+    }
+    return idx;
+  }
+
+  size_t SizeInBits() const {
+    size_t bits = 8 * sizeof(DynamicBitVector) * nodes_.capacity();
+    for (const auto& bv : nodes_) bits += bv.SizeInBits();
+    bits += 32 * (left_.capacity() + right_.capacity());
+    return bits;
+  }
+
+ private:
+  // Nodes are stored in a vector; left_/right_ give child indices
+  // (uint32_t(-1) for value-range leaves). Built once: the alphabet — and
+  // hence the shape — can never change (the limitation under study).
+  void BuildSkeleton(uint64_t lo, uint64_t hi) {
+    struct Frame {
+      uint64_t lo, hi;
+      uint32_t slot;  // index in left_/right_ to patch, or -1 for root
+      bool is_right;
+    };
+    std::vector<Frame> stack{{lo, hi, uint32_t(-1), false}};
+    while (!stack.empty()) {
+      Frame f = stack.back();
+      stack.pop_back();
+      if (f.hi - f.lo <= 1) continue;
+      const uint32_t id = static_cast<uint32_t>(nodes_.size());
+      nodes_.emplace_back();
+      left_.push_back(uint32_t(-1));
+      right_.push_back(uint32_t(-1));
+      if (f.slot != uint32_t(-1)) {
+        (f.is_right ? right_ : left_)[f.slot] = id;
+      }
+      const uint64_t mid = (f.lo + f.hi) / 2;
+      stack.push_back({mid, f.hi, id, true});
+      stack.push_back({f.lo, mid, id, false});
+    }
+  }
+
+  size_t Child(size_t node, bool b, uint64_t lo, uint64_t hi) {
+    (void)lo;
+    (void)hi;
+    const uint32_t c = b ? right_[node] : left_[node];
+    return c;
+  }
+  size_t ChildConst(size_t node, bool b, uint64_t lo, uint64_t hi) const {
+    (void)lo;
+    (void)hi;
+    return b ? right_[node] : left_[node];
+  }
+
+  uint64_t sigma_;
+  size_t n_ = 0;
+  std::vector<DynamicBitVector> nodes_;
+  std::vector<uint32_t> left_, right_;
+};
+
+}  // namespace wt

@@ -1,0 +1,87 @@
+// Traditional-index baseline (paper Related Work, approach (3)-style): the
+// sequence is stored explicitly (for Access) next to per-string posting
+// lists (for Rank/Select). This is what databases typically do; it offers no
+// compression — the benchmarks use it to quantify the Wavelet Trie's space
+// advantage — and prefix operations require scanning a dictionary range.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/assert.hpp"
+
+namespace wt {
+
+class InvertedIndexBaseline {
+ public:
+  void Append(const std::string& s) {
+    postings_[s].push_back(static_cast<uint32_t>(seq_.size()));
+    seq_.push_back(s);
+  }
+
+  size_t size() const { return seq_.size(); }
+
+  const std::string& Access(size_t pos) const {
+    WT_ASSERT(pos < seq_.size());
+    return seq_[pos];
+  }
+
+  size_t Rank(const std::string& s, size_t pos) const {
+    const auto it = postings_.find(s);
+    if (it == postings_.end()) return 0;
+    const auto& list = it->second;
+    return static_cast<size_t>(
+        std::lower_bound(list.begin(), list.end(), pos) - list.begin());
+  }
+
+  std::optional<size_t> Select(const std::string& s, size_t idx) const {
+    const auto it = postings_.find(s);
+    if (it == postings_.end() || idx >= it->second.size()) return std::nullopt;
+    return it->second[idx];
+  }
+
+  size_t RankPrefix(std::string_view p, size_t pos) const {
+    size_t count = 0;
+    for (auto it = postings_.lower_bound(std::string(p));
+         it != postings_.end() && it->first.compare(0, p.size(), p) == 0; ++it) {
+      const auto& list = it->second;
+      count += static_cast<size_t>(
+          std::lower_bound(list.begin(), list.end(), pos) - list.begin());
+    }
+    return count;
+  }
+
+  std::optional<size_t> SelectPrefix(std::string_view p, size_t idx) const {
+    // Merge the matching posting lists; O(total postings) — the baseline has
+    // no sublinear prefix-select, which is the point.
+    std::vector<uint32_t> merged;
+    for (auto it = postings_.lower_bound(std::string(p));
+         it != postings_.end() && it->first.compare(0, p.size(), p) == 0; ++it) {
+      merged.insert(merged.end(), it->second.begin(), it->second.end());
+    }
+    if (idx >= merged.size()) return std::nullopt;
+    std::nth_element(merged.begin(), merged.begin() + static_cast<ptrdiff_t>(idx),
+                     merged.end());
+    return merged[idx];
+  }
+
+  size_t SizeInBits() const {
+    size_t bytes = sizeof(*this);
+    for (const auto& s : seq_) bytes += s.capacity() + sizeof(std::string);
+    for (const auto& [s, list] : postings_) {
+      bytes += s.capacity() + sizeof(std::string) + 48 /* map node overhead */ +
+               list.capacity() * sizeof(uint32_t);
+    }
+    return 8 * bytes;
+  }
+
+ private:
+  std::vector<std::string> seq_;
+  std::map<std::string, std::vector<uint32_t>> postings_;
+};
+
+}  // namespace wt

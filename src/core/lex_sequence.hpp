@@ -1,0 +1,155 @@
+// LexMappedSequence: the related-work approach (1) baseline, engineered as
+// well as the approach allows — a *lexicographic* dictionary mapping strings
+// to integers plus a classic balanced Wavelet Tree on the integer ids.
+//
+// Because the mapping preserves lexicographic order, every prefix p maps to
+// a contiguous id range [lo, hi), so:
+//   * RankPrefix(p, pos)  = RangeCount2d(0, pos, lo, hi)   — efficient,
+//     exactly the reduction to [Makinen-Navarro 2006] the paper credits;
+//   * SelectPrefix(p, k)  has no direct algorithm ("to the best of our
+//     knowledge there is no way to support efficiently SelectPrefix"); the
+//     best generic fallback, implemented here, binary-searches the position
+//     by RangeCount2d — O(log n * log sigma) versus the Wavelet Trie's
+//     O(h_p) — and bench_related_work quantifies the gap.
+//
+// The structural limitation the paper stresses is issue (a): the mapping is
+// frozen at construction. Appending a string outside the current alphabet
+// forces a full rebuild; AppendWithRebuild implements exactly that honest
+// cost so the dynamic-alphabet benchmark can measure it.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/assert.hpp"
+#include "core/wavelet_tree.hpp"
+
+namespace wt {
+
+class LexMappedSequence {
+ public:
+  LexMappedSequence() = default;
+
+  explicit LexMappedSequence(const std::vector<std::string>& seq) { Build(seq); }
+
+  size_t size() const { return tree_.size(); }
+  bool empty() const { return tree_.size() == 0; }
+  size_t NumDistinct() const { return dict_.size(); }
+
+  const std::string& Access(size_t pos) const {
+    WT_ASSERT(pos < size());
+    return dict_[tree_.Access(pos)];
+  }
+
+  size_t Rank(std::string_view s, size_t pos) const {
+    const auto id = IdOf(s);
+    if (!id) return 0;
+    return tree_.Rank(*id, pos);
+  }
+
+  std::optional<size_t> Select(std::string_view s, size_t idx) const {
+    const auto id = IdOf(s);
+    if (!id) return std::nullopt;
+    return tree_.Select(*id, idx);
+  }
+
+  /// Strings with byte-prefix p in [0, pos): one id-range lookup plus one
+  /// 2D range count — the efficient half of approach (1).
+  size_t RankPrefix(std::string_view p, size_t pos) const {
+    WT_ASSERT(pos <= size());
+    const auto [lo, hi] = PrefixIdRange(p);
+    return tree_.RangeCount2d(0, pos, lo, hi);
+  }
+
+  /// Position of the (idx+1)-th string with prefix p. No direct wavelet-tree
+  /// algorithm exists; this binary-searches the smallest pos with
+  /// RankPrefix(p, pos) == idx + 1, costing O(log n) RangeCount2d calls.
+  std::optional<size_t> SelectPrefix(std::string_view p, size_t idx) const {
+    const auto [plo, phi] = PrefixIdRange(p);
+    if (tree_.RangeCount2d(0, size(), plo, phi) <= idx) return std::nullopt;
+    size_t lo = 0, hi = size();  // invariant: count(lo) <= idx < count(hi)
+    while (hi - lo > 1) {
+      const size_t mid = lo + (hi - lo) / 2;
+      if (tree_.RangeCount2d(0, mid, plo, phi) > idx)
+        hi = mid;
+      else
+        lo = mid;
+    }
+    return lo;
+  }
+
+  size_t RangeCountPrefix(std::string_view p, size_t l, size_t r) const {
+    WT_DASSERT(l <= r);
+    const auto [lo, hi] = PrefixIdRange(p);
+    return tree_.RangeCount2d(l, r, lo, hi);
+  }
+
+  /// Issue (a) made concrete: appending a value outside the frozen alphabet
+  /// requires decoding the whole sequence and rebuilding the dictionary and
+  /// the tree — Theta(n log sigma + n * |s|) work. In-alphabet appends would
+  /// still need a dynamic wavelet tree; this baseline is static, so every
+  /// append rebuilds. Returns true iff the alphabet grew.
+  bool AppendWithRebuild(const std::string& s) {
+    std::vector<std::string> all;
+    all.reserve(size() + 1);
+    for (size_t i = 0; i < size(); ++i) all.push_back(Access(i));
+    const bool new_symbol =
+        !std::binary_search(dict_.begin(), dict_.end(), s);
+    all.push_back(s);
+    Build(all);
+    return new_symbol;
+  }
+
+  /// Index size: dictionary bytes plus the wavelet tree.
+  size_t SizeInBits() const {
+    size_t dict_bits = 0;
+    for (const auto& s : dict_) dict_bits += 8 * (s.size() + sizeof(std::string));
+    return dict_bits + tree_.SizeInBits() + 8 * sizeof(*this);
+  }
+
+  const WaveletTree& tree() const { return tree_; }
+  const std::vector<std::string>& dictionary() const { return dict_; }
+
+  /// The contiguous id range of strings having byte-prefix p (public for
+  /// tests and for callers composing their own 2D queries).
+  std::pair<uint64_t, uint64_t> PrefixIdRange(std::string_view p) const {
+    const auto lo = std::lower_bound(dict_.begin(), dict_.end(), p);
+    // Upper end: first dictionary entry that does not start with p. Compare
+    // only the first |p| bytes, treating equality as "still inside".
+    const auto hi = std::upper_bound(
+        lo, dict_.end(), p, [](std::string_view probe, const std::string& d) {
+          return std::string_view(d).substr(0, probe.size()) > probe;
+        });
+    return {static_cast<uint64_t>(lo - dict_.begin()),
+            static_cast<uint64_t>(hi - dict_.begin())};
+  }
+
+ private:
+  void Build(const std::vector<std::string>& seq) {
+    dict_.assign(seq.begin(), seq.end());
+    std::sort(dict_.begin(), dict_.end());
+    dict_.erase(std::unique(dict_.begin(), dict_.end()), dict_.end());
+    std::vector<uint64_t> ids;
+    ids.reserve(seq.size());
+    for (const auto& s : seq) {
+      ids.push_back(static_cast<uint64_t>(
+          std::lower_bound(dict_.begin(), dict_.end(), s) - dict_.begin()));
+    }
+    tree_ = WaveletTree(ids, std::max<uint64_t>(1, dict_.size()));
+  }
+
+  std::optional<uint64_t> IdOf(std::string_view s) const {
+    const auto it = std::lower_bound(dict_.begin(), dict_.end(), s);
+    if (it == dict_.end() || *it != s) return std::nullopt;
+    return static_cast<uint64_t>(it - dict_.begin());
+  }
+
+  std::vector<std::string> dict_;  // sorted distinct strings
+  WaveletTree tree_;
+};
+
+}  // namespace wt

@@ -1,0 +1,107 @@
+// NaiveIndexedSequence: the trivially-correct, uncompressed implementation
+// of the indexed-sequence-of-strings interface (all operations by linear
+// scan). It serves two roles:
+//   * correctness oracle for the property tests of every Wavelet Trie
+//     variant;
+//   * the "uncompressed" comparator in the space/time benchmarks.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <optional>
+#include <utility>
+#include <vector>
+
+#include "common/assert.hpp"
+#include "common/bit_string.hpp"
+
+namespace wt {
+
+class NaiveIndexedSequence {
+ public:
+  NaiveIndexedSequence() = default;
+  explicit NaiveIndexedSequence(std::vector<BitString> seq)
+      : seq_(std::move(seq)) {}
+
+  void Append(const BitString& s) { seq_.push_back(s); }
+  void Insert(size_t pos, const BitString& s) {
+    WT_ASSERT(pos <= seq_.size());
+    seq_.insert(seq_.begin() + static_cast<ptrdiff_t>(pos), s);
+  }
+  void Delete(size_t pos) {
+    WT_ASSERT(pos < seq_.size());
+    seq_.erase(seq_.begin() + static_cast<ptrdiff_t>(pos));
+  }
+
+  size_t size() const { return seq_.size(); }
+
+  const BitString& Access(size_t pos) const {
+    WT_ASSERT(pos < seq_.size());
+    return seq_[pos];
+  }
+
+  size_t Rank(BitSpan s, size_t pos) const {
+    WT_ASSERT(pos <= seq_.size());
+    size_t c = 0;
+    for (size_t i = 0; i < pos; ++i) c += s.ContentEquals(seq_[i].Span());
+    return c;
+  }
+
+  size_t RankPrefix(BitSpan p, size_t pos) const {
+    WT_ASSERT(pos <= seq_.size());
+    size_t c = 0;
+    for (size_t i = 0; i < pos; ++i) c += p.IsPrefixOf(seq_[i].Span());
+    return c;
+  }
+
+  std::optional<size_t> Select(BitSpan s, size_t idx) const {
+    for (size_t i = 0; i < seq_.size(); ++i) {
+      if (s.ContentEquals(seq_[i].Span()) && idx-- == 0) return i;
+    }
+    return std::nullopt;
+  }
+
+  std::optional<size_t> SelectPrefix(BitSpan p, size_t idx) const {
+    for (size_t i = 0; i < seq_.size(); ++i) {
+      if (p.IsPrefixOf(seq_[i].Span()) && idx-- == 0) return i;
+    }
+    return std::nullopt;
+  }
+
+  /// Distinct strings in [l, r) with multiplicities, lexicographic order.
+  std::vector<std::pair<BitString, size_t>> DistinctInRange(size_t l,
+                                                            size_t r) const {
+    std::map<BitString, size_t> counts;  // BitString has operator<
+    for (size_t i = l; i < r; ++i) ++counts[seq_[i]];
+    return {counts.begin(), counts.end()};
+  }
+
+  std::optional<std::pair<BitString, size_t>> RangeMajority(size_t l,
+                                                            size_t r) const {
+    for (auto& [s, c] : DistinctInRange(l, r)) {
+      if (2 * c > r - l) return std::make_pair(s, c);
+    }
+    return std::nullopt;
+  }
+
+  std::vector<std::pair<BitString, size_t>> RangeFrequent(size_t l, size_t r,
+                                                          size_t t) const {
+    std::vector<std::pair<BitString, size_t>> out;
+    for (auto& [s, c] : DistinctInRange(l, r)) {
+      if (c >= t) out.emplace_back(s, c);
+    }
+    return out;
+  }
+
+  size_t SizeInBits() const {
+    size_t bits = 8 * sizeof(BitString) * seq_.capacity();
+    for (const auto& s : seq_) bits += s.SizeInBits();
+    return bits;
+  }
+
+ private:
+  std::vector<BitString> seq_;
+};
+
+}  // namespace wt

@@ -1,0 +1,537 @@
+// WaveletTrie: static compressed indexed sequence of binary strings —
+// the paper's central structure (Definition 3.1, Theorem 3.7).
+//
+// The trie shape is the Patricia trie of the distinct strings Sset; each
+// internal node carries the bitvector beta that routes sequence positions to
+// its two children. Representation (Section 3's "static succinct
+// representation"):
+//   * shape:  preorder internal/leaf bitmap with excess-search navigation
+//             (succinct/binary_tree_shape.hpp);
+//   * labels: all alpha labels concatenated in preorder into one bit array,
+//             delimited by an Elias--Fano partial-sum structure;
+//   * betas:  all internal-node bitvectors concatenated in preorder into ONE
+//             RRR vector, delimited by Elias--Fano — per-node Rank/Select are
+//             two O(1) queries on the global RRR.
+//
+// Space: LT(Sset) + nH0(S) + o(~h n) bits (Theorem 3.7). Queries:
+// Access/Rank/Select/RankPrefix/SelectPrefix in O(|s| + h_s).
+//
+// Section 5 range analytics (sequential access, distinct values, majority,
+// frequent elements) are implemented on the same representation.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "bitvector/elias_fano.hpp"
+#include "bitvector/rrr.hpp"
+#include "common/assert.hpp"
+#include "common/bit_string.hpp"
+#include "succinct/binary_tree_shape.hpp"
+
+namespace wt {
+
+class WaveletTrie {
+ public:
+  /// Callback for distinct-value enumeration: (value, multiplicity in range).
+  using DistinctFn = std::function<void(const BitString&, size_t)>;
+  /// Callback for sequential access: (position, value).
+  using AccessFn = std::function<void(size_t, const BitString&)>;
+
+  WaveletTrie() = default;
+
+  /// Builds from a sequence of binary strings whose distinct set must be
+  /// prefix-free (use core/codec.hpp). O(total input bits) construction.
+  explicit WaveletTrie(const std::vector<BitString>& seq) : n_(seq.size()) {
+    if (n_ == 0) return;
+    std::vector<uint32_t> ids(n_);
+    for (size_t i = 0; i < n_; ++i) ids[i] = static_cast<uint32_t>(i);
+
+    BitArray shape_bits;
+    BitArray beta_bits;
+    std::vector<uint64_t> label_ends;
+    std::vector<uint64_t> beta_ends;
+
+    // Explicit-stack preorder construction over [begin, end) ranges of ids.
+    struct Frame {
+      size_t begin, end;
+      size_t offset;  // bits of every string in the range already consumed
+    };
+    std::vector<Frame> stack{{0, n_, 0}};
+    std::vector<uint32_t> scratch;
+    while (!stack.empty()) {
+      const Frame f = stack.back();
+      stack.pop_back();
+      const BitSpan first = seq[ids[f.begin]].SubSpan(f.offset);
+      // Longest common prefix of all suffixes in the range. A suffix that
+      // ends early (prefix-freeness violation) is caught when partitioning.
+      size_t lcp = first.size();
+      for (size_t i = f.begin + 1; i < f.end && lcp > 0; ++i) {
+        const BitSpan suffix = seq[ids[i]].SubSpan(f.offset);
+        lcp = std::min(lcp, suffix.Lcp(first));
+        if (suffix.size() < lcp) lcp = suffix.size();
+      }
+      // Append the label alpha.
+      labels_.AppendRange(seq[ids[f.begin]].bits(), f.offset, lcp);
+      label_ends.push_back(labels_.size());
+      const size_t split = f.offset + lcp;
+      if (split == first.size() + f.offset) {
+        // The first string ends here; by prefix-freeness all must.
+        for (size_t i = f.begin; i < f.end; ++i) {
+          WT_ASSERT_MSG(seq[ids[i]].size() == split,
+                        "WaveletTrie: input set is not prefix-free");
+        }
+        shape_bits.PushBack(false);  // leaf
+        continue;
+      }
+      shape_bits.PushBack(true);  // internal
+      // Emit beta and stably partition the range by the branching bit.
+      scratch.clear();
+      size_t w = f.begin;
+      for (size_t i = f.begin; i < f.end; ++i) {
+        const uint32_t id = ids[i];
+        WT_ASSERT_MSG(seq[id].size() > split,
+                      "WaveletTrie: input set is not prefix-free");
+        const bool b = seq[id].Get(split);
+        beta_bits.PushBack(b);
+        if (b)
+          scratch.push_back(id);
+        else
+          ids[w++] = id;
+      }
+      for (uint32_t id : scratch) ids[w++] = id;
+      beta_ends.push_back(beta_bits.size());
+      const size_t mid = f.end - scratch.size();
+      // Preorder: left subtree first, so push right first.
+      stack.push_back({mid, f.end, split + 1});
+      stack.push_back({f.begin, mid, split + 1});
+    }
+
+    shape_ = BinaryTreeShape(std::move(shape_bits));
+    labels_.ShrinkToFit();
+    label_ends_ = EliasFano(label_ends, labels_.size());
+    beta_ = Rrr(beta_bits);
+    beta_ends_ = EliasFano(beta_ends, beta_bits.size());
+  }
+
+  size_t size() const { return n_; }
+  bool empty() const { return n_ == 0; }
+  /// Number of distinct strings |Sset|.
+  size_t NumDistinct() const { return n_ == 0 ? 0 : shape_.NumLeaves(); }
+
+  /// The string at position pos (paper: Access). O(|result| + h).
+  BitString Access(size_t pos) const {
+    WT_ASSERT(pos < n_);
+    BitString out;
+    size_t v = 0;
+    while (shape_.IsInternal(v)) {
+      out.Append(Label(v));
+      const size_t r = shape_.InternalRank(v);
+      const bool b = BetaGet(r, pos);
+      out.PushBack(b);
+      pos = BetaRank(r, b, pos);
+      v = b ? shape_.RightChild(v) : shape_.LeftChild(v);
+    }
+    out.Append(Label(v));
+    return out;
+  }
+
+  /// Occurrences of the exact string s in positions [0, pos).
+  size_t Rank(BitSpan s, size_t pos) const {
+    WT_ASSERT(pos <= n_);
+    if (n_ == 0) return 0;
+    size_t v = 0, depth = 0;
+    for (;;) {
+      const BitSpan label = Label(v);
+      if (!label.IsPrefixOf(s.SubSpan(depth))) return 0;
+      depth += label.size();
+      if (!shape_.IsInternal(v)) return depth == s.size() ? pos : 0;
+      if (depth >= s.size()) return 0;  // s is a proper prefix of stored keys
+      const bool b = s.Get(depth++);
+      const size_t r = shape_.InternalRank(v);
+      pos = BetaRank(r, b, pos);
+      v = b ? shape_.RightChild(v) : shape_.LeftChild(v);
+    }
+  }
+
+  /// Strings with prefix p in positions [0, pos) (paper: RankPrefix).
+  size_t RankPrefix(BitSpan p, size_t pos) const {
+    WT_ASSERT(pos <= n_);
+    if (n_ == 0) return 0;
+    size_t v = 0, depth = 0;
+    for (;;) {
+      const BitSpan label = Label(v);
+      const BitSpan rest = p.SubSpan(depth);
+      const size_t lcp = label.Lcp(rest);
+      if (lcp == rest.size()) return pos;  // p exhausted: whole subtree matches
+      if (lcp < label.size()) return 0;    // mismatch inside the label
+      depth += lcp;
+      if (!shape_.IsInternal(v)) return 0;  // p longer than the stored key
+      const bool b = p.Get(depth++);
+      const size_t r = shape_.InternalRank(v);
+      pos = BetaRank(r, b, pos);
+      v = b ? shape_.RightChild(v) : shape_.LeftChild(v);
+    }
+  }
+
+  /// Position of the (idx+1)-th occurrence of s (idx 0-based), or nullopt if
+  /// s occurs fewer than idx+1 times.
+  std::optional<size_t> Select(BitSpan s, size_t idx) const {
+    if (n_ == 0) return std::nullopt;
+    // Descend to the leaf for s, recording (internal rank, branch bit).
+    std::vector<std::pair<size_t, bool>> path;
+    size_t v = 0, depth = 0, len = n_;
+    for (;;) {
+      const BitSpan label = Label(v);
+      if (!label.IsPrefixOf(s.SubSpan(depth))) return std::nullopt;
+      depth += label.size();
+      if (!shape_.IsInternal(v)) {
+        if (depth != s.size()) return std::nullopt;
+        break;
+      }
+      if (depth >= s.size()) return std::nullopt;
+      const bool b = s.Get(depth++);
+      const size_t r = shape_.InternalRank(v);
+      path.push_back({r, b});
+      len = BetaRank(r, b, len);
+      v = b ? shape_.RightChild(v) : shape_.LeftChild(v);
+    }
+    if (idx >= len) return std::nullopt;  // fewer than idx+1 occurrences
+    return SelectUp(path, idx);
+  }
+
+  /// Position of the (idx+1)-th string having prefix p (paper: SelectPrefix).
+  std::optional<size_t> SelectPrefix(BitSpan p, size_t idx) const {
+    if (n_ == 0) return std::nullopt;
+    std::vector<std::pair<size_t, bool>> path;
+    size_t v = 0, depth = 0, len = n_;
+    for (;;) {
+      const BitSpan label = Label(v);
+      const BitSpan rest = p.SubSpan(depth);
+      const size_t lcp = label.Lcp(rest);
+      if (lcp == rest.size()) break;  // subtree of v holds all matches
+      if (lcp < label.size()) return std::nullopt;
+      depth += lcp;
+      if (!shape_.IsInternal(v)) return std::nullopt;
+      const bool b = p.Get(depth++);
+      const size_t r = shape_.InternalRank(v);
+      path.push_back({r, b});
+      len = BetaRank(r, b, len);
+      v = b ? shape_.RightChild(v) : shape_.LeftChild(v);
+    }
+    if (idx >= len) return std::nullopt;
+    return SelectUp(path, idx);
+  }
+
+  /// Occurrences of s in [l, r).
+  size_t RangeCount(BitSpan s, size_t l, size_t r) const {
+    WT_DASSERT(l <= r);
+    return Rank(s, r) - Rank(s, l);
+  }
+
+  /// Strings with prefix p in [l, r).
+  size_t RangeCountPrefix(BitSpan p, size_t l, size_t r) const {
+    WT_DASSERT(l <= r);
+    return RankPrefix(p, r) - RankPrefix(p, l);
+  }
+
+  /// Section 5, "Distinct values in range": enumerates each distinct string
+  /// occurring in [l, r) with its multiplicity, in lexicographic order.
+  /// O(sum over reported strings of |s| + h_s) bitvector operations.
+  void DistinctInRange(size_t l, size_t r, const DistinctFn& fn) const {
+    WT_ASSERT(l <= r && r <= n_);
+    if (l == r || n_ == 0) return;
+    BitString prefix;
+    DistinctRec(0, l, r, &prefix, fn);
+  }
+
+  /// Section 5, prefix-restricted variant ("we can stop early in the
+  /// traversal, hence enumerating the distinct prefixes that satisfy some
+  /// property ... find efficiently the distinct hostnames in a given time
+  /// range"): enumerates the distinct strings *with prefix p* occurring in
+  /// [l, r), with multiplicities. The descent to p's node maps the range
+  /// through the betas; the enumeration then never leaves p's subtree.
+  void DistinctInRangeWithPrefix(BitSpan p, size_t l, size_t r,
+                                 const DistinctFn& fn) const {
+    WT_ASSERT(l <= r && r <= n_);
+    if (l == r || n_ == 0) return;
+    BitString prefix;
+    size_t v = 0, depth = 0;
+    for (;;) {
+      const BitSpan label = Label(v);
+      const BitSpan rest = p.SubSpan(depth);
+      const size_t lcp = label.Lcp(rest);
+      if (lcp == rest.size()) break;  // subtree of v holds all matches
+      if (lcp < label.size()) return;  // mismatch inside the label
+      depth += lcp;
+      if (!shape_.IsInternal(v)) return;  // p longer than any stored key
+      const bool b = p.Get(depth++);
+      const size_t rk = shape_.InternalRank(v);
+      l = BetaRank(rk, b, l);
+      r = BetaRank(rk, b, r);
+      if (l >= r) return;  // no occurrences inside the window
+      prefix.Append(label);
+      prefix.PushBack(b);
+      v = b ? shape_.RightChild(v) : shape_.LeftChild(v);
+    }
+    DistinctRec(v, l, r, &prefix, fn);
+  }
+
+  /// Section 5, "Range majority element": the string occurring more than
+  /// (r-l)/2 times in [l, r), if any.
+  std::optional<std::pair<BitString, size_t>> RangeMajority(size_t l,
+                                                            size_t r) const {
+    WT_ASSERT(l <= r && r <= n_);
+    if (l >= r || n_ == 0) return std::nullopt;
+    const size_t range = r - l;  // the descent yields a candidate; its count
+                                 // must be verified against the full range
+    BitString prefix;
+    size_t v = 0;
+    for (;;) {
+      prefix.Append(Label(v));
+      if (!shape_.IsInternal(v)) {
+        if (2 * (r - l) <= range) return std::nullopt;
+        return std::make_pair(std::move(prefix), r - l);
+      }
+      const size_t rk = shape_.InternalRank(v);
+      const size_t l0 = BetaRank(rk, false, l), r0 = BetaRank(rk, false, r);
+      const size_t c0 = r0 - l0;
+      const size_t c1 = (r - l) - c0;
+      if (2 * c0 > r - l) {
+        prefix.PushBack(false);
+        v = shape_.LeftChild(v);
+        l = l0;
+        r = r0;
+      } else if (2 * c1 > r - l) {
+        prefix.PushBack(true);
+        v = shape_.RightChild(v);
+        l = l - l0;
+        r = r - r0;
+      } else {
+        return std::nullopt;
+      }
+    }
+  }
+
+  /// Section 5 heuristic: all strings occurring at least `t` times in
+  /// [l, r) (t >= 1). Branches with fewer than t positions are pruned.
+  void RangeFrequent(size_t l, size_t r, size_t t, const DistinctFn& fn) const {
+    WT_ASSERT(l <= r && r <= n_);
+    WT_ASSERT(t >= 1);
+    if (r - l < t || n_ == 0) return;
+    BitString prefix;
+    FrequentRec(0, l, r, t, &prefix, fn);
+  }
+
+  /// Section 5, "Sequential access": calls fn(i, S_i) for i in [l, r) using
+  /// per-node bit iterators — one Rank per traversed node for the whole
+  /// range instead of per string.
+  void ForEachInRange(size_t l, size_t r, const AccessFn& fn) const {
+    WT_ASSERT(l <= r && r <= n_);
+    if (l == r || n_ == 0) return;
+    // Per-internal-node iterator over the global beta, created lazily at the
+    // node-local position corresponding to this range.
+    std::unordered_map<size_t, Rrr::Iterator> iters;
+    iters.reserve(64);
+    for (size_t i = l; i < r; ++i) {
+      BitString out;
+      size_t v = 0;
+      // Parent context, used only when a node is visited for the first time
+      // in this range (one Rank per traversed node for the whole range).
+      size_t parent_rk = 0, parent_pos = 0;
+      bool parent_bit = false, has_parent = false;
+      for (;;) {
+        out.Append(Label(v));
+        if (!shape_.IsInternal(v)) break;
+        const size_t rk = shape_.InternalRank(v);
+        const size_t start = beta_ends_.SegmentStart(rk);
+        auto it = iters.find(rk);
+        if (it == iters.end()) {
+          const size_t node_pos =
+              has_parent ? BetaRank(parent_rk, parent_bit, parent_pos) : i;
+          it = iters.emplace(rk, Rrr::Iterator(&beta_, start + node_pos)).first;
+        }
+        const size_t node_pos = it->second.position() - start;
+        const bool b = it->second.Next();
+        out.PushBack(b);
+        has_parent = true;
+        parent_rk = rk;
+        parent_bit = b;
+        parent_pos = node_pos;
+        v = b ? shape_.RightChild(v) : shape_.LeftChild(v);
+      }
+      fn(i, out);
+    }
+  }
+
+  /// All distinct strings (the alphabet Sset) with global multiplicities.
+  void ForEachDistinct(const DistinctFn& fn) const { DistinctInRange(0, n_, fn); }
+
+  /// Serializes the index. Format: magic, version, n, then components
+  /// (shape preorder bits, labels, Elias-Fano delimiters, global RRR);
+  /// rank/select/excess directories are rebuilt on Load.
+  void Save(std::ostream& out) const {
+    WritePod<uint64_t>(out, kMagic);
+    WritePod<uint32_t>(out, kVersion);
+    WritePod<uint64_t>(out, n_);
+    if (n_ == 0) return;
+    shape_.Save(out);
+    labels_.Save(out);
+    label_ends_.Save(out);
+    beta_.Save(out);
+    beta_ends_.Save(out);
+  }
+
+  void Load(std::istream& in) {
+    WT_ASSERT_MSG(ReadPod<uint64_t>(in) == kMagic,
+                  "WaveletTrie: not a wavelet-trie stream");
+    WT_ASSERT_MSG(ReadPod<uint32_t>(in) == kVersion,
+                  "WaveletTrie: unsupported version");
+    n_ = ReadPod<uint64_t>(in);
+    if (n_ == 0) return;
+    shape_.Load(in);
+    labels_.Load(in);
+    label_ends_.Load(in);
+    beta_.Load(in);
+    beta_ends_.Load(in);
+  }
+
+  size_t SizeInBits() const {
+    return labels_.SizeInBits() + label_ends_.SizeInBits() + beta_.SizeInBits() +
+           beta_ends_.SizeInBits() + shape_.SizeInBits();
+  }
+
+  /// Maximum number of internal nodes on any root-to-leaf path.
+  size_t Height() const {
+    if (n_ == 0) return 0;
+    return HeightRec(0);
+  }
+
+  /// Per-node debug view (preorder), used to reproduce the paper's Figure 2.
+  struct NodeDebug {
+    std::string alpha;
+    std::string beta;  // empty for leaves
+    bool is_leaf;
+  };
+  std::vector<NodeDebug> DebugNodes() const {
+    std::vector<NodeDebug> out;
+    for (size_t v = 0; v < shape_.NumNodes(); ++v) {
+      NodeDebug d;
+      d.alpha = Label(v).ToString();
+      d.is_leaf = !shape_.IsInternal(v);
+      if (!d.is_leaf) {
+        const size_t r = shape_.InternalRank(v);
+        const size_t start = beta_ends_.SegmentStart(r);
+        const size_t end = beta_ends_.SegmentEnd(r);
+        for (size_t i = start; i < end; ++i) d.beta.push_back(beta_.Get(i) ? '1' : '0');
+      }
+      out.push_back(std::move(d));
+    }
+    return out;
+  }
+
+ private:
+  static constexpr uint64_t kMagic = 0x57544C4945525431ull;  // "WTLIERT1"
+  static constexpr uint32_t kVersion = 1;
+
+  BitSpan Label(size_t v) const {
+    const size_t start = label_ends_.SegmentStart(v);
+    const size_t end = label_ends_.SegmentEnd(v);
+    return BitSpan(labels_.data(), start, end - start);
+  }
+
+  bool BetaGet(size_t r, size_t pos) const {
+    return beta_.Get(beta_ends_.SegmentStart(r) + pos);
+  }
+
+  /// Rank of bit b in [0, pos) of internal node r's bitvector: two O(1)
+  /// queries on the global RRR.
+  size_t BetaRank(size_t r, bool b, size_t pos) const {
+    const size_t start = beta_ends_.SegmentStart(r);
+    const size_t ones = beta_.Rank1(start + pos) - beta_.Rank1(start);
+    return b ? ones : pos - ones;
+  }
+
+  /// Select of the (k+1)-th b within internal node r's bitvector.
+  size_t BetaSelect(size_t r, bool b, size_t k) const {
+    const size_t start = beta_ends_.SegmentStart(r);
+    if (b) {
+      const size_t ones_before = beta_.Rank1(start);
+      return beta_.Select1(ones_before + k) - start;
+    }
+    const size_t zeros_before = start - beta_.Rank1(start);
+    return beta_.Select0(zeros_before + k) - start;
+  }
+
+  size_t SelectUp(const std::vector<std::pair<size_t, bool>>& path,
+                  size_t idx) const {
+    for (size_t i = path.size(); i-- > 0;) {
+      idx = BetaSelect(path[i].first, path[i].second, idx);
+    }
+    return idx;
+  }
+
+  size_t HeightRec(size_t v) const {
+    if (!shape_.IsInternal(v)) return 0;
+    return 1 + std::max(HeightRec(shape_.LeftChild(v)), HeightRec(shape_.RightChild(v)));
+  }
+
+  void DistinctRec(size_t v, size_t l, size_t r, BitString* prefix,
+                   const DistinctFn& fn) const {
+    const size_t mark = prefix->size();
+    prefix->Append(Label(v));
+    if (!shape_.IsInternal(v)) {
+      fn(*prefix, r - l);
+      prefix->Truncate(mark);
+      return;
+    }
+    const size_t rk = shape_.InternalRank(v);
+    const size_t l0 = BetaRank(rk, false, l), r0 = BetaRank(rk, false, r);
+    if (l0 < r0) {
+      prefix->PushBack(false);
+      DistinctRec(shape_.LeftChild(v), l0, r0, prefix, fn);
+      prefix->Truncate(mark + Label(v).size());
+    }
+    if (l - l0 < r - r0) {
+      prefix->PushBack(true);
+      DistinctRec(shape_.RightChild(v), l - l0, r - r0, prefix, fn);
+    }
+    prefix->Truncate(mark);
+  }
+
+  void FrequentRec(size_t v, size_t l, size_t r, size_t t, BitString* prefix,
+                   const DistinctFn& fn) const {
+    const size_t mark = prefix->size();
+    prefix->Append(Label(v));
+    if (!shape_.IsInternal(v)) {
+      if (r - l >= t) fn(*prefix, r - l);
+      prefix->Truncate(mark);
+      return;
+    }
+    const size_t rk = shape_.InternalRank(v);
+    const size_t l0 = BetaRank(rk, false, l), r0 = BetaRank(rk, false, r);
+    if (r0 - l0 >= t) {
+      prefix->PushBack(false);
+      FrequentRec(shape_.LeftChild(v), l0, r0, t, prefix, fn);
+      prefix->Truncate(mark + Label(v).size());
+    }
+    if ((r - r0) - (l - l0) >= t) {
+      prefix->PushBack(true);
+      FrequentRec(shape_.RightChild(v), l - l0, r - r0, t, prefix, fn);
+    }
+    prefix->Truncate(mark);
+  }
+
+  size_t n_ = 0;
+  BinaryTreeShape shape_;
+  BitArray labels_;       // concatenated alpha labels, preorder
+  EliasFano label_ends_;  // cumulative label lengths per node
+  Rrr beta_;              // concatenated internal-node bitvectors, preorder
+  EliasFano beta_ends_;   // cumulative beta lengths per internal node
+};
+
+}  // namespace wt

@@ -1,0 +1,358 @@
+// In-memory B+-tree: the classical uncompressed ordered index the paper's
+// related-work approach (3) stores (s_i, i) pairs in ("a string dictionary
+// such as a B-Tree"), and the Section 1 example of a traditional index whose
+// occupancy is "several times the space of the sequence alone".
+//
+// Design: values live only in leaves; internal nodes hold separator keys
+// (separator[i] = smallest key reachable in child i+1). Leaves are linked
+// for ordered scans. Insert uses preemptive splitting on the descent, Erase
+// preemptive borrowing/merging, so neither ever walks back up. Unique keys;
+// inserting an existing key overwrites its value.
+//
+// This is a teaching-grade but complete substrate: O(log n) point ops,
+// ordered iteration, and byte-accurate space accounting for the baseline
+// comparisons (bench_related_work).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <utility>
+#include <vector>
+
+#include "common/assert.hpp"
+
+namespace wt {
+
+/// B = fanout parameter: nodes hold between B and 2B keys (root exempt).
+template <typename Key, typename Value, size_t B = 8>
+class BPlusTree {
+  static_assert(B >= 2, "BPlusTree: B must be at least 2");
+
+  struct Node;  // defined below; Iterator stores a leaf pointer
+
+ public:
+  BPlusTree() : root_(std::make_unique<Node>(/*leaf=*/true)) {}
+
+  size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+
+  /// Inserts (key, value); overwrites the value if the key exists.
+  /// Returns true iff the key was new.
+  bool Insert(const Key& key, Value value) {
+    if (root_->keys.size() == kMax) {
+      auto new_root = std::make_unique<Node>(/*leaf=*/false);
+      new_root->children.push_back(std::move(root_));
+      root_ = std::move(new_root);
+      SplitChild(root_.get(), 0);
+    }
+    Node* v = root_.get();
+    for (;;) {
+      if (v->leaf) {
+        const size_t i = LowerBoundIndex(v, key);
+        if (i < v->keys.size() && !(key < v->keys[i])) {
+          v->values[i] = std::move(value);  // overwrite
+          return false;
+        }
+        v->keys.insert(v->keys.begin() + i, key);
+        v->values.insert(v->values.begin() + i, std::move(value));
+        ++size_;
+        return true;
+      }
+      size_t i = ChildIndex(v, key);
+      if (v->children[i]->keys.size() == kMax) {
+        SplitChild(v, i);
+        if (!(key < v->keys[i])) ++i;  // key now routes right of the split
+      }
+      v = v->children[i].get();
+    }
+  }
+
+  /// Removes `key`; returns true iff it was present.
+  bool Erase(const Key& key) {
+    const bool erased = EraseFrom(root_.get(), key);
+    if (!root_->leaf && root_->children.size() == 1) {
+      root_ = std::move(root_->children[0]);  // shrink height
+    }
+    if (erased) --size_;
+    return erased;
+  }
+
+  /// The value stored under `key`, if present.
+  const Value* Find(const Key& key) const {
+    const Node* v = root_.get();
+    while (!v->leaf) v = v->children[ChildIndex(v, key)].get();
+    const size_t i = LowerBoundIndex(v, key);
+    if (i < v->keys.size() && !(key < v->keys[i])) return &v->values[i];
+    return nullptr;
+  }
+
+  bool Contains(const Key& key) const { return Find(key) != nullptr; }
+
+  /// Forward iterator over (key, value) in key order.
+  class Iterator {
+   public:
+    Iterator() = default;
+    bool AtEnd() const { return node_ == nullptr; }
+    const Key& key() const { return node_->keys[idx_]; }
+    const Value& value() const { return node_->values[idx_]; }
+    void Next() {
+      WT_DASSERT(node_ != nullptr);
+      if (++idx_ >= node_->keys.size()) {
+        node_ = node_->next;
+        idx_ = 0;
+      }
+    }
+
+   private:
+    friend class BPlusTree;
+    Iterator(const Node* node, size_t idx) : node_(node), idx_(idx) {}
+    const Node* node_ = nullptr;
+    size_t idx_ = 0;
+  };
+
+  /// Iterator at the smallest key >= `key` (end iterator if none).
+  Iterator LowerBound(const Key& key) const {
+    const Node* v = root_.get();
+    while (!v->leaf) v = v->children[ChildIndex(v, key)].get();
+    const size_t i = LowerBoundIndex(v, key);
+    if (i < v->keys.size()) return Iterator(v, i);
+    return Iterator(v->next, 0);
+  }
+
+  Iterator Begin() const {
+    const Node* v = root_.get();
+    while (!v->leaf) v = v->children.front().get();
+    if (v->keys.empty()) return Iterator();
+    return Iterator(v, 0);
+  }
+
+  /// Total heap footprint in bits (nodes, key/value payload slots).
+  size_t SizeInBits() const { return 8 * NodeBytes(root_.get()) + 8 * sizeof(*this); }
+
+  /// Depth of the tree (single-node tree has height 1); for tests.
+  size_t Height() const {
+    size_t h = 1;
+    const Node* v = root_.get();
+    while (!v->leaf) {
+      v = v->children.front().get();
+      ++h;
+    }
+    return h;
+  }
+
+  /// Validates all structural invariants (key order, fill bounds, separator
+  /// correctness, leaf-link order); for tests. Returns true when consistent.
+  bool CheckInvariants() const {
+    bool ok = true;
+    CheckRec(root_.get(), /*is_root=*/true, nullptr, nullptr, &ok);
+    return ok;
+  }
+
+ private:
+  // Classic B-tree fill bounds (CLRS, minimum degree B): a merge of two
+  // minimum-fill internal nodes plus the pulled-down separator is exactly
+  // kMax, and splits leave both halves at >= kMin.
+  static constexpr size_t kMax = 2 * B - 1;  // max keys per node
+  static constexpr size_t kMin = B - 1;      // min keys per non-root node
+
+  struct Node {
+    explicit Node(bool is_leaf) : leaf(is_leaf) {}
+    bool leaf;
+    std::vector<Key> keys;
+    // Leaves: values[i] pairs with keys[i]; next links the leaf chain.
+    std::vector<Value> values;
+    const Node* next = nullptr;
+    // Internal: children.size() == keys.size() + 1; keys are separators.
+    std::vector<std::unique_ptr<Node>> children;
+  };
+
+  static size_t LowerBoundIndex(const Node* v, const Key& key) {
+    size_t lo = 0, hi = v->keys.size();
+    while (lo < hi) {
+      const size_t mid = (lo + hi) / 2;
+      if (v->keys[mid] < key)
+        lo = mid + 1;
+      else
+        hi = mid;
+    }
+    return lo;
+  }
+
+  /// Child to descend into: child i covers keys < sep[i] (and >= sep[i-1]).
+  static size_t ChildIndex(const Node* v, const Key& key) {
+    size_t i = LowerBoundIndex(v, key);
+    // Equal separator routes right (separator = smallest key of child i+1).
+    if (i < v->keys.size() && !(key < v->keys[i])) ++i;
+    return i;
+  }
+
+  /// Smallest key in v's subtree.
+  static const Key& SubtreeMin(const Node* v) {
+    while (!v->leaf) v = v->children.front().get();
+    return v->keys.front();
+  }
+
+  /// Splits the full child `i` of `parent` into two half-full nodes.
+  void SplitChild(Node* parent, size_t i) {
+    Node* child = parent->children[i].get();
+    WT_DASSERT(child->keys.size() == kMax);
+    auto right = std::make_unique<Node>(child->leaf);
+    if (child->leaf) {
+      // Leaves keep all keys; the separator is the first right key.
+      // Split 2B-1 keys into B left and B-1 right.
+      right->keys.assign(child->keys.begin() + B, child->keys.end());
+      right->values.assign(std::make_move_iterator(child->values.begin() + B),
+                           std::make_move_iterator(child->values.end()));
+      child->keys.resize(B);
+      child->values.resize(B);
+      right->next = child->next;
+      child->next = right.get();
+      parent->keys.insert(parent->keys.begin() + i, right->keys.front());
+    } else {
+      // Internal: the middle key keys[B-1] moves up; B-1 keys (and B
+      // children) stay on each side.
+      right->keys.assign(child->keys.begin() + B, child->keys.end());
+      right->children.assign(
+          std::make_move_iterator(child->children.begin() + B),
+          std::make_move_iterator(child->children.end()));
+      const Key up = child->keys[B - 1];
+      child->keys.resize(B - 1);
+      child->children.resize(B);
+      parent->keys.insert(parent->keys.begin() + i, up);
+    }
+    parent->children.insert(parent->children.begin() + i + 1, std::move(right));
+  }
+
+  /// Erase with preemptive rebalancing: every internal node we descend
+  /// through first guarantees the target child has > kMin keys.
+  bool EraseFrom(Node* v, const Key& key) {
+    if (v->leaf) {
+      const size_t i = LowerBoundIndex(v, key);
+      if (i >= v->keys.size() || key < v->keys[i]) return false;
+      v->keys.erase(v->keys.begin() + i);
+      v->values.erase(v->values.begin() + i);
+      return true;
+    }
+    size_t i = ChildIndex(v, key);
+    if (v->children[i]->keys.size() <= kMin) i = FixChild(v, i);
+    const bool erased = EraseFrom(v->children[i].get(), key);
+    // The child's minimum may have changed; refresh the separator.
+    if (erased && i > 0) v->keys[i - 1] = SubtreeMin(v->children[i].get());
+    return erased;
+  }
+
+  /// Ensures child `i` of `v` has more than kMin keys by borrowing from a
+  /// sibling or merging with one. Returns the (possibly shifted) index of
+  /// the child that now covers the original key range.
+  size_t FixChild(Node* v, size_t i) {
+    Node* child = v->children[i].get();
+    // Borrow from the left sibling.
+    if (i > 0 && v->children[i - 1]->keys.size() > kMin) {
+      Node* left = v->children[i - 1].get();
+      if (child->leaf) {
+        child->keys.insert(child->keys.begin(), left->keys.back());
+        child->values.insert(child->values.begin(), std::move(left->values.back()));
+        left->keys.pop_back();
+        left->values.pop_back();
+        v->keys[i - 1] = child->keys.front();
+      } else {
+        child->keys.insert(child->keys.begin(), v->keys[i - 1]);
+        child->children.insert(child->children.begin(),
+                               std::move(left->children.back()));
+        v->keys[i - 1] = left->keys.back();
+        left->keys.pop_back();
+        left->children.pop_back();
+      }
+      return i;
+    }
+    // Borrow from the right sibling.
+    if (i + 1 < v->children.size() && v->children[i + 1]->keys.size() > kMin) {
+      Node* right = v->children[i + 1].get();
+      if (child->leaf) {
+        child->keys.push_back(right->keys.front());
+        child->values.push_back(std::move(right->values.front()));
+        right->keys.erase(right->keys.begin());
+        right->values.erase(right->values.begin());
+        v->keys[i] = right->keys.front();
+      } else {
+        child->keys.push_back(v->keys[i]);
+        child->children.push_back(std::move(right->children.front()));
+        v->keys[i] = right->keys.front();
+        right->keys.erase(right->keys.begin());
+        right->children.erase(right->children.begin());
+      }
+      return i;
+    }
+    // Merge with a sibling (left preferred so the kept node is children[i-1]).
+    const size_t li = (i > 0) ? i - 1 : i;  // merge children[li] and [li+1]
+    MergeChildren(v, li);
+    return li;
+  }
+
+  /// Merges child li+1 into child li and drops separator li.
+  void MergeChildren(Node* v, size_t li) {
+    Node* left = v->children[li].get();
+    Node* right = v->children[li + 1].get();
+    if (left->leaf) {
+      left->keys.insert(left->keys.end(), right->keys.begin(), right->keys.end());
+      left->values.insert(left->values.end(),
+                          std::make_move_iterator(right->values.begin()),
+                          std::make_move_iterator(right->values.end()));
+      left->next = right->next;
+    } else {
+      left->keys.push_back(v->keys[li]);
+      left->keys.insert(left->keys.end(), right->keys.begin(), right->keys.end());
+      left->children.insert(left->children.end(),
+                            std::make_move_iterator(right->children.begin()),
+                            std::make_move_iterator(right->children.end()));
+    }
+    v->keys.erase(v->keys.begin() + li);
+    v->children.erase(v->children.begin() + li + 1);
+  }
+
+  static size_t NodeBytes(const Node* v) {
+    size_t bytes = sizeof(Node) + v->keys.capacity() * sizeof(Key) +
+                   v->values.capacity() * sizeof(Value) +
+                   v->children.capacity() * sizeof(std::unique_ptr<Node>);
+    for (const auto& c : v->children) bytes += NodeBytes(c.get());
+    return bytes;
+  }
+
+  void CheckRec(const Node* v, bool is_root, const Key* lo, const Key* hi,
+                bool* ok) const {
+    if (!is_root && v->keys.size() < kMin) *ok = false;
+    if (v->keys.size() > kMax) *ok = false;
+    for (size_t i = 0; i + 1 < v->keys.size(); ++i) {
+      if (!(v->keys[i] < v->keys[i + 1])) *ok = false;
+    }
+    for (const Key& k : v->keys) {
+      if (lo != nullptr && k < *lo) *ok = false;
+      if (hi != nullptr && !(k < *hi)) *ok = false;
+    }
+    if (v->leaf) {
+      if (v->values.size() != v->keys.size()) *ok = false;
+      return;
+    }
+    if (v->children.size() != v->keys.size() + 1) {
+      *ok = false;
+      return;
+    }
+    for (size_t i = 0; i < v->children.size(); ++i) {
+      const Key* clo = (i == 0) ? lo : &v->keys[i - 1];
+      const Key* chi = (i == v->keys.size()) ? hi : &v->keys[i];
+      CheckRec(v->children[i].get(), false, clo, chi, ok);
+      if (i > 0) {
+        // Separator must equal the right subtree's minimum (compare with <
+        // only, so Key needs no operator==).
+        const Key& min = SubtreeMin(v->children[i].get());
+        if (min < v->keys[i - 1] || v->keys[i - 1] < min) *ok = false;
+      }
+    }
+  }
+
+  std::unique_ptr<Node> root_;
+  size_t size_ = 0;
+};
+
+}  // namespace wt

@@ -1,0 +1,98 @@
+// Suffix array, Burrows-Wheeler transform and LCP array over an integer
+// symbol alphabet — the text-indexing substrate behind the related-work
+// approach (2) baseline ("Dynamic Text Collection" [18]): concatenate the
+// string sequence, compress and full-text index the result. text/fm_index.hpp
+// builds the FM-index on top of these.
+//
+// Construction is Manber-Myers prefix doubling with radix-free comparison
+// sorting: O(n log^2 n) time, O(n) extra words. For the corpus sizes the
+// benchmarks use (<= a few MB) this is comfortably fast and has no tricky
+// corner cases; the asymptotically optimal SA-IS construction is a drop-in
+// replacement behind the same free function if ever needed.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <numeric>
+#include <vector>
+
+#include "common/assert.hpp"
+
+namespace wt {
+
+/// Builds the suffix array of `text`: sa[k] is the start position of the
+/// k-th smallest suffix. The caller must terminate the text with a unique
+/// smallest symbol (a sentinel) for the classical prefix-free suffix order;
+/// the function itself works for any input, comparing suffixes as plain
+/// sequences (shorter prefix-suffix sorts first).
+inline std::vector<uint32_t> BuildSuffixArray(const std::vector<uint32_t>& text) {
+  const size_t n = text.size();
+  std::vector<uint32_t> sa(n);
+  std::iota(sa.begin(), sa.end(), 0);
+  if (n <= 1) return sa;
+
+  std::vector<uint32_t> rank(text.begin(), text.end());
+  std::vector<uint32_t> next_rank(n);
+  for (size_t k = 1;; k *= 2) {
+    // Order by (rank[i], rank[i+k]), with out-of-range treated as smallest.
+    const auto key = [&](uint32_t i) {
+      const uint64_t hi = uint64_t(rank[i]) + 1;  // +1 so 0 means "past end"
+      const uint64_t lo = (i + k < n) ? uint64_t(rank[i + k]) + 1 : 0;
+      return (hi << 32) | lo;
+    };
+    std::sort(sa.begin(), sa.end(),
+              [&](uint32_t a, uint32_t b) { return key(a) < key(b); });
+    next_rank[sa[0]] = 0;
+    for (size_t i = 1; i < n; ++i) {
+      next_rank[sa[i]] =
+          next_rank[sa[i - 1]] + (key(sa[i - 1]) < key(sa[i]) ? 1 : 0);
+    }
+    rank.swap(next_rank);
+    if (rank[sa[n - 1]] == n - 1) break;  // all ranks distinct
+  }
+  return sa;
+}
+
+/// Inverse permutation: isa[sa[k]] = k.
+inline std::vector<uint32_t> InverseSuffixArray(const std::vector<uint32_t>& sa) {
+  std::vector<uint32_t> isa(sa.size());
+  for (size_t k = 0; k < sa.size(); ++k) isa[sa[k]] = static_cast<uint32_t>(k);
+  return isa;
+}
+
+/// Burrows-Wheeler transform: bwt[k] = text[sa[k] - 1], cyclically.
+inline std::vector<uint32_t> BuildBwt(const std::vector<uint32_t>& text,
+                                      const std::vector<uint32_t>& sa) {
+  WT_ASSERT(text.size() == sa.size());
+  const size_t n = text.size();
+  std::vector<uint32_t> bwt(n);
+  for (size_t k = 0; k < n; ++k) {
+    bwt[k] = sa[k] == 0 ? text[n - 1] : text[sa[k] - 1];
+  }
+  return bwt;
+}
+
+/// Kasai's algorithm: lcp[k] = longest common prefix of the suffixes at
+/// sa[k] and sa[k+1], for k in [0, n-1). O(n) time.
+inline std::vector<uint32_t> BuildLcpArray(const std::vector<uint32_t>& text,
+                                           const std::vector<uint32_t>& sa) {
+  const size_t n = text.size();
+  WT_ASSERT(sa.size() == n);
+  if (n == 0) return {};
+  const std::vector<uint32_t> isa = InverseSuffixArray(sa);
+  std::vector<uint32_t> lcp(n == 0 ? 0 : n - 1, 0);
+  size_t h = 0;
+  for (size_t i = 0; i < n; ++i) {
+    if (isa[i] + 1 == n) {
+      h = 0;
+      continue;
+    }
+    const size_t j = sa[isa[i] + 1];
+    while (i + h < n && j + h < n && text[i + h] == text[j + h]) ++h;
+    lcp[isa[i]] = static_cast<uint32_t>(h);
+    if (h > 0) --h;
+  }
+  return lcp;
+}
+
+}  // namespace wt

@@ -1,0 +1,178 @@
+// TextCollection: the related-work approach (2) baseline, "Dynamic Text
+// Collection" [18], in its static engineered form — the string sequence is
+// concatenated with separators and the concatenation is full-text indexed
+// with an FM-index.
+//
+// Layout of the indexed symbol stream (FmIndex appends the final sentinel):
+//
+//   SEP d0 SEP d1 SEP ... SEP d_{n-1} SEP
+//
+// with SEP = 1 and document bytes mapped to b + 2, so a document equals s
+// exactly where the pattern SEP enc(s) SEP occurs, and a document starts
+// with prefix p exactly where SEP enc(p) occurs.
+//
+// The point of the baseline (paper, Related work): it is *slower* — Rank and
+// Select must locate pattern occurrences through the sampled suffix array at
+// O(occ) cost instead of O(h_s) — and its space tracks the k-order entropy
+// of the concatenation rather than nH0(S) of the sequence, so it cannot
+// exploit whole-string repetition. bench_related_work measures both claims.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "bitvector/bit_vector.hpp"
+#include "common/assert.hpp"
+#include "text/fm_index.hpp"
+
+namespace wt {
+
+class TextCollection {
+ public:
+  TextCollection() = default;
+
+  explicit TextCollection(const std::vector<std::string>& docs)
+      : num_docs_(docs.size()) {
+    std::vector<uint32_t> text;
+    size_t total = 0;
+    for (const auto& d : docs) total += d.size() + 1;
+    text.reserve(total + 1);
+    BitArray starts;  // over text positions: 1 at each SEP opening a doc
+    for (const auto& d : docs) {
+      starts.PushBack(true);
+      text.push_back(kSep);
+      for (unsigned char c : d) {
+        starts.PushBack(false);
+        text.push_back(uint32_t(c) + 2);
+      }
+    }
+    starts.PushBack(true);
+    text.push_back(kSep);  // closing separator for the last document
+    fm_ = FmIndex(text);
+    starts_ = BitVector(std::move(starts));
+  }
+
+  size_t size() const { return num_docs_; }
+  bool empty() const { return num_docs_ == 0; }
+
+  /// The document at position `idx` — extracted from the index itself (the
+  /// collection keeps no plain copy).
+  std::string Access(size_t idx) const {
+    WT_ASSERT(idx < num_docs_);
+    const size_t begin = starts_.Select1(idx) + 1;  // skip the opening SEP
+    const size_t end = starts_.Select1(idx + 1);
+    const auto symbols = fm_.Extract(begin, end - begin);
+    std::string out;
+    out.reserve(symbols.size());
+    for (uint32_t c : symbols) {
+      WT_ASSERT_MSG(c >= 2, "TextCollection: separator inside a document");
+      out.push_back(static_cast<char>(c - 2));
+    }
+    return out;
+  }
+
+  /// Total number of documents equal to `s`: one backward search.
+  size_t Count(std::string_view s) const {
+    if (num_docs_ == 0) return 0;
+    return fm_.Count(ExactPattern(s));
+  }
+
+  /// Documents equal to `s` among the first `pos`: requires locating every
+  /// occurrence — the O(occ) cost the paper points out.
+  size_t Rank(std::string_view s, size_t pos) const {
+    WT_ASSERT(pos <= num_docs_);
+    size_t c = 0;
+    for (size_t text_pos : fm_.Locate(ExactPattern(s))) {
+      c += DocOf(text_pos) < pos;
+    }
+    return c;
+  }
+
+  /// Position of the (idx+1)-th document equal to `s`.
+  std::optional<size_t> Select(std::string_view s, size_t idx) const {
+    std::vector<size_t> doc_ids = MatchingDocs(ExactPattern(s));
+    if (idx >= doc_ids.size()) return std::nullopt;
+    return doc_ids[idx];
+  }
+
+  /// Documents whose content starts with `p`, in the whole collection.
+  size_t CountPrefix(std::string_view p) const {
+    if (num_docs_ == 0) return 0;
+    // The empty prefix's pattern [SEP] would also match the closing SEP.
+    if (p.empty()) return num_docs_;
+    return fm_.Count(PrefixPattern(p));
+  }
+
+  size_t RankPrefix(std::string_view p, size_t pos) const {
+    WT_ASSERT(pos <= num_docs_);
+    size_t c = 0;
+    for (size_t text_pos : fm_.Locate(PrefixPattern(p))) {
+      c += DocOf(text_pos) < pos;
+    }
+    return c;
+  }
+
+  std::optional<size_t> SelectPrefix(std::string_view p, size_t idx) const {
+    std::vector<size_t> doc_ids = MatchingDocs(PrefixPattern(p));
+    if (idx >= doc_ids.size()) return std::nullopt;
+    return doc_ids[idx];
+  }
+
+  /// Bonus the other representations lack: substring search *within*
+  /// documents. Returns doc ids containing `needle`, deduplicated.
+  std::vector<size_t> DocsContaining(std::string_view needle) const {
+    std::vector<uint32_t> pat;
+    pat.reserve(needle.size());
+    for (unsigned char c : needle) pat.push_back(uint32_t(c) + 2);
+    std::vector<size_t> docs = MatchingDocs(pat);
+    docs.erase(std::unique(docs.begin(), docs.end()), docs.end());
+    return docs;
+  }
+
+  size_t SizeInBits() const {
+    return fm_.SizeInBits() + starts_.SizeInBits() + 8 * sizeof(*this);
+  }
+
+  const FmIndex& fm() const { return fm_; }
+
+ private:
+  static constexpr uint32_t kSep = 1;
+
+  static std::vector<uint32_t> PrefixPattern(std::string_view p) {
+    std::vector<uint32_t> pat;
+    pat.reserve(p.size() + 1);
+    pat.push_back(kSep);
+    for (unsigned char c : p) pat.push_back(uint32_t(c) + 2);
+    return pat;
+  }
+
+  static std::vector<uint32_t> ExactPattern(std::string_view s) {
+    std::vector<uint32_t> pat = PrefixPattern(s);
+    pat.push_back(kSep);
+    return pat;
+  }
+
+  /// The document whose body (or opening SEP) covers text position `pos`.
+  size_t DocOf(size_t pos) const { return starts_.Rank1(pos + 1) - 1; }
+
+  /// Sorted document ids of all occurrences of `pat` (one per occurrence).
+  std::vector<size_t> MatchingDocs(const std::vector<uint32_t>& pat) const {
+    std::vector<size_t> docs;
+    if (num_docs_ == 0) return docs;
+    for (size_t text_pos : fm_.Locate(pat)) {
+      const size_t d = DocOf(text_pos);
+      if (d < num_docs_) docs.push_back(d);  // drop the closing-SEP match
+    }
+    std::sort(docs.begin(), docs.end());
+    return docs;
+  }
+
+  size_t num_docs_ = 0;
+  FmIndex fm_;
+  BitVector starts_;
+};
+
+}  // namespace wt

@@ -1,0 +1,226 @@
+// Dynamic Patricia trie over a prefix-free set of binary strings
+// (paper Lemma 4.1 / Appendix B).
+//
+// Pointer-based nodes, each owning its label bits. Splitting a label
+// gamma·b·delta into gamma (new internal) and delta (surviving node)
+// conserves total label length |L|, so the space matches Appendix B without
+// shared-suffix pointers (DESIGN.md #3.7). Costs: Insert O(|s|), Delete
+// O(max string length) — the label concatenation on merge — Search O(|s|).
+//
+// This standalone class is the set-dictionary substrate; the wavelet tries
+// embed the same trie logic with per-node bitvector payloads.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <utility>
+
+#include "common/assert.hpp"
+#include "common/bit_string.hpp"
+
+namespace wt {
+
+class PatriciaTrie {
+ public:
+  PatriciaTrie() = default;
+  ~PatriciaTrie() { Free(root_); }
+
+  PatriciaTrie(const PatriciaTrie&) = delete;
+  PatriciaTrie& operator=(const PatriciaTrie&) = delete;
+  PatriciaTrie(PatriciaTrie&& o) noexcept
+      : root_(o.root_), size_(o.size_), label_bits_(o.label_bits_) {
+    o.root_ = nullptr;
+    o.size_ = 0;
+    o.label_bits_ = 0;
+  }
+
+  /// Inserts `s`. Returns false if already present. Aborts if `s` violates
+  /// prefix-freeness (is a proper prefix of a stored string or vice versa) —
+  /// callers encode strings with a prefix-free codec (core/codec.hpp).
+  bool Insert(BitSpan s) {
+    if (root_ == nullptr) {
+      root_ = new Node{BitString::FromSpan(s), {nullptr, nullptr}};
+      label_bits_ += s.size();
+      ++size_;
+      return true;
+    }
+    Node* node = root_;
+    size_t depth = 0;  // bits of s consumed so far
+    for (;;) {
+      const BitSpan rest = s.SubSpan(depth);
+      const size_t lcp = rest.Lcp(node->label.Span());
+      if (lcp < node->label.size()) {
+        // Mismatch inside the label (or s exhausted inside it).
+        WT_ASSERT_MSG(depth + lcp < s.size(),
+                      "PatriciaTrie: insert would break prefix-freeness");
+        SplitNode(node, lcp, rest);
+        ++size_;
+        return true;
+      }
+      depth += lcp;
+      if (node->IsLeaf()) {
+        WT_ASSERT_MSG(depth == s.size(),
+                      "PatriciaTrie: insert would break prefix-freeness");
+        return false;  // already present
+      }
+      WT_ASSERT_MSG(depth < s.size(),
+                    "PatriciaTrie: insert would break prefix-freeness");
+      node = node->child[s.Get(depth)];
+      ++depth;  // branch bit consumed
+    }
+  }
+
+  bool Contains(BitSpan s) const {
+    const Node* node = root_;
+    size_t depth = 0;
+    while (node != nullptr) {
+      const BitSpan rest = s.SubSpan(depth);
+      const size_t lcp = rest.Lcp(node->label.Span());
+      if (lcp < node->label.size()) return false;
+      depth += lcp;
+      if (node->IsLeaf()) return depth == s.size();
+      if (depth >= s.size()) return false;
+      node = node->child[s.Get(depth)];
+      ++depth;
+    }
+    return false;
+  }
+
+  /// Removes `s`; returns false if not present. O(max stored string length)
+  /// because the sibling's label is re-concatenated (Appendix B).
+  bool Erase(BitSpan s) {
+    Node* node = root_;
+    Node* parent = nullptr;
+    Node* grandparent = nullptr;
+    bool parent_branch = false, grand_branch = false;
+    size_t depth = 0;
+    while (node != nullptr) {
+      const BitSpan rest = s.SubSpan(depth);
+      const size_t lcp = rest.Lcp(node->label.Span());
+      if (lcp < node->label.size()) return false;
+      depth += lcp;
+      if (node->IsLeaf()) {
+        if (depth != s.size()) return false;
+        RemoveLeaf(node, parent, grandparent, parent_branch, grand_branch);
+        --size_;
+        return true;
+      }
+      if (depth >= s.size()) return false;
+      grandparent = parent;
+      grand_branch = parent_branch;
+      parent = node;
+      parent_branch = s.Get(depth);
+      node = node->child[parent_branch];
+      ++depth;
+    }
+    return false;
+  }
+
+  size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+
+  /// Total label bits |L| (Theorem 3.6's L).
+  size_t LabelBits() const { return label_bits_; }
+  /// Number of trie nodes (2|Sset| - 1 for |Sset| >= 1).
+  size_t NumNodes() const { return size_ == 0 ? 0 : 2 * size_ - 1; }
+
+  /// Enumerates the stored strings in lexicographic order.
+  void ForEach(const std::function<void(const BitString&)>& fn) const {
+    BitString prefix;
+    Walk(root_, &prefix, fn);
+  }
+
+  size_t SizeInBits() const { return NodeBits(root_); }
+
+ private:
+  struct Node {
+    BitString label;
+    Node* child[2];  // both null for leaves
+    bool IsLeaf() const { return child[0] == nullptr; }
+  };
+
+  // Splits `node` at label offset `lcp`; `rest` is the not-yet-consumed part
+  // of the inserted string (rest starts with the lcp bits that match).
+  void SplitNode(Node* node, size_t lcp, BitSpan rest) {
+    // Old node keeps label[lcp+1..]; new internal keeps label[0..lcp).
+    // The discriminating bits label[lcp] / rest[lcp] become child indices.
+    const bool old_bit = node->label.Get(lcp);
+    auto* old_half = new Node{
+        BitString::FromSpan(node->label.SubSpan(lcp + 1)), {nullptr, nullptr}};
+    old_half->child[0] = node->child[0];
+    old_half->child[1] = node->child[1];
+    auto* new_leaf = new Node{
+        BitString::FromSpan(rest.SubSpan(lcp + 1)), {nullptr, nullptr}};
+    // Label accounting: the split consumes one stored bit (the old label's
+    // branch bit becomes implicit; the new string's branch bit was never
+    // stored) and adds the new leaf's label.
+    label_bits_ -= 1;
+    label_bits_ += new_leaf->label.size();
+    node->label.Truncate(lcp);
+    node->child[old_bit] = old_half;
+    node->child[!old_bit] = new_leaf;
+  }
+
+  void RemoveLeaf(Node* leaf, Node* parent, Node* grandparent,
+                  bool parent_branch, bool grand_branch) {
+    if (parent == nullptr) {  // removing the last string
+      label_bits_ -= leaf->label.size();
+      delete leaf;
+      root_ = nullptr;
+      return;
+    }
+    Node* sibling = parent->child[!parent_branch];
+    // Merged label: parent.label + sibling_branch_bit + sibling.label.
+    BitString merged = parent->label;
+    merged.PushBack(!parent_branch);
+    merged.Append(sibling->label);
+    // The sibling's branch bit becomes an explicit label bit again; the
+    // removed leaf's label (and its implicit branch bit) disappear.
+    label_bits_ += 1;
+    label_bits_ -= leaf->label.size();
+    sibling->label = std::move(merged);
+    if (grandparent == nullptr) {
+      root_ = sibling;
+    } else {
+      grandparent->child[grand_branch] = sibling;
+    }
+    delete leaf;
+    delete parent;
+  }
+
+  static void Walk(const Node* node, BitString* prefix,
+                   const std::function<void(const BitString&)>& fn) {
+    if (node == nullptr) return;
+    const size_t mark = prefix->size();
+    prefix->Append(node->label);
+    if (node->IsLeaf()) {
+      fn(*prefix);
+    } else {
+      prefix->PushBack(false);
+      Walk(node->child[0], prefix, fn);
+      prefix->Truncate(mark + node->label.size());  // rewind the branch bit
+      prefix->PushBack(true);
+      Walk(node->child[1], prefix, fn);
+    }
+    prefix->Truncate(mark);
+  }
+
+  static void Free(Node* node) {
+    if (node == nullptr) return;
+    Free(node->child[0]);
+    Free(node->child[1]);
+    delete node;
+  }
+
+  static size_t NodeBits(const Node* node) {
+    if (node == nullptr) return 0;
+    return 8 * sizeof(Node) + node->label.SizeInBits() +
+           NodeBits(node->child[0]) + NodeBits(node->child[1]);
+  }
+
+  Node* root_ = nullptr;
+  size_t size_ = 0;
+  size_t label_bits_ = 0;
+};
+
+}  // namespace wt

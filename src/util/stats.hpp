@@ -1,0 +1,83 @@
+// Latency statistics for the benchmark harness: record per-operation
+// durations, report percentiles. Used by the de-amortization benches, where
+// the interesting quantity is the *tail* (p99.9/max) of Append, not the
+// mean (Lemma 4.7 gives the mean; Lemma 4.8 is about the worst case).
+#pragma once
+
+#include <algorithm>
+#include <chrono>
+#include <cstdint>
+#include <vector>
+
+#include "common/assert.hpp"
+
+namespace wt {
+
+/// Accumulates sample values (typically nanoseconds) and reports order
+/// statistics. Samples are stored raw; Percentile() sorts lazily.
+class LatencyRecorder {
+ public:
+  void Reserve(size_t n) { samples_.reserve(n); }
+
+  void Record(uint64_t value) {
+    samples_.push_back(value);
+    sorted_ = false;
+  }
+
+  size_t count() const { return samples_.size(); }
+
+  /// The q-quantile (q in [0, 1]) by the nearest-rank method.
+  uint64_t Percentile(double q) {
+    WT_ASSERT_MSG(!samples_.empty(), "LatencyRecorder: no samples");
+    WT_ASSERT(q >= 0.0 && q <= 1.0);
+    EnsureSorted();
+    const size_t rank = std::min(
+        samples_.size() - 1,
+        static_cast<size_t>(q * static_cast<double>(samples_.size())));
+    return samples_[rank];
+  }
+
+  uint64_t Max() {
+    EnsureSorted();
+    return samples_.back();
+  }
+
+  uint64_t Min() {
+    EnsureSorted();
+    return samples_.front();
+  }
+
+  double Mean() const {
+    WT_ASSERT_MSG(!samples_.empty(), "LatencyRecorder: no samples");
+    double sum = 0;
+    for (uint64_t s : samples_) sum += static_cast<double>(s);
+    return sum / static_cast<double>(samples_.size());
+  }
+
+  void Clear() {
+    samples_.clear();
+    sorted_ = false;
+  }
+
+ private:
+  void EnsureSorted() {
+    WT_ASSERT_MSG(!samples_.empty(), "LatencyRecorder: no samples");
+    if (!sorted_) {
+      std::sort(samples_.begin(), samples_.end());
+      sorted_ = true;
+    }
+  }
+
+  std::vector<uint64_t> samples_;
+  bool sorted_ = false;
+};
+
+/// Monotonic nanosecond timestamp for latency sampling.
+inline uint64_t NowNanos() {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+}  // namespace wt

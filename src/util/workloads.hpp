@@ -1,0 +1,107 @@
+// Synthetic workload generators for the examples and benchmarks, modeled on
+// the applications in the paper's introduction: URL/path access logs with a
+// hierarchical prefix structure and Zipfian popularity, column values for a
+// column store, and integer sequences for the Section 6 experiments.
+//
+// The paper evaluates no proprietary datasets (it is a theory paper); these
+// generators provide the "query logs and access logs" workload family its
+// motivation describes, with controllable skew, alphabet size and prefix
+// sharing (DESIGN.md substitution note).
+#pragma once
+
+#include <cstdint>
+#include <random>
+#include <string>
+#include <vector>
+
+#include "util/zipf.hpp"
+
+namespace wt {
+
+struct UrlLogOptions {
+  size_t num_domains = 50;
+  size_t paths_per_domain = 40;
+  double domain_skew = 1.0;  // Zipf exponent for domain popularity
+  double path_skew = 0.8;    // Zipf exponent for paths within a domain
+  uint64_t seed = 42;
+};
+
+/// Generates a chronological access log of URLs "domainX.com/secY/pageZ".
+/// Domains follow a Zipf distribution; within a domain, paths follow another.
+/// Consecutive entries share long prefixes exactly as real logs do.
+class UrlLogGenerator {
+ public:
+  explicit UrlLogGenerator(const UrlLogOptions& opt = {})
+      : opt_(opt),
+        rng_(opt.seed),
+        domain_dist_(opt.num_domains, opt.domain_skew),
+        path_dist_(opt.paths_per_domain, opt.path_skew) {}
+
+  std::string Next() {
+    const size_t d = domain_dist_(rng_);
+    const size_t p = path_dist_(rng_);
+    return Url(d, p);
+  }
+
+  /// The URL for an explicit (domain rank, path rank) pair; rank 0 is the
+  /// most popular. Useful for building queries with known frequencies.
+  std::string Url(size_t domain_rank, size_t path_rank) const {
+    return Domain(domain_rank) + "/sec" + std::to_string(path_rank % 7) +
+           "/page" + std::to_string(path_rank);
+  }
+
+  std::string Domain(size_t domain_rank) const {
+    return "www.site" + std::to_string(domain_rank) + ".com";
+  }
+
+  std::vector<std::string> Take(size_t n) {
+    std::vector<std::string> out;
+    out.reserve(n);
+    for (size_t i = 0; i < n; ++i) out.push_back(Next());
+    return out;
+  }
+
+ private:
+  UrlLogOptions opt_;
+  std::mt19937_64 rng_;
+  ZipfDistribution domain_dist_;
+  ZipfDistribution path_dist_;
+};
+
+enum class IntDistribution { kUniform, kZipf, kClustered };
+
+/// Integer sequences over a working alphabet much smaller than the universe
+/// (the Section 6 setting).
+inline std::vector<uint64_t> GenerateIntegers(size_t n, size_t distinct,
+                                              IntDistribution dist,
+                                              uint64_t seed = 7) {
+  std::mt19937_64 rng(seed);
+  // Draw the working alphabet from the full 64-bit universe.
+  std::vector<uint64_t> alphabet(distinct);
+  for (auto& v : alphabet) v = rng();
+  std::vector<uint64_t> out;
+  out.reserve(n);
+  switch (dist) {
+    case IntDistribution::kUniform:
+      for (size_t i = 0; i < n; ++i) out.push_back(alphabet[rng() % distinct]);
+      break;
+    case IntDistribution::kZipf: {
+      ZipfDistribution z(distinct, 1.0);
+      for (size_t i = 0; i < n; ++i) out.push_back(alphabet[z(rng)]);
+      break;
+    }
+    case IntDistribution::kClustered: {
+      // Runs of repeated values, as in sorted/partitioned columns.
+      size_t i = 0;
+      while (i < n) {
+        const uint64_t v = alphabet[rng() % distinct];
+        const size_t run = 1 + rng() % 40;
+        for (size_t j = 0; j < run && i < n; ++j, ++i) out.push_back(v);
+      }
+      break;
+    }
+  }
+  return out;
+}
+
+}  // namespace wt

@@ -1,0 +1,43 @@
+// Zipf-distributed rank sampler (P(k) proportional to 1/k^s), used by the
+// workload generators: query/access logs and column values are heavy-tailed
+// in practice, which is exactly the regime the paper's entropy-compressed
+// bitvectors exploit.
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <random>
+#include <vector>
+
+#include "common/assert.hpp"
+
+namespace wt {
+
+class ZipfDistribution {
+ public:
+  /// Ranks 0..n-1 with P(rank k) proportional to 1/(k+1)^s.
+  explicit ZipfDistribution(size_t n, double s = 1.0) : cdf_(n) {
+    WT_ASSERT(n >= 1);
+    double sum = 0;
+    for (size_t k = 0; k < n; ++k) {
+      sum += 1.0 / std::pow(static_cast<double>(k + 1), s);
+      cdf_[k] = sum;
+    }
+    for (double& c : cdf_) c /= sum;
+  }
+
+  template <typename Rng>
+  size_t operator()(Rng& rng) const {
+    const double u = std::uniform_real_distribution<double>(0.0, 1.0)(rng);
+    const auto it = std::lower_bound(cdf_.begin(), cdf_.end(), u);
+    return static_cast<size_t>(it - cdf_.begin());
+  }
+
+  size_t size() const { return cdf_.size(); }
+
+ private:
+  std::vector<double> cdf_;
+};
+
+}  // namespace wt

@@ -1,0 +1,253 @@
+// Tests for the B+-tree substrate (index/btree.hpp) and the approach-(3)
+// baseline BTreeIndexedSequence (core/btree_sequence.hpp).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+#include <random>
+#include <string>
+#include <vector>
+
+#include "core/btree_sequence.hpp"
+#include "index/btree.hpp"
+#include "util/workloads.hpp"
+
+namespace wt {
+namespace {
+
+// ------------------------------------------------------------------ BPlusTree
+
+TEST(BPlusTree, EmptyTree) {
+  BPlusTree<int, int> t;
+  EXPECT_EQ(t.size(), 0u);
+  EXPECT_TRUE(t.empty());
+  EXPECT_EQ(t.Find(5), nullptr);
+  EXPECT_FALSE(t.Erase(5));
+  EXPECT_TRUE(t.Begin().AtEnd());
+  EXPECT_TRUE(t.LowerBound(0).AtEnd());
+  EXPECT_TRUE(t.CheckInvariants());
+}
+
+TEST(BPlusTree, InsertFindOverwrite) {
+  BPlusTree<int, std::string> t;
+  EXPECT_TRUE(t.Insert(3, "three"));
+  EXPECT_TRUE(t.Insert(1, "one"));
+  EXPECT_TRUE(t.Insert(2, "two"));
+  EXPECT_FALSE(t.Insert(2, "TWO"));  // overwrite
+  EXPECT_EQ(t.size(), 3u);
+  ASSERT_NE(t.Find(2), nullptr);
+  EXPECT_EQ(*t.Find(2), "TWO");
+  EXPECT_EQ(t.Find(4), nullptr);
+}
+
+TEST(BPlusTree, OrderedIteration) {
+  BPlusTree<int, int, 2> t;  // tiny fanout to force deep trees
+  std::vector<int> keys;
+  for (int k = 100; k >= 0; --k) {
+    t.Insert(k, k * k);
+    keys.push_back(k);
+  }
+  EXPECT_TRUE(t.CheckInvariants());
+  std::sort(keys.begin(), keys.end());
+  size_t i = 0;
+  for (auto it = t.Begin(); !it.AtEnd(); it.Next(), ++i) {
+    ASSERT_EQ(it.key(), keys[i]);
+    ASSERT_EQ(it.value(), keys[i] * keys[i]);
+  }
+  EXPECT_EQ(i, keys.size());
+}
+
+TEST(BPlusTree, LowerBoundSemantics) {
+  BPlusTree<int, int, 2> t;
+  for (int k = 0; k < 50; k += 2) t.Insert(k, k);  // even keys 0..48
+  auto exact = t.LowerBound(10);
+  ASSERT_FALSE(exact.AtEnd());
+  EXPECT_EQ(exact.key(), 10);
+  auto between = t.LowerBound(11);
+  ASSERT_FALSE(between.AtEnd());
+  EXPECT_EQ(between.key(), 12);
+  auto low = t.LowerBound(-5);
+  ASSERT_FALSE(low.AtEnd());
+  EXPECT_EQ(low.key(), 0);
+  EXPECT_TRUE(t.LowerBound(49).AtEnd());
+}
+
+TEST(BPlusTree, EraseLeafBorrowAndMerge) {
+  BPlusTree<int, int, 2> t;
+  for (int k = 0; k < 40; ++k) t.Insert(k, k);
+  EXPECT_GT(t.Height(), 1u);
+  // Erase in an order that exercises left/right borrows and merges.
+  for (int k = 0; k < 40; k += 2) {
+    EXPECT_TRUE(t.Erase(k)) << k;
+    EXPECT_TRUE(t.CheckInvariants()) << "after erase " << k;
+  }
+  for (int k = 39; k >= 1; k -= 2) {
+    EXPECT_TRUE(t.Erase(k)) << k;
+    EXPECT_TRUE(t.CheckInvariants()) << "after erase " << k;
+  }
+  EXPECT_EQ(t.size(), 0u);
+  EXPECT_TRUE(t.Begin().AtEnd());
+}
+
+TEST(BPlusTree, HeightIsLogarithmic) {
+  BPlusTree<int, int, 8> t;
+  for (int k = 0; k < 100000; ++k) t.Insert(k, k);
+  // With >= B+1 = 9-way branching, 1e5 keys need at most ~6 levels.
+  EXPECT_LE(t.Height(), 6u);
+  EXPECT_TRUE(t.CheckInvariants());
+}
+
+struct FuzzParam {
+  size_t ops;
+  int key_space;
+  uint64_t seed;
+};
+
+class BPlusTreeFuzz : public ::testing::TestWithParam<FuzzParam> {};
+
+TEST_P(BPlusTreeFuzz, MatchesStdMapUnderRandomOps) {
+  const auto p = GetParam();
+  std::mt19937_64 rng(p.seed);
+  BPlusTree<int, int, 3> tree;
+  std::map<int, int> oracle;
+  for (size_t op = 0; op < p.ops; ++op) {
+    const int key = int(rng() % p.key_space);
+    switch (rng() % 4) {
+      case 0:
+      case 1: {  // insert biased so the tree actually grows
+        const int val = int(rng() % 1000);
+        const bool fresh = tree.Insert(key, val);
+        ASSERT_EQ(fresh, oracle.find(key) == oracle.end());
+        oracle[key] = val;
+        break;
+      }
+      case 2: {
+        ASSERT_EQ(tree.Erase(key), oracle.erase(key) > 0);
+        break;
+      }
+      case 3: {
+        const int* v = tree.Find(key);
+        const auto it = oracle.find(key);
+        if (it == oracle.end()) {
+          ASSERT_EQ(v, nullptr);
+        } else {
+          ASSERT_NE(v, nullptr);
+          ASSERT_EQ(*v, it->second);
+        }
+        break;
+      }
+    }
+    if (op % 97 == 0) {
+      ASSERT_TRUE(tree.CheckInvariants()) << "op " << op;
+      ASSERT_EQ(tree.size(), oracle.size());
+    }
+  }
+  // Final full sweep: identical ordered contents.
+  ASSERT_TRUE(tree.CheckInvariants());
+  ASSERT_EQ(tree.size(), oracle.size());
+  auto it = tree.Begin();
+  for (const auto& [k, v] : oracle) {
+    ASSERT_FALSE(it.AtEnd());
+    ASSERT_EQ(it.key(), k);
+    ASSERT_EQ(it.value(), v);
+    it.Next();
+  }
+  ASSERT_TRUE(it.AtEnd());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, BPlusTreeFuzz,
+    ::testing::Values(FuzzParam{500, 50, 1}, FuzzParam{2000, 100, 2},
+                      FuzzParam{5000, 40, 3},  // heavy churn, small space
+                      FuzzParam{3000, 5000, 4},  // sparse keys
+                      FuzzParam{8000, 300, 5}));
+
+TEST(BPlusTree, StringKeys) {
+  BPlusTree<std::string, int, 4> t;
+  UrlLogGenerator gen({.seed = 31});
+  std::vector<std::string> urls = gen.Take(300);
+  for (size_t i = 0; i < urls.size(); ++i) t.Insert(urls[i], int(i));
+  EXPECT_TRUE(t.CheckInvariants());
+  std::vector<std::string> sorted(urls);
+  std::sort(sorted.begin(), sorted.end());
+  sorted.erase(std::unique(sorted.begin(), sorted.end()), sorted.end());
+  EXPECT_EQ(t.size(), sorted.size());
+  size_t i = 0;
+  for (auto it = t.Begin(); !it.AtEnd(); it.Next(), ++i) {
+    ASSERT_EQ(it.key(), sorted[i]);
+  }
+}
+
+// ------------------------------------------------------ BTreeIndexedSequence
+
+class BTreeSequenceTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    UrlLogGenerator gen({.num_domains = 10, .paths_per_domain = 8, .seed = 77});
+    seq_ = gen.Take(400);
+    bts_ = BTreeIndexedSequence(seq_);
+  }
+
+  std::vector<std::string> seq_;
+  BTreeIndexedSequence bts_;
+};
+
+TEST_F(BTreeSequenceTest, AccessReturnsOriginals) {
+  ASSERT_EQ(bts_.size(), seq_.size());
+  for (size_t i = 0; i < seq_.size(); ++i) ASSERT_EQ(bts_.Access(i), seq_[i]);
+}
+
+TEST_F(BTreeSequenceTest, RankSelectMatchNaive) {
+  const std::string probe = seq_[42];
+  size_t count = 0;
+  for (size_t i = 0; i < seq_.size(); ++i) {
+    if (i % 9 == 0) {
+      ASSERT_EQ(bts_.Rank(probe, i), count) << i;
+    }
+    if (seq_[i] == probe) {
+      ASSERT_EQ(bts_.Select(probe, count), std::optional<size_t>(i));
+      ++count;
+    }
+  }
+  ASSERT_EQ(bts_.Count(probe), count);
+  EXPECT_EQ(bts_.Select(probe, count), std::nullopt);
+  EXPECT_EQ(bts_.Rank("missing", seq_.size()), 0u);
+}
+
+TEST_F(BTreeSequenceTest, PrefixOpsMatchNaive) {
+  const std::string p = "www.site1.com";
+  size_t count = 0;
+  for (size_t i = 0; i < seq_.size(); ++i) {
+    if (i % 11 == 0) {
+      ASSERT_EQ(bts_.RankPrefix(p, i), count);
+    }
+    if (seq_[i].compare(0, p.size(), p) == 0) {
+      ASSERT_EQ(bts_.SelectPrefix(p, count), std::optional<size_t>(i));
+      ++count;
+    }
+  }
+  ASSERT_GT(count, 0u);
+  EXPECT_EQ(bts_.SelectPrefix(p, count), std::nullopt);
+}
+
+TEST_F(BTreeSequenceTest, SpaceIsSeveralTimesTheRawStrings) {
+  size_t raw_bits = 0;
+  for (const auto& s : seq_) raw_bits += 8 * s.size();
+  // The paper's point: a traditional index costs a multiple of the data.
+  EXPECT_GT(bts_.SizeInBits(), 2 * raw_bits);
+}
+
+TEST(BTreeSequence, AppendStream) {
+  BTreeIndexedSequence bts;
+  bts.Append("b");
+  bts.Append("a");
+  bts.Append("b");
+  EXPECT_EQ(bts.size(), 3u);
+  EXPECT_EQ(bts.Count("b"), 2u);
+  EXPECT_EQ(bts.Select("b", 1), std::optional<size_t>(2));
+  EXPECT_EQ(bts.Rank("b", 2), 1u);
+  EXPECT_EQ(bts.Access(1), "a");
+}
+
+}  // namespace
+}  // namespace wt

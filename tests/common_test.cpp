@@ -1,0 +1,328 @@
+// Tests for the common substrate: word-level bit primitives, BitArray,
+// BitString/BitSpan, and Elias gamma/delta coding.
+#include <gtest/gtest.h>
+
+#include <random>
+#include <string>
+#include <vector>
+
+#include "coding/elias.hpp"
+#include "common/bit_array.hpp"
+#include "common/bit_string.hpp"
+#include "common/bits.hpp"
+
+namespace wt {
+namespace {
+
+// ---------------------------------------------------------------- bits.hpp
+
+TEST(Bits, LowMask) {
+  EXPECT_EQ(LowMask(0), 0u);
+  EXPECT_EQ(LowMask(1), 1u);
+  EXPECT_EQ(LowMask(8), 0xFFu);
+  EXPECT_EQ(LowMask(63), ~uint64_t(0) >> 1);
+  EXPECT_EQ(LowMask(64), ~uint64_t(0));
+}
+
+TEST(Bits, WordsFor) {
+  EXPECT_EQ(WordsFor(0), 0u);
+  EXPECT_EQ(WordsFor(1), 1u);
+  EXPECT_EQ(WordsFor(64), 1u);
+  EXPECT_EQ(WordsFor(65), 2u);
+}
+
+TEST(Bits, CeilLog2) {
+  EXPECT_EQ(CeilLog2(1), 0u);
+  EXPECT_EQ(CeilLog2(2), 1u);
+  EXPECT_EQ(CeilLog2(3), 2u);
+  EXPECT_EQ(CeilLog2(4), 2u);
+  EXPECT_EQ(CeilLog2(5), 3u);
+  EXPECT_EQ(CeilLog2(uint64_t(1) << 40), 40u);
+}
+
+TEST(Bits, SelectInWordExhaustiveSmall) {
+  // Check every 16-bit word against a linear scan.
+  for (uint64_t x = 1; x < (1u << 16); ++x) {
+    int k = 0;
+    for (int i = 0; i < 16; ++i) {
+      if ((x >> i) & 1) {
+        ASSERT_EQ(SelectInWord(x, k), static_cast<unsigned>(i))
+            << "x=" << x << " k=" << k;
+        ++k;
+      }
+    }
+  }
+}
+
+TEST(Bits, SelectInWordRandom64) {
+  std::mt19937_64 rng(42);
+  for (int iter = 0; iter < 2000; ++iter) {
+    const uint64_t x = rng();
+    int k = 0;
+    for (int i = 0; i < 64; ++i) {
+      if ((x >> i) & 1) {
+        ASSERT_EQ(SelectInWord(x, k), static_cast<unsigned>(i));
+        ++k;
+      }
+    }
+  }
+}
+
+TEST(Bits, SelectZeroInWord) {
+  EXPECT_EQ(SelectZeroInWord(0, 0), 0u);
+  EXPECT_EQ(SelectZeroInWord(0, 63), 63u);
+  EXPECT_EQ(SelectZeroInWord(1, 0), 1u);
+  EXPECT_EQ(SelectZeroInWord(0b1011, 0), 2u);
+}
+
+TEST(Bits, LoadStoreRoundTrip) {
+  std::mt19937_64 rng(7);
+  std::vector<uint64_t> words(8, 0);
+  // Write random values at random (start, len) and read them back.
+  for (int iter = 0; iter < 5000; ++iter) {
+    const size_t len = 1 + rng() % 64;
+    const size_t start = rng() % (words.size() * 64 - len);
+    const uint64_t v = rng() & LowMask(len);
+    StoreBits(words.data(), start, len, v);
+    ASSERT_EQ(LoadBits(words.data(), start, len), v) << "start=" << start << " len=" << len;
+  }
+}
+
+TEST(Bits, StorePreservesNeighbours) {
+  std::vector<uint64_t> words(4, ~uint64_t(0));
+  StoreBits(words.data(), 60, 8, 0);  // spans words 0 and 1
+  EXPECT_EQ(LoadBits(words.data(), 60, 8), 0u);
+  EXPECT_EQ(LoadBits(words.data(), 0, 60), LowMask(60));
+  EXPECT_EQ(LoadBits(words.data(), 68, 60), LowMask(60));
+}
+
+TEST(Bits, BitsLcpAgainstScan) {
+  std::mt19937_64 rng(99);
+  for (int iter = 0; iter < 300; ++iter) {
+    const size_t n = 1 + rng() % 300;
+    BitArray a, b;
+    for (size_t i = 0; i < n; ++i) {
+      const bool bit = rng() & 1;
+      a.PushBack(bit);
+      // With probability ~1/20 inject a difference.
+      b.PushBack((rng() % 20 == 0) ? !bit : bit);
+    }
+    size_t expect = 0;
+    while (expect < n && a.Get(expect) == b.Get(expect)) ++expect;
+    ASSERT_EQ(BitsLcp(a.data(), 0, b.data(), 0, n), expect);
+  }
+}
+
+TEST(Bits, BitsLcpWithOffsets) {
+  BitArray a;
+  for (int i = 0; i < 200; ++i) a.PushBack((i / 3) % 2);
+  // Suffixes of the same array at distance 6 share the 3-periodic*2 pattern.
+  EXPECT_EQ(BitsLcp(a.data(), 0, a.data(), 6, 194), 194u);
+  EXPECT_EQ(BitsLcp(a.data(), 1, a.data(), 2, 10), 1u);
+}
+
+// ------------------------------------------------------------ BitArray
+
+TEST(BitArray, PushBackAndGet) {
+  BitArray a;
+  for (int i = 0; i < 1000; ++i) a.PushBack(i % 3 == 0);
+  ASSERT_EQ(a.size(), 1000u);
+  for (int i = 0; i < 1000; ++i) ASSERT_EQ(a.Get(i), i % 3 == 0);
+}
+
+TEST(BitArray, ConstantConstructor) {
+  BitArray ones(130, true);
+  ASSERT_EQ(ones.size(), 130u);
+  for (size_t i = 0; i < 130; ++i) ASSERT_TRUE(ones.Get(i));
+  BitArray zeros(130, false);
+  for (size_t i = 0; i < 130; ++i) ASSERT_FALSE(zeros.Get(i));
+}
+
+TEST(BitArray, AppendBitsMatchesPushBack) {
+  std::mt19937_64 rng(3);
+  BitArray a, b;
+  for (int iter = 0; iter < 500; ++iter) {
+    const size_t len = 1 + rng() % 64;
+    const uint64_t v = rng() & LowMask(len);
+    a.AppendBits(v, len);
+    for (size_t i = 0; i < len; ++i) b.PushBack((v >> i) & 1);
+  }
+  EXPECT_EQ(a, b);
+}
+
+TEST(BitArray, AppendRange) {
+  std::mt19937_64 rng(4);
+  BitArray src;
+  for (int i = 0; i < 500; ++i) src.PushBack(rng() & 1);
+  for (int iter = 0; iter < 200; ++iter) {
+    const size_t len = rng() % 200;
+    const size_t start = rng() % (501 - len);
+    BitArray dst;
+    dst.PushBack(true);  // non-word-aligned destination
+    dst.AppendRange(src, start, len);
+    ASSERT_EQ(dst.size(), len + 1);
+    for (size_t i = 0; i < len; ++i) ASSERT_EQ(dst.Get(i + 1), src.Get(start + i));
+  }
+}
+
+TEST(BitArray, AppendRun) {
+  BitArray a;
+  a.AppendRun(true, 70);
+  a.AppendRun(false, 3);
+  a.AppendRun(true, 129);
+  ASSERT_EQ(a.size(), 202u);
+  for (size_t i = 0; i < 70; ++i) ASSERT_TRUE(a.Get(i));
+  for (size_t i = 70; i < 73; ++i) ASSERT_FALSE(a.Get(i));
+  for (size_t i = 73; i < 202; ++i) ASSERT_TRUE(a.Get(i));
+}
+
+TEST(BitArray, TruncateClearsTail) {
+  BitArray a;
+  for (int i = 0; i < 100; ++i) a.PushBack(true);
+  a.Truncate(65);
+  ASSERT_EQ(a.size(), 65u);
+  // Pushing 0 bits after truncation must not resurrect stale 1s.
+  a.PushBack(false);
+  EXPECT_FALSE(a.Get(65));
+  a.PushBack(true);
+  EXPECT_TRUE(a.Get(66));
+}
+
+TEST(BitArray, GetBits) {
+  BitArray a;
+  a.AppendBits(0xDEADBEEFCAFEBABEull, 64);
+  a.AppendBits(0x123456789ABCDEFull, 60);
+  EXPECT_EQ(a.GetBits(0, 64), 0xDEADBEEFCAFEBABEull);
+  EXPECT_EQ(a.GetBits(64, 60), 0x123456789ABCDEFull & LowMask(60));
+  EXPECT_EQ(a.GetBits(4, 8), (0xDEADBEEFCAFEBABEull >> 4) & 0xFF);
+  EXPECT_EQ(a.GetBits(10, 0), 0u);
+}
+
+// ------------------------------------------------------------ BitString
+
+TEST(BitString, FromStringRoundTrip) {
+  const std::string s = "001010111000110";
+  BitString b = BitString::FromString(s);
+  EXPECT_EQ(b.size(), s.size());
+  EXPECT_EQ(b.ToString(), s);
+}
+
+TEST(BitString, SpanSubSpanAndLcp) {
+  BitString a = BitString::FromString("0010101");
+  BitString b = BitString::FromString("0011");
+  EXPECT_EQ(a.Span().Lcp(b.Span()), 3u);
+  EXPECT_EQ(a.SubSpan(3).ToString(), "0101");
+  EXPECT_EQ(a.SubSpan(2, 3).ToString(), "101");
+  EXPECT_TRUE(BitString::FromString("001").Span().IsPrefixOf(a.Span()));
+  EXPECT_FALSE(BitString::FromString("01").Span().IsPrefixOf(a.Span()));
+}
+
+TEST(BitString, ContentEquals) {
+  BitString a = BitString::FromString("10101");
+  BitString b = BitString::FromString("10101");
+  BitString c = BitString::FromString("10100");
+  EXPECT_TRUE(a.Span().ContentEquals(b.Span()));
+  EXPECT_FALSE(a.Span().ContentEquals(c.Span()));
+  EXPECT_FALSE(a.Span().ContentEquals(a.SubSpan(1)));
+}
+
+TEST(BitString, LexicographicOrder) {
+  auto S = [](const char* s) { return BitString::FromString(s); };
+  EXPECT_LT(S("0"), S("1"));
+  EXPECT_LT(S("0"), S("00"));   // prefix sorts first
+  EXPECT_LT(S("011"), S("10"));
+  EXPECT_FALSE(S("10") < S("10"));
+  EXPECT_FALSE(S("1") < S("011"));
+}
+
+TEST(BitString, AppendSpanCrossesWords) {
+  BitString a;
+  for (int i = 0; i < 61; ++i) a.PushBack(i % 2);
+  BitString b = BitString::FromString("110011");
+  a.Append(b);
+  ASSERT_EQ(a.size(), 67u);
+  EXPECT_EQ(a.SubSpan(61).ToString(), "110011");
+}
+
+TEST(BitString, EqualityAfterMixedConstruction) {
+  BitString a = BitString::FromString("111000111");
+  BitString b;
+  b.AppendBits(0b000111, 3);  // low 3 bits = 111
+  b.AppendBits(0b0, 3);
+  b.AppendBits(0b111, 3);
+  EXPECT_EQ(a, b);
+}
+
+// ------------------------------------------------------------ Elias codes
+
+TEST(Elias, GammaLengths) {
+  EXPECT_EQ(GammaLen(1), 1u);
+  EXPECT_EQ(GammaLen(2), 3u);
+  EXPECT_EQ(GammaLen(3), 3u);
+  EXPECT_EQ(GammaLen(4), 5u);
+  EXPECT_EQ(GammaLen(uint64_t(1) << 62), 125u);
+}
+
+TEST(Elias, DeltaLengths) {
+  EXPECT_EQ(DeltaLen(1), 1u);   // gamma(1)
+  EXPECT_EQ(DeltaLen(2), 4u);   // gamma(2)+1
+  EXPECT_EQ(DeltaLen(16), 9u);  // gamma(5)=5 bits + 4
+}
+
+TEST(Elias, GammaRoundTripSmall) {
+  BitArray buf;
+  BitWriter w(&buf);
+  for (uint64_t v = 1; v <= 2000; ++v) w.WriteGamma(v);
+  BitReader r(buf);
+  for (uint64_t v = 1; v <= 2000; ++v) ASSERT_EQ(r.ReadGamma(), v);
+  EXPECT_EQ(r.position(), buf.size());
+}
+
+TEST(Elias, DeltaRoundTripSmall) {
+  BitArray buf;
+  BitWriter w(&buf);
+  for (uint64_t v = 1; v <= 2000; ++v) w.WriteDelta(v);
+  BitReader r(buf);
+  for (uint64_t v = 1; v <= 2000; ++v) ASSERT_EQ(r.ReadDelta(), v);
+  EXPECT_EQ(r.position(), buf.size());
+}
+
+TEST(Elias, RoundTripHugeValues) {
+  std::mt19937_64 rng(11);
+  std::vector<uint64_t> vals;
+  for (int i = 0; i < 500; ++i) {
+    const unsigned width = 1 + rng() % 63;
+    vals.push_back((rng() & LowMask(width)) | (uint64_t(1) << (width - 1)));
+  }
+  BitArray buf;
+  BitWriter w(&buf);
+  size_t expected_bits = 0;
+  for (uint64_t v : vals) {
+    w.WriteGamma(v);
+    w.WriteDelta(v);
+    expected_bits += GammaLen(v) + DeltaLen(v);
+  }
+  EXPECT_EQ(buf.size(), expected_bits);
+  BitReader r(buf);
+  for (uint64_t v : vals) {
+    ASSERT_EQ(r.ReadGamma(), v);
+    ASSERT_EQ(r.ReadDelta(), v);
+  }
+}
+
+TEST(Elias, MixedWithRawBits) {
+  BitArray buf;
+  BitWriter w(&buf);
+  w.WriteBits(0b1011, 4);
+  w.WriteGamma(17);
+  w.WriteBit(true);
+  w.WriteDelta(100);
+  BitReader r(buf);
+  EXPECT_EQ(r.ReadBits(4), 0b1011u);
+  EXPECT_EQ(r.ReadGamma(), 17u);
+  EXPECT_TRUE(r.ReadBit());
+  EXPECT_EQ(r.ReadDelta(), 100u);
+}
+
+}  // namespace
+}  // namespace wt

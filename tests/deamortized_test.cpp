@@ -1,0 +1,232 @@
+// Tests for the de-amortized append-only bitvector (Lemma 4.8 realization),
+// the incremental Rrr::Builder it relies on, the wavelet trie instantiated
+// on it, and the LatencyRecorder utility.
+#include <gtest/gtest.h>
+
+#include <random>
+#include <vector>
+
+#include "bitvector/append_only.hpp"
+#include "bitvector/append_only_deamortized.hpp"
+#include "bitvector/rrr.hpp"
+#include "core/dynamic_wavelet_trie.hpp"
+#include "util/stats.hpp"
+
+namespace wt {
+namespace {
+
+// ------------------------------------------------------------- Rrr::Builder
+
+TEST(RrrBuilder, MatchesEagerConstructionStepByStep) {
+  std::mt19937_64 rng(2);
+  for (size_t n : {size_t(0), size_t(1), size_t(63), size_t(64), size_t(4096),
+                   size_t(10000)}) {
+    BitArray bits;
+    for (size_t i = 0; i < n; ++i) bits.PushBack(rng() % 3 == 0);
+    const Rrr eager(bits);
+    Rrr::Builder builder(bits.data(), bits.size());
+    size_t steps = 0;
+    while (!builder.Step(1)) ++steps;
+    const Rrr built = builder.Take();
+    ASSERT_EQ(built.size(), eager.size()) << n;
+    for (size_t i = 0; i < n; i += 17) ASSERT_EQ(built.Get(i), eager.Get(i));
+    for (size_t i = 0; i <= n; i += 13) ASSERT_EQ(built.Rank1(i), eager.Rank1(i));
+    // Work was actually spread: one block (or the finish step) per Step().
+    ASSERT_GE(steps, n / Rrr::kBlockBits) << n;
+  }
+}
+
+TEST(RrrBuilder, StepWithLargeBudgetFinishesImmediately) {
+  BitArray bits;
+  for (size_t i = 0; i < 1000; ++i) bits.PushBack(i % 7 == 0);
+  Rrr::Builder builder(bits.data(), bits.size());
+  EXPECT_TRUE(builder.Step(SIZE_MAX));
+  EXPECT_TRUE(builder.done());
+  const Rrr r = builder.Take();
+  EXPECT_EQ(r.Rank1(1000), (1000 + 6) / 7);
+}
+
+// ---------------------------------------- DeamortizedAppendOnlyBitVector
+
+struct DeamParam {
+  size_t n;
+  uint32_t density_pct;  // P(bit = 1) in percent
+  uint64_t seed;
+};
+
+class DeamortizedProperty : public ::testing::TestWithParam<DeamParam> {};
+
+TEST_P(DeamortizedProperty, MatchesEagerVariantEverywhere) {
+  const auto p = GetParam();
+  std::mt19937_64 rng(p.seed);
+  AppendOnlyBitVector eager;
+  DeamortizedAppendOnlyBitVector deam;
+  std::vector<bool> ref;
+  for (size_t i = 0; i < p.n; ++i) {
+    const bool b = rng() % 100 < p.density_pct;
+    eager.Append(b);
+    deam.Append(b);
+    ref.push_back(b);
+  }
+  ASSERT_EQ(deam.size(), p.n);
+  ASSERT_EQ(deam.num_ones(), eager.num_ones());
+
+  // Access + Rank at sampled positions, including around chunk boundaries.
+  size_t ones = 0;
+  for (size_t i = 0; i < p.n; ++i) {
+    const bool probe = i % 61 == 0 || (i % 4096) < 2 || (i % 4096) > 4093;
+    if (probe) {
+      ASSERT_EQ(deam.Get(i), static_cast<bool>(ref[i])) << i;
+      ASSERT_EQ(deam.Rank1(i), ones) << i;
+    }
+    ones += ref[i];
+  }
+  ASSERT_EQ(deam.Rank1(p.n), ones);
+
+  // Select inverts Rank for sampled ks.
+  const size_t m = deam.num_ones();
+  for (size_t k = 0; k < m; k += m / 37 + 1) {
+    const size_t pos = deam.Select1(k);
+    ASSERT_EQ(pos, eager.Select1(k)) << k;
+    ASSERT_TRUE(ref[pos]);
+    ASSERT_EQ(deam.Rank1(pos), k);
+  }
+  const size_t z = deam.num_zeros();
+  for (size_t k = 0; k < z; k += z / 37 + 1) {
+    ASSERT_EQ(deam.Select0(k), eager.Select0(k)) << k;
+  }
+}
+
+TEST_P(DeamortizedProperty, QueriesCorrectWhileBuildPending) {
+  // Stop right after a seal so a build is guaranteed in flight, then query.
+  const auto p = GetParam();
+  if (p.n < 4100) GTEST_SKIP() << "needs at least one sealed chunk";
+  std::mt19937_64 rng(p.seed ^ 0x5A5A);
+  DeamortizedAppendOnlyBitVector deam;
+  std::vector<bool> ref;
+  for (size_t i = 0; i < 4097; ++i) {  // one bit past the first seal
+    const bool b = rng() % 100 < p.density_pct;
+    deam.Append(b);
+    ref.push_back(b);
+  }
+  ASSERT_TRUE(deam.HasPendingBuild());
+  size_t ones = 0;
+  for (size_t i = 0; i < ref.size(); ++i) {
+    ASSERT_EQ(deam.Get(i), static_cast<bool>(ref[i])) << i;
+    if (i % 97 == 0) {
+      ASSERT_EQ(deam.Rank1(i), ones);
+    }
+    ones += ref[i];
+  }
+  if (deam.num_ones() > 0) {
+    ASSERT_EQ(deam.Rank1(deam.Select1(deam.num_ones() - 1)),
+              deam.num_ones() - 1);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, DeamortizedProperty,
+    ::testing::Values(DeamParam{100, 50, 1}, DeamParam{4096, 50, 2},
+                      DeamParam{5000, 10, 3}, DeamParam{20000, 50, 4},
+                      DeamParam{20000, 1, 5}, DeamParam{20000, 99, 6},
+                      DeamParam{65536, 30, 7}));
+
+TEST(DeamortizedAppendOnly, InitConstantRun) {
+  DeamortizedAppendOnlyBitVector v(true, 1000);
+  EXPECT_EQ(v.size(), 1000u);
+  EXPECT_EQ(v.num_ones(), 1000u);
+  v.Append(false);
+  v.Append(true);
+  EXPECT_EQ(v.Rank1(1001), 1000u);
+  EXPECT_EQ(v.Rank1(1002), 1001u);
+  EXPECT_EQ(v.Select0(0), 1000u);
+  EXPECT_EQ(v.Select1(1000), 1001u);
+  EXPECT_EQ(v.Get(999), true);
+  EXPECT_EQ(v.Get(1000), false);
+}
+
+TEST(DeamortizedAppendOnly, BuildCompletesLongBeforeNextSeal) {
+  DeamortizedAppendOnlyBitVector v;
+  for (size_t i = 0; i < 4096; ++i) v.Append(i % 2 == 0);
+  EXPECT_TRUE(v.HasPendingBuild());
+  // Two 63-bit blocks per append: 66 blocks finish within ~40 appends.
+  for (size_t i = 0; i < 64; ++i) v.Append(false);
+  EXPECT_FALSE(v.HasPendingBuild());
+}
+
+TEST(DeamortizedAppendOnly, SpaceMatchesEagerVariantPlusOneProxyChunk) {
+  // Lemma 4.8's cost is bounded: at most one uncompressed chunk alive, so
+  // the footprint tracks the eager variant within one chunk + counters.
+  std::mt19937_64 rng(9);
+  AppendOnlyBitVector eager;
+  DeamortizedAppendOnlyBitVector deam;
+  const size_t n = 1 << 18;
+  for (size_t i = 0; i < n; ++i) {
+    const bool b = rng() % 100 < 2;
+    eager.Append(b);
+    deam.Append(b);
+  }
+  EXPECT_LE(deam.SizeInBits(),
+            eager.SizeInBits() + DeamortizedAppendOnlyBitVector::kChunkBits +
+                4096);
+}
+
+// -------------------------------------- trie on the de-amortized bitvector
+
+TEST(DeamortizedWaveletTrie, AppendAndQueryLikeTheEagerVariant) {
+  AppendOnlyWaveletTrie eager;
+  DeamortizedAppendOnlyWaveletTrie deam;
+  std::mt19937_64 rng(4);
+  std::vector<BitString> values;
+  for (int i = 0; i < 26; ++i) {
+    BitString s;
+    for (int b = 0; b < 8; ++b) s.PushBack((i >> b) & 1);
+    s.PushBack(true);  // keep the set prefix-free
+    values.push_back(s);
+  }
+  std::vector<size_t> counts(values.size(), 0);
+  for (int i = 0; i < 5000; ++i) {
+    const size_t pick = rng() % values.size();
+    eager.Append(values[pick].Span());
+    deam.Append(values[pick].Span());
+    ++counts[pick];
+  }
+  ASSERT_EQ(deam.size(), eager.size());
+  ASSERT_EQ(deam.NumDistinct(), eager.NumDistinct());
+  for (size_t v = 0; v < values.size(); ++v) {
+    ASSERT_EQ(deam.Rank(values[v].Span(), deam.size()), counts[v]);
+  }
+  for (size_t i = 0; i < deam.size(); i += 307) {
+    ASSERT_EQ(deam.Access(i), eager.Access(i)) << i;
+  }
+}
+
+// ------------------------------------------------------------ LatencyRecorder
+
+TEST(LatencyRecorder, PercentilesOfKnownDistribution) {
+  LatencyRecorder rec;
+  for (uint64_t v = 1; v <= 1000; ++v) rec.Record(v);
+  EXPECT_EQ(rec.count(), 1000u);
+  EXPECT_EQ(rec.Min(), 1u);
+  EXPECT_EQ(rec.Max(), 1000u);
+  EXPECT_EQ(rec.Percentile(0.5), 501u);   // nearest-rank on sorted 1..1000
+  EXPECT_EQ(rec.Percentile(0.999), 1000u);
+  EXPECT_EQ(rec.Percentile(0.0), 1u);
+  EXPECT_EQ(rec.Percentile(1.0), 1000u);
+  EXPECT_DOUBLE_EQ(rec.Mean(), 500.5);
+}
+
+TEST(LatencyRecorder, RecordAfterPercentileResorts) {
+  LatencyRecorder rec;
+  rec.Record(10);
+  rec.Record(30);
+  EXPECT_EQ(rec.Percentile(1.0), 30u);
+  rec.Record(20);
+  EXPECT_EQ(rec.Percentile(0.5), 20u);
+  rec.Clear();
+  rec.Record(7);
+  EXPECT_EQ(rec.Max(), 7u);
+}
+
+}  // namespace
+}  // namespace wt

@@ -1,0 +1,361 @@
+// Tests for the dynamic Wavelet Tries (paper Section 4):
+//   * AppendOnlyWaveletTrie (Theorem 4.3) — appends + queries;
+//   * DynamicWaveletTrie (Theorem 4.4) — arbitrary Insert/Delete with
+//     alphabet growth and shrinkage (node split/merge, Figure 3);
+//   * structural equivalence with the static WaveletTrie after the same
+//     sequence of appends;
+//   * randomized property tests against the naive oracle.
+#include <gtest/gtest.h>
+
+#include <random>
+#include <string>
+#include <vector>
+
+#include "core/codec.hpp"
+#include "core/dynamic_wavelet_trie.hpp"
+#include "core/naive.hpp"
+#include "core/wavelet_trie.hpp"
+
+namespace wt {
+namespace {
+
+BitString BS(const std::string& s) { return BitString::FromString(s); }
+
+std::vector<BitString> Figure2Sequence() {
+  std::vector<BitString> seq;
+  for (const char* s :
+       {"0001", "0011", "0100", "00100", "0100", "00100", "0100"}) {
+    seq.push_back(BS(s));
+  }
+  return seq;
+}
+
+// ------------------------------------------------------------- Figure 3
+
+TEST(DynamicWaveletTrieFigure3, InsertSplitsNode) {
+  // Figure 3: inserting a new string s = ...gamma·1·lambda splits the node
+  // labeled gamma·0·delta into an internal node labeled gamma (with a
+  // constant bitvector) plus the old node (label delta) and a new leaf
+  // (label lambda). We reproduce it with gamma=10, delta=11, lambda=0:
+  // sequence of 1011 s then one insert of 100.
+  DynamicWaveletTrie trie;
+  for (int i = 0; i < 4; ++i) trie.Append(BS("1011"));
+  {
+    const auto nodes = trie.DebugNodes();
+    ASSERT_EQ(nodes.size(), 1u);
+    EXPECT_EQ(nodes[0].alpha, "1011");
+    EXPECT_EQ(nodes[0].count, 4u);
+  }
+  trie.Insert(BS("100"), 2);  // diverges after "10"
+  {
+    const auto nodes = trie.DebugNodes();
+    ASSERT_EQ(nodes.size(), 3u);
+    // New internal node labeled "10" with the branch bits: the old strings
+    // take branch 1, the new one branch 0 -> beta = 11011 with the new
+    // string at position 2.
+    EXPECT_EQ(nodes[0].alpha, "10");
+    EXPECT_FALSE(nodes[0].is_leaf);
+    EXPECT_EQ(nodes[0].beta, "11011");
+    // Left (0) child: the new leaf, label = lambda = "" (after "100").
+    EXPECT_EQ(nodes[1].alpha, "");
+    EXPECT_TRUE(nodes[1].is_leaf);
+    EXPECT_EQ(nodes[1].count, 1u);
+    // Right (1) child: the old node, label = delta = "1".
+    EXPECT_EQ(nodes[2].alpha, "1");
+    EXPECT_TRUE(nodes[2].is_leaf);
+    EXPECT_EQ(nodes[2].count, 4u);
+  }
+  // Sequence content must be <1011, 1011, 100, 1011, 1011>.
+  EXPECT_EQ(trie.Access(2).ToString(), "100");
+  EXPECT_EQ(trie.Access(0).ToString(), "1011");
+  EXPECT_EQ(trie.Access(4).ToString(), "1011");
+  EXPECT_EQ(trie.NumDistinct(), 2u);
+
+  // Deleting the last occurrence of 100 must merge the node back
+  // (inverse of Figure 3).
+  trie.Delete(2);
+  const auto nodes = trie.DebugNodes();
+  ASSERT_EQ(nodes.size(), 1u);
+  EXPECT_EQ(nodes[0].alpha, "1011");
+  EXPECT_EQ(nodes[0].count, 4u);
+  EXPECT_EQ(trie.NumDistinct(), 1u);
+}
+
+// ----------------------------------- structural equivalence with static
+
+TEST(AppendOnlyWaveletTrie, MatchesStaticStructureOnFigure2) {
+  const auto seq = Figure2Sequence();
+  AppendOnlyWaveletTrie dyn;
+  for (const auto& s : seq) dyn.Append(s);
+  WaveletTrie st(seq);
+  const auto dn = dyn.DebugNodes();
+  const auto sn = st.DebugNodes();
+  ASSERT_EQ(dn.size(), sn.size());
+  for (size_t i = 0; i < dn.size(); ++i) {
+    EXPECT_EQ(dn[i].alpha, sn[i].alpha) << "node " << i;
+    EXPECT_EQ(dn[i].beta, sn[i].beta) << "node " << i;
+    EXPECT_EQ(dn[i].is_leaf, sn[i].is_leaf) << "node " << i;
+  }
+}
+
+TEST(DynamicWaveletTrie, MatchesStaticStructureAfterRandomAppends) {
+  std::mt19937_64 rng(11);
+  std::vector<std::string> alphabet;
+  for (int i = 0; i < 60; ++i) {
+    std::string s;
+    const size_t len = 1 + rng() % 8;
+    for (size_t j = 0; j < len; ++j) s.push_back('a' + rng() % 3);
+    alphabet.push_back(s);
+  }
+  std::vector<BitString> seq;
+  for (int i = 0; i < 800; ++i) {
+    seq.push_back(ByteCodec::Encode(alphabet[rng() % alphabet.size()]));
+  }
+  DynamicWaveletTrie dyn;
+  AppendOnlyWaveletTrie app;
+  for (const auto& s : seq) {
+    dyn.Append(s);
+    app.Append(s);
+  }
+  WaveletTrie st(seq);
+  const auto dn = dyn.DebugNodes();
+  const auto an = app.DebugNodes();
+  const auto sn = st.DebugNodes();
+  ASSERT_EQ(dn.size(), sn.size());
+  ASSERT_EQ(an.size(), sn.size());
+  for (size_t i = 0; i < sn.size(); ++i) {
+    ASSERT_EQ(dn[i].alpha, sn[i].alpha);
+    ASSERT_EQ(dn[i].beta, sn[i].beta);
+    ASSERT_EQ(an[i].alpha, sn[i].alpha);
+    ASSERT_EQ(an[i].beta, sn[i].beta);
+  }
+}
+
+// -------------------------------------------------- append-only vs naive
+
+TEST(AppendOnlyWaveletTrie, InterleavedAppendsAndQueries) {
+  std::mt19937_64 rng(21);
+  std::vector<std::string> alphabet = {"com/a", "com/b", "org/x", "org/y/z",
+                                       "net",   "com/a/long/path"};
+  AppendOnlyWaveletTrie trie;
+  NaiveIndexedSequence naive;
+  for (int i = 0; i < 3000; ++i) {
+    const auto& w = alphabet[rng() % alphabet.size()];
+    const BitString enc = ByteCodec::Encode(w);
+    trie.Append(enc);
+    naive.Append(enc);
+    if (i % 97 == 0) {
+      const size_t pos = rng() % (naive.size() + 1);
+      const auto& probe = alphabet[rng() % alphabet.size()];
+      const BitString pe = ByteCodec::Encode(probe);
+      ASSERT_EQ(trie.Rank(pe, pos), naive.Rank(pe, pos)) << "step " << i;
+      const BitString pp = ByteCodec::EncodePrefix("com/");
+      ASSERT_EQ(trie.RankPrefix(pp, pos), naive.RankPrefix(pp, pos));
+    }
+  }
+  ASSERT_EQ(trie.size(), naive.size());
+  ASSERT_EQ(trie.NumDistinct(), alphabet.size());
+  for (size_t i = 0; i < naive.size(); i += 13) {
+    ASSERT_TRUE(trie.Access(i).Span().ContentEquals(naive.Access(i).Span()));
+  }
+  for (const auto& w : alphabet) {
+    const BitString enc = ByteCodec::Encode(w);
+    const size_t total = naive.Rank(enc, naive.size());
+    for (size_t k = 0; k < total; k += 1 + total / 7) {
+      ASSERT_EQ(trie.Select(enc, k), naive.Select(enc, k));
+    }
+    ASSERT_EQ(trie.Select(enc, total), std::nullopt);
+  }
+  // Prefix select across a shared domain prefix.
+  const BitString pp = ByteCodec::EncodePrefix("org/");
+  const size_t total = naive.RankPrefix(pp, naive.size());
+  for (size_t k = 0; k < total; k += 1 + total / 11) {
+    ASSERT_EQ(trie.SelectPrefix(pp, k), naive.SelectPrefix(pp, k));
+  }
+}
+
+// ------------------------------------------------ fully dynamic vs naive
+
+TEST(DynamicWaveletTrie, RandomChurnAgainstNaive) {
+  std::mt19937_64 rng(31);
+  std::vector<std::string> alphabet;
+  for (int i = 0; i < 40; ++i) {
+    std::string s = "k";
+    const size_t len = rng() % 6;
+    for (size_t j = 0; j < len; ++j) s.push_back('0' + rng() % 5);
+    alphabet.push_back(s);
+  }
+  std::sort(alphabet.begin(), alphabet.end());
+  alphabet.erase(std::unique(alphabet.begin(), alphabet.end()), alphabet.end());
+
+  DynamicWaveletTrie trie;
+  NaiveIndexedSequence naive;
+  for (int step = 0; step < 4000; ++step) {
+    const int op = static_cast<int>(rng() % 10);
+    if (op < 5 || naive.size() == 0) {  // insert at random position
+      const BitString enc = ByteCodec::Encode(alphabet[rng() % alphabet.size()]);
+      const size_t pos = rng() % (naive.size() + 1);
+      trie.Insert(enc, pos);
+      naive.Insert(pos, enc);
+    } else if (op < 8) {  // delete
+      const size_t pos = rng() % naive.size();
+      trie.Delete(pos);
+      naive.Delete(pos);
+    } else {  // queries
+      const size_t pos = rng() % (naive.size() + 1);
+      const BitString probe = ByteCodec::Encode(alphabet[rng() % alphabet.size()]);
+      ASSERT_EQ(trie.Rank(probe, pos), naive.Rank(probe, pos)) << "step " << step;
+      if (naive.size() > 0) {
+        const size_t apos = rng() % naive.size();
+        ASSERT_TRUE(
+            trie.Access(apos).Span().ContentEquals(naive.Access(apos).Span()));
+      }
+    }
+    ASSERT_EQ(trie.size(), naive.size());
+  }
+  // Full final audit.
+  for (size_t i = 0; i < naive.size(); ++i) {
+    ASSERT_TRUE(trie.Access(i).Span().ContentEquals(naive.Access(i).Span()));
+  }
+  for (const auto& w : alphabet) {
+    const BitString enc = ByteCodec::Encode(w);
+    ASSERT_EQ(trie.Rank(enc, naive.size()), naive.Rank(enc, naive.size()));
+    const size_t total = naive.Rank(enc, naive.size());
+    if (total > 0) {
+      const size_t k = rng() % total;
+      ASSERT_EQ(trie.Select(enc, k), naive.Select(enc, k));
+    }
+  }
+}
+
+TEST(DynamicWaveletTrie, AlphabetShrinksOnLastDelete) {
+  DynamicWaveletTrie trie;
+  trie.Append(ByteCodec::Encode("aaa"));
+  trie.Append(ByteCodec::Encode("bbb"));
+  trie.Append(ByteCodec::Encode("aaa"));
+  EXPECT_EQ(trie.NumDistinct(), 2u);
+  trie.Delete(1);  // last occurrence of bbb
+  EXPECT_EQ(trie.NumDistinct(), 1u);
+  EXPECT_EQ(trie.size(), 2u);
+  EXPECT_EQ(trie.Rank(ByteCodec::Encode("bbb"), 2), 0u);
+  EXPECT_EQ(trie.Rank(ByteCodec::Encode("aaa"), 2), 2u);
+  // Reinsert grows it again.
+  trie.Insert(ByteCodec::Encode("bbb"), 0);
+  EXPECT_EQ(trie.NumDistinct(), 2u);
+  EXPECT_EQ(trie.Access(0).Span().ContentEquals(
+                ByteCodec::Encode("bbb").Span()),
+            true);
+  // Drain to empty.
+  trie.Delete(0);
+  trie.Delete(0);
+  trie.Delete(0);
+  EXPECT_EQ(trie.size(), 0u);
+  EXPECT_EQ(trie.NumDistinct(), 0u);
+  // And it still works afterwards.
+  trie.Append(ByteCodec::Encode("zzz"));
+  EXPECT_EQ(trie.size(), 1u);
+  EXPECT_EQ(ByteCodec::Decode(trie.Access(0).Span()), "zzz");
+}
+
+// ------------------------------------------- Section 5 on dynamic tries
+
+TEST(DynamicWaveletTrie, RangeAlgorithmsMatchNaive) {
+  std::mt19937_64 rng(41);
+  std::vector<std::string> alphabet = {"x", "yy", "zzz", "yyah", "xbc"};
+  DynamicWaveletTrie trie;
+  NaiveIndexedSequence naive;
+  for (int i = 0; i < 600; ++i) {
+    const size_t z = rng() % 100;
+    const auto& w = alphabet[z < 50 ? 0 : z % alphabet.size()];
+    const BitString enc = ByteCodec::Encode(w);
+    const size_t pos = rng() % (naive.size() + 1);
+    trie.Insert(enc, pos);
+    naive.Insert(pos, enc);
+  }
+  for (int q = 0; q < 10; ++q) {
+    size_t l = rng() % (naive.size() + 1);
+    size_t r = rng() % (naive.size() + 1);
+    if (l > r) std::swap(l, r);
+    std::vector<std::pair<std::string, size_t>> got;
+    trie.DistinctInRange(l, r, [&](const BitString& s, size_t c) {
+      got.emplace_back(s.ToString(), c);
+    });
+    std::vector<std::pair<std::string, size_t>> expect;
+    for (auto& [s, c] : naive.DistinctInRange(l, r)) {
+      expect.emplace_back(s.ToString(), c);
+    }
+    ASSERT_EQ(got, expect);
+
+    const auto m1 = trie.RangeMajority(l, r);
+    const auto m2 = naive.RangeMajority(l, r);
+    ASSERT_EQ(m1.has_value(), m2.has_value());
+    if (m1) {
+      ASSERT_EQ(m1->first.ToString(), m2->first.ToString());
+    }
+
+    size_t expect_i = l;
+    trie.ForEachInRange(l, r, [&](size_t i, const BitString& s) {
+      ASSERT_EQ(i, expect_i++);
+      ASSERT_TRUE(s.Span().ContentEquals(naive.Access(i).Span()));
+    });
+    ASSERT_EQ(expect_i, r);
+  }
+}
+
+TEST(AppendOnlyWaveletTrie, RangeAlgorithmsAndIteration) {
+  std::mt19937_64 rng(51);
+  std::vector<std::string> alphabet = {"a/p", "a/q", "b/r", "b/s/t"};
+  AppendOnlyWaveletTrie trie;
+  NaiveIndexedSequence naive;
+  for (int i = 0; i < 1200; ++i) {
+    const auto& w = alphabet[rng() % alphabet.size()];
+    const BitString enc = ByteCodec::Encode(w);
+    trie.Append(enc);
+    naive.Append(enc);
+  }
+  size_t l = 100, r = 1100;
+  std::vector<std::pair<std::string, size_t>> got;
+  trie.DistinctInRange(l, r, [&](const BitString& s, size_t c) {
+    got.emplace_back(s.ToString(), c);
+  });
+  std::vector<std::pair<std::string, size_t>> expect;
+  for (auto& [s, c] : naive.DistinctInRange(l, r)) {
+    expect.emplace_back(s.ToString(), c);
+  }
+  ASSERT_EQ(got, expect);
+  size_t expect_i = l;
+  trie.ForEachInRange(l, r, [&](size_t i, const BitString& s) {
+    ASSERT_EQ(i, expect_i++);
+    ASSERT_TRUE(s.Span().ContentEquals(naive.Access(i).Span()));
+  });
+  // Frequent elements with threshold.
+  std::vector<std::pair<std::string, size_t>> fgot;
+  trie.RangeFrequent(l, r, 200, [&](const BitString& s, size_t c) {
+    fgot.emplace_back(s.ToString(), c);
+  });
+  std::vector<std::pair<std::string, size_t>> fexpect;
+  for (auto& [s, c] : naive.RangeFrequent(l, r, 200)) {
+    fexpect.emplace_back(s.ToString(), c);
+  }
+  ASSERT_EQ(fgot, fexpect);
+}
+
+TEST(AppendOnlyWaveletTrie, LongStreamCompresses) {
+  // Append a skewed URL stream; space must be far below the raw encoding.
+  std::mt19937_64 rng(61);
+  AppendOnlyWaveletTrie trie;
+  size_t raw_bits = 0;
+  for (int i = 0; i < 30000; ++i) {
+    const int host = static_cast<int>(rng() % 100);
+    const std::string url =
+        (host < 80 ? "www.popular.com/p" : "rare" + std::to_string(host) + ".org/q") +
+        std::to_string(rng() % 8);
+    const BitString enc = ByteCodec::Encode(url);
+    raw_bits += enc.size();
+    trie.Append(enc);
+  }
+  EXPECT_LT(trie.SizeInBits(), raw_bits / 3);
+}
+
+}  // namespace
+}  // namespace wt

@@ -1,0 +1,154 @@
+// Round-trip tests for the binary serialization of the static structures:
+// every query result must be identical after Save + Load, directories are
+// rebuilt on load, and corrupt streams are rejected.
+#include <gtest/gtest.h>
+
+#include <random>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "bitvector/bit_vector.hpp"
+#include "bitvector/elias_fano.hpp"
+#include "bitvector/rrr.hpp"
+#include "core/codec.hpp"
+#include "core/wavelet_trie.hpp"
+#include "util/workloads.hpp"
+
+namespace wt {
+namespace {
+
+BitArray RandomBits(size_t n, double density, uint64_t seed) {
+  std::mt19937_64 rng(seed);
+  std::bernoulli_distribution coin(density);
+  BitArray a;
+  for (size_t i = 0; i < n; ++i) a.PushBack(coin(rng));
+  return a;
+}
+
+TEST(Serialize, BitVectorRoundTrip) {
+  BitVector orig(RandomBits(50000, 0.37, 1));
+  std::stringstream ss;
+  orig.Save(ss);
+  BitVector loaded;
+  loaded.Load(ss);
+  ASSERT_EQ(loaded.size(), orig.size());
+  ASSERT_EQ(loaded.num_ones(), orig.num_ones());
+  for (size_t pos = 0; pos <= orig.size(); pos += 997) {
+    ASSERT_EQ(loaded.Rank1(pos), orig.Rank1(pos));
+  }
+  for (size_t k = 0; k < orig.num_ones(); k += 991) {
+    ASSERT_EQ(loaded.Select1(k), orig.Select1(k));
+  }
+}
+
+TEST(Serialize, RrrRoundTrip) {
+  Rrr orig(RandomBits(80000, 0.08, 2));
+  std::stringstream ss;
+  orig.Save(ss);
+  Rrr loaded;
+  loaded.Load(ss);
+  ASSERT_EQ(loaded.size(), orig.size());
+  ASSERT_EQ(loaded.num_ones(), orig.num_ones());
+  for (size_t pos = 0; pos <= orig.size(); pos += 1009) {
+    ASSERT_EQ(loaded.Rank1(pos), orig.Rank1(pos));
+    if (pos < orig.size()) {
+      ASSERT_EQ(loaded.Get(pos), orig.Get(pos));
+    }
+  }
+  for (size_t k = 0; k < orig.num_ones(); k += 499) {
+    ASSERT_EQ(loaded.Select1(k), orig.Select1(k));
+  }
+  for (size_t k = 0; k < orig.num_zeros(); k += 4999) {
+    ASSERT_EQ(loaded.Select0(k), orig.Select0(k));
+  }
+}
+
+TEST(Serialize, EliasFanoRoundTrip) {
+  std::vector<uint64_t> vals;
+  std::mt19937_64 rng(3);
+  uint64_t cur = 0;
+  for (int i = 0; i < 5000; ++i) {
+    cur += rng() % 300;
+    vals.push_back(cur);
+  }
+  EliasFano orig(vals, vals.back());
+  std::stringstream ss;
+  orig.Save(ss);
+  EliasFano loaded;
+  loaded.Load(ss);
+  ASSERT_EQ(loaded.size(), orig.size());
+  for (size_t i = 0; i < vals.size(); ++i) ASSERT_EQ(loaded.Access(i), vals[i]);
+}
+
+TEST(Serialize, WaveletTrieRoundTripFullQuerySurface) {
+  UrlLogOptions opt;
+  opt.num_domains = 24;
+  opt.paths_per_domain = 12;
+  opt.seed = 4;
+  UrlLogGenerator gen(opt);
+  std::vector<BitString> seq;
+  std::vector<std::string> urls = gen.Take(5000);
+  for (const auto& u : urls) seq.push_back(ByteCodec::Encode(u));
+  WaveletTrie orig(seq);
+
+  std::stringstream ss;
+  orig.Save(ss);
+  WaveletTrie loaded;
+  loaded.Load(ss);
+
+  ASSERT_EQ(loaded.size(), orig.size());
+  ASSERT_EQ(loaded.NumDistinct(), orig.NumDistinct());
+  std::mt19937_64 rng(5);
+  for (int q = 0; q < 300; ++q) {
+    const size_t pos = rng() % orig.size();
+    ASSERT_TRUE(loaded.Access(pos).Span().ContentEquals(orig.Access(pos).Span()));
+    const BitString probe = ByteCodec::Encode(urls[rng() % urls.size()]);
+    const size_t upto = rng() % (orig.size() + 1);
+    ASSERT_EQ(loaded.Rank(probe, upto), orig.Rank(probe, upto));
+    const BitString p = ByteCodec::EncodePrefix(gen.Domain(rng() % 24));
+    ASSERT_EQ(loaded.RankPrefix(p, upto), orig.RankPrefix(p, upto));
+  }
+  // Range analytics survive the round trip.
+  auto m1 = orig.RangeMajority(100, 4000);
+  auto m2 = loaded.RangeMajority(100, 4000);
+  ASSERT_EQ(m1.has_value(), m2.has_value());
+  size_t d1 = 0, d2 = 0;
+  orig.DistinctInRange(0, 2000, [&](const BitString&, size_t) { ++d1; });
+  loaded.DistinctInRange(0, 2000, [&](const BitString&, size_t) { ++d2; });
+  ASSERT_EQ(d1, d2);
+}
+
+TEST(Serialize, EmptyTrieRoundTrip) {
+  WaveletTrie orig{std::vector<BitString>{}};
+  std::stringstream ss;
+  orig.Save(ss);
+  WaveletTrie loaded;
+  loaded.Load(ss);
+  EXPECT_EQ(loaded.size(), 0u);
+  EXPECT_EQ(loaded.Rank(BitString::FromString("01"), 0), 0u);
+}
+
+TEST(SerializeDeath, RejectsGarbageMagic) {
+  std::stringstream ss;
+  WritePod<uint64_t>(ss, 0xDEADBEEFull);  // wrong magic
+  WritePod<uint32_t>(ss, 1);
+  WritePod<uint64_t>(ss, 0);
+  WaveletTrie t;
+  EXPECT_DEATH(t.Load(ss), "not a wavelet-trie stream");
+}
+
+TEST(SerializeDeath, RejectsTruncatedStream) {
+  // A valid header followed by nothing.
+  WaveletTrie orig(std::vector<BitString>{BitString::FromString("01"),
+                                          BitString::FromString("10")});
+  std::stringstream full;
+  orig.Save(full);
+  const std::string bytes = full.str();
+  std::stringstream truncated(bytes.substr(0, bytes.size() / 2));
+  WaveletTrie t;
+  EXPECT_DEATH(t.Load(truncated), "truncated|corrupt");
+}
+
+}  // namespace
+}  // namespace wt

@@ -1,0 +1,281 @@
+// Tests for the column-store layer (store/column.hpp, store/table.hpp):
+// typed columns over the paper's dynamic structures, windowed predicates,
+// conjunctive filters and the Section 5 analytics surfaced as SQL-ish ops.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <random>
+#include <string>
+#include <vector>
+
+#include "store/column.hpp"
+#include "store/table.hpp"
+#include "util/workloads.hpp"
+
+namespace wt {
+namespace {
+
+// -------------------------------------------------------------- StringColumn
+
+class StringColumnTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    UrlLogGenerator gen({.num_domains = 9, .paths_per_domain = 7, .seed = 21});
+    values_ = gen.Take(500);
+    for (const auto& v : values_) col_.Append(v);
+  }
+
+  std::vector<std::string> values_;
+  StringColumn col_;
+};
+
+TEST_F(StringColumnTest, GetReturnsAppendedValues) {
+  ASSERT_EQ(col_.size(), values_.size());
+  for (size_t i = 0; i < values_.size(); ++i) ASSERT_EQ(col_.Get(i), values_[i]);
+}
+
+TEST_F(StringColumnTest, WindowedCountsMatchNaive) {
+  const std::string v = values_[33];
+  const std::string p = "www.site2.com";
+  for (size_t l = 0; l <= values_.size(); l += 111) {
+    for (size_t r = l; r <= values_.size(); r += 97) {
+      size_t eq = 0, pf = 0;
+      for (size_t i = l; i < r; ++i) {
+        eq += values_[i] == v;
+        pf += values_[i].compare(0, p.size(), p) == 0;
+      }
+      ASSERT_EQ(col_.CountEquals(v, l, r), eq) << l << ":" << r;
+      ASSERT_EQ(col_.CountPrefix(p, l, r), pf) << l << ":" << r;
+    }
+  }
+}
+
+TEST_F(StringColumnTest, RowsWithPrefixMatchesNaive) {
+  const std::string p = "www.site1.com/sec3";
+  const size_t l = 50, r = 400;
+  std::vector<size_t> expect;
+  for (size_t i = l; i < r; ++i) {
+    if (values_[i].compare(0, p.size(), p) == 0) expect.push_back(i);
+  }
+  EXPECT_EQ(col_.RowsWithPrefix(p, l, r), expect);
+  EXPECT_TRUE(col_.RowsWithPrefix("no.such.prefix", 0, values_.size()).empty());
+}
+
+TEST_F(StringColumnTest, GroupCountMatchesNaive) {
+  const size_t l = 100, r = 350;
+  std::map<std::string, size_t> expect;
+  for (size_t i = l; i < r; ++i) ++expect[values_[i]];
+  EXPECT_EQ(col_.GroupCount(l, r), expect);
+}
+
+TEST_F(StringColumnTest, GroupCountWithPrefixMatchesNaive) {
+  const std::string p = "www.site0.com";
+  const size_t l = 60, r = 410;
+  std::map<std::string, size_t> expect;
+  for (size_t i = l; i < r; ++i) {
+    if (values_[i].compare(0, p.size(), p) == 0) ++expect[values_[i]];
+  }
+  EXPECT_EQ(col_.GroupCountWithPrefix(p, l, r), expect);
+  EXPECT_TRUE(col_.GroupCountWithPrefix("no.such", 0, values_.size()).empty());
+  // Empty prefix degenerates to the unrestricted group count.
+  EXPECT_EQ(col_.GroupCountWithPrefix("", l, r), col_.GroupCount(l, r));
+}
+
+TEST_F(StringColumnTest, FrequentValuesRespectsThreshold) {
+  const size_t l = 0, r = values_.size(), t = 10;
+  std::map<std::string, size_t> expect;
+  {
+    std::map<std::string, size_t> all;
+    for (size_t i = l; i < r; ++i) ++all[values_[i]];
+    for (const auto& [v, c] : all) {
+      if (c >= t) expect[v] = c;
+    }
+  }
+  EXPECT_EQ(col_.FrequentValues(l, r, t), expect);
+}
+
+TEST_F(StringColumnTest, ScanVisitsWindowInOrder) {
+  const size_t l = 77, r = 243;
+  size_t expect_i = l;
+  col_.Scan(l, r, [&](size_t i, const std::string& v) {
+    ASSERT_EQ(i, expect_i);
+    ASSERT_EQ(v, values_[i]);
+    ++expect_i;
+  });
+  EXPECT_EQ(expect_i, r);
+}
+
+TEST(StringColumn, MajorityInWindow) {
+  StringColumn col;
+  for (int i = 0; i < 6; ++i) col.Append("alpha");
+  for (int i = 0; i < 3; ++i) col.Append("beta");
+  col.Append("gamma");
+  auto m = col.Majority(0, 10);
+  ASSERT_TRUE(m.has_value());
+  EXPECT_EQ(m->first, "alpha");
+  EXPECT_EQ(m->second, 6u);
+  EXPECT_EQ(col.Majority(4, 10), std::nullopt);  // alpha x2, beta x3, gamma x1
+  auto window = col.Majority(6, 10);  // beta x3 of 4 is a strict majority
+  ASSERT_TRUE(window.has_value());
+  EXPECT_EQ(window->first, "beta");
+}
+
+// ----------------------------------------------------------------- IntColumn
+
+TEST(IntColumn, EqualityAndGroupCount) {
+  IntColumn col;
+  std::mt19937_64 rng(5);
+  std::vector<uint64_t> vals;
+  // Large-universe values, small working alphabet (the Section 6 setting).
+  std::vector<uint64_t> alphabet{7, uint64_t(1) << 60, 42, 999999999999ull};
+  for (int i = 0; i < 300; ++i) {
+    vals.push_back(alphabet[rng() % alphabet.size()]);
+    col.Append(vals.back());
+  }
+  ASSERT_EQ(col.size(), vals.size());
+  ASSERT_EQ(col.NumDistinct(), alphabet.size());
+  for (size_t i = 0; i < vals.size(); i += 13) ASSERT_EQ(col.Get(i), vals[i]);
+  for (uint64_t probe : alphabet) {
+    size_t c = 0;
+    for (size_t i = 100; i < 250; ++i) c += vals[i] == probe;
+    ASSERT_EQ(col.CountEquals(probe, 100, 250), c) << probe;
+  }
+  std::map<uint64_t, size_t> expect;
+  for (size_t i = 50; i < 200; ++i) ++expect[vals[i]];
+  EXPECT_EQ(col.GroupCount(50, 200), expect);
+  EXPECT_EQ(col.CountEquals(uint64_t(12345), 0, vals.size()), 0u);
+}
+
+TEST(IntColumn, SelectFindsKthOccurrence) {
+  IntColumn col;
+  for (uint64_t i = 0; i < 60; ++i) col.Append(i % 3);
+  EXPECT_EQ(col.SelectEquals(1, 0), std::optional<size_t>(1));
+  EXPECT_EQ(col.SelectEquals(1, 5), std::optional<size_t>(16));
+  EXPECT_EQ(col.SelectEquals(1, 20), std::nullopt);
+}
+
+// --------------------------------------------------------------------- Table
+
+class TableTest : public ::testing::Test {
+ protected:
+  void SetUp() override
+  {
+    table_ = std::make_unique<Table>(std::vector<ColumnSpec>{
+        {"url", ColumnType::kString},
+        {"status", ColumnType::kInt},
+        {"agent", ColumnType::kString},
+    });
+    UrlLogGenerator gen({.num_domains = 6, .paths_per_domain = 5, .seed = 3});
+    std::mt19937_64 rng(9);
+    const std::vector<std::string> agents{"bot", "firefox", "chrome"};
+    const std::vector<uint64_t> statuses{200, 200, 200, 404, 500};
+    for (int i = 0; i < 400; ++i) {
+      urls_.push_back(gen.Next());
+      status_.push_back(statuses[rng() % statuses.size()]);
+      agent_.push_back(agents[rng() % agents.size()]);
+      table_->AppendRow({urls_.back(), status_.back(), agent_.back()});
+    }
+  }
+
+  std::unique_ptr<Table> table_;
+  std::vector<std::string> urls_;
+  std::vector<uint64_t> status_;
+  std::vector<std::string> agent_;
+};
+
+TEST_F(TableTest, SchemaAndRowCount) {
+  EXPECT_EQ(table_->num_rows(), 400u);
+  EXPECT_EQ(table_->num_columns(), 3u);
+  EXPECT_EQ(table_->schema()[1].name, "status");
+}
+
+TEST_F(TableTest, GetRowReconstructsAllColumns) {
+  for (size_t row : {size_t(0), size_t(57), size_t(399)}) {
+    const auto cells = table_->GetRow(row);
+    ASSERT_EQ(cells.size(), 3u);
+    EXPECT_EQ(std::get<std::string>(cells[0]), urls_[row]);
+    EXPECT_EQ(std::get<uint64_t>(cells[1]), status_[row]);
+    EXPECT_EQ(std::get<std::string>(cells[2]), agent_[row]);
+  }
+}
+
+TEST_F(TableTest, WindowedCountsMatchNaive) {
+  const size_t from = 100, to = 300;
+  size_t eq404 = 0, prefix = 0, bots = 0;
+  for (size_t i = from; i < to; ++i) {
+    eq404 += status_[i] == 404;
+    prefix += urls_[i].compare(0, 13, "www.site0.com") == 0;
+    bots += agent_[i] == "bot";
+  }
+  EXPECT_EQ(table_->CountEquals("status", uint64_t(404), from, to), eq404);
+  EXPECT_EQ(table_->CountPrefix("url", "www.site0.com", from, to), prefix);
+  EXPECT_EQ(table_->CountEquals("agent", std::string("bot"), from, to), bots);
+}
+
+TEST_F(TableTest, ConjunctiveFilterMatchesNaive) {
+  std::vector<size_t> expect;
+  for (size_t i = 0; i < urls_.size(); ++i) {
+    if (urls_[i].compare(0, 13, "www.site1.com") == 0 && status_[i] == 404) {
+      expect.push_back(i);
+    }
+  }
+  EXPECT_EQ(table_->RowsWherePrefixAndEquals("url", "www.site1.com", "status",
+                                             CellValue(uint64_t(404))),
+            expect);
+}
+
+TEST_F(TableTest, TopKOrdersByFrequency) {
+  const auto top = table_->TopK("agent", 2);
+  ASSERT_EQ(top.size(), 2u);
+  std::map<std::string, size_t> counts;
+  for (const auto& a : agent_) ++counts[a];
+  // The top-1 must be the true argmax.
+  size_t best = 0;
+  for (const auto& [v, c] : counts) best = std::max(best, c);
+  EXPECT_EQ(top[0].second, best);
+  EXPECT_GE(top[0].second, top[1].second);
+}
+
+TEST_F(TableTest, MajorityStatusInStableWindow) {
+  // Build a window guaranteed to have a 200-majority by construction check.
+  size_t c200 = 0;
+  for (size_t i = 0; i < 50; ++i) c200 += status_[i] == 200;
+  Table t(std::vector<ColumnSpec>{{"s", ColumnType::kString}});
+  for (size_t i = 0; i < 50; ++i) {
+    t.AppendRow({std::to_string(status_[i])});
+  }
+  const auto m = t.Majority("s");
+  if (2 * c200 > 50) {
+    ASSERT_TRUE(m.has_value());
+    EXPECT_EQ(m->first, "200");
+    EXPECT_EQ(m->second, c200);
+  } else {
+    EXPECT_EQ(m, std::nullopt);
+  }
+}
+
+TEST_F(TableTest, WindowClampsToRowCount) {
+  EXPECT_EQ(table_->CountPrefix("url", "www.", 0, SIZE_MAX), 400u);
+  EXPECT_EQ(table_->CountPrefix("url", "www.", 500, 600), 0u);
+}
+
+TEST_F(TableTest, ColumnSizesAreTracked) {
+  EXPECT_GT(table_->ColumnSizeInBits("url"), 0u);
+  EXPECT_GT(table_->SizeInBits(), table_->ColumnSizeInBits("url"));
+}
+
+TEST(Table, FrequentValuesWindowed) {
+  Table t(std::vector<ColumnSpec>{{"k", ColumnType::kString}});
+  for (int round = 0; round < 20; ++round) {
+    t.AppendRow({std::string("hot")});
+    if (round % 2 == 0) t.AppendRow({std::string("warm")});
+    if (round % 10 == 0) t.AppendRow({std::string("cold")});
+  }
+  const auto freq = t.FrequentValues("k", 10);
+  EXPECT_EQ(freq.count("hot"), 1u);
+  EXPECT_EQ(freq.count("warm"), 1u);
+  EXPECT_EQ(freq.count("cold"), 0u);
+}
+
+}  // namespace
+}  // namespace wt

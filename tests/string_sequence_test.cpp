@@ -1,0 +1,158 @@
+// Tests for the StringSequence façade: the typed public API over the three
+// Wavelet Trie variants and the codecs.
+#include <gtest/gtest.h>
+
+#include <random>
+#include <string>
+#include <vector>
+
+#include "core/string_sequence.hpp"
+
+namespace wt {
+namespace {
+
+TEST(StringSequence, StaticBasics) {
+  const std::vector<std::string> data = {"get /a", "get /b", "post /a",
+                                         "get /a", "put /c"};
+  StringSequence<WaveletTrie> seq(data);
+  EXPECT_EQ(seq.size(), 5u);
+  EXPECT_EQ(seq.NumDistinct(), 4u);
+  for (size_t i = 0; i < data.size(); ++i) EXPECT_EQ(seq.Access(i), data[i]);
+  EXPECT_EQ(seq.Rank("get /a", 5), 2u);
+  EXPECT_EQ(seq.Select("get /a", 1), std::optional<size_t>(3));
+  EXPECT_EQ(seq.Count("post /a"), 1u);
+  EXPECT_EQ(seq.CountPrefix("get "), 3u);
+  EXPECT_EQ(seq.SelectPrefix("get ", 2), std::optional<size_t>(3));
+  EXPECT_EQ(seq.RangeCountPrefix("get ", 1, 4), 2u);
+}
+
+TEST(StringSequence, AppendOnlyStream) {
+  StringSequence<AppendOnlyWaveletTrie> seq;
+  std::mt19937_64 rng(1);
+  std::vector<std::string> ref;
+  const std::vector<std::string> words = {"alpha", "beta", "alphabet", "bet"};
+  for (int i = 0; i < 500; ++i) {
+    const auto& w = words[rng() % words.size()];
+    seq.Append(w);
+    ref.push_back(w);
+  }
+  ASSERT_EQ(seq.size(), ref.size());
+  for (size_t i = 0; i < ref.size(); i += 7) ASSERT_EQ(seq.Access(i), ref[i]);
+  // "alpha" is a string-prefix of "alphabet": the codec keeps the exact
+  // Rank and the prefix Rank distinct.
+  size_t exact = 0, with_prefix = 0;
+  for (const auto& w : ref) {
+    exact += (w == "alpha");
+    with_prefix += (w.rfind("alpha", 0) == 0);
+  }
+  EXPECT_EQ(seq.Count("alpha"), exact);
+  EXPECT_EQ(seq.CountPrefix("alpha"), with_prefix);
+  EXPECT_GT(with_prefix, exact);
+}
+
+TEST(StringSequence, FullyDynamicUpdates) {
+  StringSequence<DynamicWaveletTrie> seq;
+  seq.Append("x");
+  seq.Append("y");
+  seq.Insert("brand-new", 1);
+  EXPECT_EQ(seq.size(), 3u);
+  EXPECT_EQ(seq.Access(1), "brand-new");
+  EXPECT_EQ(seq.NumDistinct(), 3u);
+  seq.Delete(1);
+  EXPECT_EQ(seq.NumDistinct(), 2u);
+  EXPECT_EQ(seq.Access(1), "y");
+}
+
+TEST(StringSequence, RangeAnalytics) {
+  std::vector<std::string> data;
+  for (int i = 0; i < 100; ++i) data.push_back(i % 3 == 0 ? "dog" : "cat");
+  StringSequence<WaveletTrie> seq(data);
+  auto m = seq.RangeMajority(0, 100);
+  ASSERT_TRUE(m.has_value());
+  EXPECT_EQ(m->first, "cat");
+  EXPECT_EQ(m->second, 66u);
+  std::vector<std::pair<std::string, size_t>> distinct;
+  seq.DistinctInRange(0, 10, [&](const std::string& s, size_t c) {
+    distinct.emplace_back(s, c);
+  });
+  ASSERT_EQ(distinct.size(), 2u);
+  EXPECT_EQ(distinct[0].first, "cat");  // lexicographic under the codec
+  EXPECT_EQ(distinct[0].second, 6u);
+  EXPECT_EQ(distinct[1].second, 4u);
+  size_t visited = 0;
+  seq.ForEachInRange(50, 60, [&](size_t i, const std::string& s) {
+    ASSERT_EQ(s, data[i]);
+    ++visited;
+  });
+  EXPECT_EQ(visited, 10u);
+  std::vector<std::string> frequent;
+  seq.RangeFrequent(0, 100, 40, [&](const std::string& s, size_t) {
+    frequent.push_back(s);
+  });
+  ASSERT_EQ(frequent.size(), 1u);
+  EXPECT_EQ(frequent[0], "cat");
+}
+
+TEST(StringSequence, IntegerCodecStatic) {
+  FixedIntCodec codec(16);
+  std::vector<uint64_t> data = {7, 1, 7, 9, 7, 7, 500};
+  StringSequence<WaveletTrie, FixedIntCodec> seq(data, codec);
+  EXPECT_EQ(seq.size(), 7u);
+  EXPECT_EQ(seq.Access(3), 9u);
+  EXPECT_EQ(seq.Rank(7, 7), 4u);
+  EXPECT_EQ(seq.Select(1, 0), std::optional<size_t>(1));
+  auto m = seq.RangeMajority(0, 6);  // 7 occurs 4 of 6: strict majority
+  ASSERT_TRUE(m.has_value());
+  EXPECT_EQ(m->first, 7u);
+  // Prefix methods do not exist for integer codecs (compile-time property).
+  static_assert(!decltype(seq)::kHasPrefixCodec);
+}
+
+TEST(StringSequence, RawByteCodecVariant) {
+  StringSequence<AppendOnlyWaveletTrie, RawByteCodec> seq;
+  for (const char* s : {"aaa", "aab", "aaa", "b"}) seq.Append(std::string(s));
+  EXPECT_EQ(seq.Count("aaa"), 2u);
+  EXPECT_EQ(seq.CountPrefix("aa"), 3u);
+  EXPECT_EQ(seq.Access(3), "b");
+}
+
+TEST(StringSequence, EmptyStringValue) {
+  StringSequence<DynamicWaveletTrie> seq;
+  seq.Append("");
+  seq.Append("nonempty");
+  seq.Append("");
+  EXPECT_EQ(seq.Count(""), 2u);
+  EXPECT_EQ(seq.Access(0), "");
+  EXPECT_EQ(seq.Select("", 1), std::optional<size_t>(2));
+  // The empty *prefix* matches everything.
+  EXPECT_EQ(seq.CountPrefix(""), 3u);
+}
+
+TEST(StringSequence, LargeMixedWorkloadAgainstReference) {
+  StringSequence<DynamicWaveletTrie> seq;
+  std::vector<std::string> ref;
+  std::mt19937_64 rng(9);
+  const std::vector<std::string> words = {"a", "ab", "abc", "b", "ba", "z/q"};
+  for (int step = 0; step < 2500; ++step) {
+    if (ref.empty() || rng() % 3 != 0) {
+      const auto& w = words[rng() % words.size()];
+      const size_t pos = rng() % (ref.size() + 1);
+      seq.Insert(w, pos);
+      ref.insert(ref.begin() + static_cast<ptrdiff_t>(pos), w);
+    } else {
+      const size_t pos = rng() % ref.size();
+      seq.Delete(pos);
+      ref.erase(ref.begin() + static_cast<ptrdiff_t>(pos));
+    }
+  }
+  ASSERT_EQ(seq.size(), ref.size());
+  for (size_t i = 0; i < ref.size(); i += 3) ASSERT_EQ(seq.Access(i), ref[i]);
+  for (const auto& w : words) {
+    size_t count = 0;
+    for (const auto& r : ref) count += (r == w);
+    ASSERT_EQ(seq.Count(w), count);
+  }
+}
+
+}  // namespace
+}  // namespace wt

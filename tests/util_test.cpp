@@ -1,0 +1,103 @@
+// Tests for the workload generators and the entropy / lower-bound
+// calculators used by the space experiments.
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "core/codec.hpp"
+#include "util/entropy.hpp"
+#include "util/workloads.hpp"
+#include "util/zipf.hpp"
+
+namespace wt {
+namespace {
+
+TEST(Zipf, HeadIsHeavier) {
+  ZipfDistribution z(100, 1.0);
+  std::mt19937_64 rng(1);
+  std::vector<size_t> counts(100, 0);
+  for (int i = 0; i < 50000; ++i) ++counts[z(rng)];
+  EXPECT_GT(counts[0], counts[10]);
+  EXPECT_GT(counts[0], 5000u);  // ~1/H_100 ~ 19% of the mass
+  // All ranks reachable.
+  EXPECT_GT(counts[99], 0u);
+}
+
+TEST(Zipf, SkewZeroIsUniformish) {
+  ZipfDistribution z(10, 0.0);
+  std::mt19937_64 rng(2);
+  std::vector<size_t> counts(10, 0);
+  for (int i = 0; i < 100000; ++i) ++counts[z(rng)];
+  for (size_t k = 0; k < 10; ++k) {
+    EXPECT_NEAR(static_cast<double>(counts[k]), 10000.0, 600.0);
+  }
+}
+
+TEST(UrlLog, SharedPrefixesAndDeterminism) {
+  UrlLogOptions opt;
+  opt.seed = 5;
+  UrlLogGenerator g1(opt), g2(opt);
+  const auto a = g1.Take(100);
+  const auto b = g2.Take(100);
+  EXPECT_EQ(a, b);  // deterministic for a fixed seed
+  // The most popular domain must dominate.
+  size_t hits = 0;
+  for (const auto& u : a) hits += (u.find("www.site0.com") == 0);
+  EXPECT_GT(hits, 15u);
+  for (const auto& u : a) EXPECT_EQ(u.substr(0, 8), "www.site");
+}
+
+TEST(GenerateIntegers, RespectsDistinctBound) {
+  for (auto dist : {IntDistribution::kUniform, IntDistribution::kZipf,
+                    IntDistribution::kClustered}) {
+    const auto seq = GenerateIntegers(5000, 37, dist, 11);
+    ASSERT_EQ(seq.size(), 5000u);
+    std::set<uint64_t> distinct(seq.begin(), seq.end());
+    EXPECT_LE(distinct.size(), 37u);
+    EXPECT_GE(distinct.size(), 20u);  // should use most of the alphabet
+  }
+}
+
+TEST(Entropy, Log2Binomial) {
+  EXPECT_NEAR(Log2Binomial(4, 2), std::log2(6.0), 1e-9);
+  EXPECT_NEAR(Log2Binomial(10, 0), 0.0, 1e-9);
+  EXPECT_NEAR(Log2Binomial(64, 32), 61.0, 1.0);  // C(64,32) ~ 1.8e18
+}
+
+TEST(Entropy, SequenceEntropyKnownCases) {
+  // Uniform over 2 values: H0 = 1 bit per element.
+  std::vector<BitString> seq;
+  for (int i = 0; i < 100; ++i) {
+    seq.push_back(BitString::FromString(i % 2 ? "01" : "10"));
+  }
+  EXPECT_NEAR(SequenceEntropyBits(seq), 100.0, 1e-9);
+  // Constant sequence: H0 = 0.
+  std::vector<BitString> constant(50, BitString::FromString("111"));
+  EXPECT_NEAR(SequenceEntropyBits(constant), 0.0, 1e-9);
+}
+
+TEST(Entropy, TrieLowerBoundSmallCase) {
+  // {00, 01}: Patricia has |L| = 1 (root label "0"), e = 2.
+  std::vector<BitString> seq = {BitString::FromString("00"),
+                                BitString::FromString("01")};
+  const auto lb = TrieLowerBoundBits(seq);
+  EXPECT_EQ(lb.num_distinct, 2u);
+  EXPECT_EQ(lb.label_bits, 1u);
+  EXPECT_EQ(lb.edges, 2u);
+  EXPECT_NEAR(lb.total_bits, 1.0 + 2.0 + Log2Binomial(3, 2), 1e-9);
+}
+
+TEST(Entropy, LowerBoundIsBelowMeasuredSize) {
+  // Sanity: LB must lower-bound any honest representation of the sequence.
+  UrlLogGenerator gen;
+  std::vector<BitString> seq;
+  for (const auto& u : gen.Take(2000)) seq.push_back(ByteCodec::Encode(u));
+  const double lb = SequenceLowerBoundBits(seq);
+  size_t raw = 0;
+  for (const auto& s : seq) raw += s.size();
+  EXPECT_LT(lb, static_cast<double>(raw));
+  EXPECT_GT(lb, 0.0);
+}
+
+}  // namespace
+}  // namespace wt

@@ -1,0 +1,337 @@
+// Tests for the static WaveletTrie: the paper's Figure 2 example verified
+// node by node, the full query API cross-checked against the naive oracle
+// over randomized workloads and codecs, and the Section 5 range algorithms.
+#include <gtest/gtest.h>
+
+#include <random>
+#include <string>
+#include <vector>
+
+#include "core/codec.hpp"
+#include "core/naive.hpp"
+#include "core/wavelet_trie.hpp"
+
+namespace wt {
+namespace {
+
+BitString BS(const std::string& s) { return BitString::FromString(s); }
+
+std::vector<BitString> Figure2Sequence() {
+  // <0001, 0011, 0100, 00100, 0100, 00100, 0100> (paper Figure 2).
+  std::vector<BitString> seq;
+  for (const char* s :
+       {"0001", "0011", "0100", "00100", "0100", "00100", "0100"}) {
+    seq.push_back(BS(s));
+  }
+  return seq;
+}
+
+// ------------------------------------------------------------- Figure 2
+
+TEST(WaveletTrieFigure2, ExactNodeStructure) {
+  WaveletTrie trie(Figure2Sequence());
+  // The paper's Figure 2, derived from Definition 3.1, in preorder
+  // (|Sset| = 4 distinct strings -> 3 internal nodes + 4 leaves):
+  //   v0 root:               alpha=0,  beta=0010101
+  //   v1   0-child:          alpha="", beta=0111
+  //   v2     0-child:        leaf, alpha=1          (string 0001)
+  //   v3     1-child:        alpha="", beta=100
+  //   v4       0-child:      leaf, alpha=0          (string 00100)
+  //   v5       1-child:      leaf, alpha=""         (string 0011)
+  //   v6   1-child:          leaf, alpha=00         (string 0100)
+  const auto nodes = trie.DebugNodes();
+  ASSERT_EQ(nodes.size(), 7u);
+  EXPECT_EQ(nodes[0].alpha, "0");
+  EXPECT_EQ(nodes[0].beta, "0010101");
+  EXPECT_FALSE(nodes[0].is_leaf);
+  EXPECT_EQ(nodes[1].alpha, "");
+  EXPECT_EQ(nodes[1].beta, "0111");
+  EXPECT_FALSE(nodes[1].is_leaf);
+  EXPECT_EQ(nodes[2].alpha, "1");
+  EXPECT_TRUE(nodes[2].is_leaf);
+  EXPECT_EQ(nodes[3].alpha, "");
+  EXPECT_EQ(nodes[3].beta, "100");
+  EXPECT_FALSE(nodes[3].is_leaf);
+  EXPECT_EQ(nodes[4].alpha, "0");
+  EXPECT_TRUE(nodes[4].is_leaf);
+  EXPECT_EQ(nodes[5].alpha, "");
+  EXPECT_TRUE(nodes[5].is_leaf);
+  EXPECT_EQ(nodes[6].alpha, "00");
+  EXPECT_TRUE(nodes[6].is_leaf);
+}
+
+TEST(WaveletTrieFigure2, AccessReconstructsSequence) {
+  const auto seq = Figure2Sequence();
+  WaveletTrie trie(seq);
+  ASSERT_EQ(trie.size(), 7u);
+  EXPECT_EQ(trie.NumDistinct(), 4u);
+  for (size_t i = 0; i < seq.size(); ++i) {
+    EXPECT_EQ(trie.Access(i).ToString(), seq[i].ToString()) << "pos " << i;
+  }
+}
+
+TEST(WaveletTrieFigure2, RankAndSelect) {
+  WaveletTrie trie(Figure2Sequence());
+  // "0100" occurs at positions 2, 4, 6.
+  EXPECT_EQ(trie.Rank(BS("0100"), 7), 3u);
+  EXPECT_EQ(trie.Rank(BS("0100"), 3), 1u);
+  EXPECT_EQ(trie.Rank(BS("0100"), 2), 0u);
+  EXPECT_EQ(trie.Select(BS("0100"), 0), std::optional<size_t>(2));
+  EXPECT_EQ(trie.Select(BS("0100"), 1), std::optional<size_t>(4));
+  EXPECT_EQ(trie.Select(BS("0100"), 2), std::optional<size_t>(6));
+  EXPECT_EQ(trie.Select(BS("0100"), 3), std::nullopt);
+  // "00100" occurs at positions 3, 5.
+  EXPECT_EQ(trie.Rank(BS("00100"), 7), 2u);
+  EXPECT_EQ(trie.Select(BS("00100"), 1), std::optional<size_t>(5));
+  // Absent strings.
+  EXPECT_EQ(trie.Rank(BS("0000"), 7), 0u);
+  EXPECT_EQ(trie.Rank(BS("11"), 7), 0u);
+  EXPECT_EQ(trie.Select(BS("0000"), 0), std::nullopt);
+  // Exact-rank of a proper prefix of stored keys is 0 (prefix-free set).
+  EXPECT_EQ(trie.Rank(BS("00"), 7), 0u);
+}
+
+TEST(WaveletTrieFigure2, PrefixOperations) {
+  WaveletTrie trie(Figure2Sequence());
+  // Prefix "00" matches 0001, 0011, 00100, 00100 -> positions 0,1,3,5.
+  EXPECT_EQ(trie.RankPrefix(BS("00"), 7), 4u);
+  EXPECT_EQ(trie.RankPrefix(BS("00"), 4), 3u);
+  EXPECT_EQ(trie.SelectPrefix(BS("00"), 0), std::optional<size_t>(0));
+  EXPECT_EQ(trie.SelectPrefix(BS("00"), 2), std::optional<size_t>(3));
+  EXPECT_EQ(trie.SelectPrefix(BS("00"), 3), std::optional<size_t>(5));
+  EXPECT_EQ(trie.SelectPrefix(BS("00"), 4), std::nullopt);
+  // Prefix "01" matches the three 0100s.
+  EXPECT_EQ(trie.RankPrefix(BS("01"), 7), 3u);
+  // Prefix "0" matches everything.
+  EXPECT_EQ(trie.RankPrefix(BS("0"), 7), 7u);
+  EXPECT_EQ(trie.SelectPrefix(BS("0"), 6), std::optional<size_t>(6));
+  // Empty prefix matches everything.
+  EXPECT_EQ(trie.RankPrefix(BS(""), 5), 5u);
+  // Prefix that mismatches inside a label.
+  EXPECT_EQ(trie.RankPrefix(BS("1"), 7), 0u);
+  EXPECT_EQ(trie.SelectPrefix(BS("1"), 0), std::nullopt);
+  // Prefix longer than stored strings.
+  EXPECT_EQ(trie.RankPrefix(BS("010000"), 7), 0u);
+}
+
+// ------------------------------------------------------------ edge cases
+
+TEST(WaveletTrie, EmptySequence) {
+  WaveletTrie trie{std::vector<BitString>{}};
+  EXPECT_EQ(trie.size(), 0u);
+  EXPECT_EQ(trie.NumDistinct(), 0u);
+  EXPECT_EQ(trie.Rank(BS("01"), 0), 0u);
+  EXPECT_EQ(trie.Select(BS("01"), 0), std::nullopt);
+}
+
+TEST(WaveletTrie, ConstantSequence) {
+  std::vector<BitString> seq(100, BS("10110"));
+  WaveletTrie trie(seq);
+  EXPECT_EQ(trie.NumDistinct(), 1u);
+  EXPECT_EQ(trie.Rank(BS("10110"), 100), 100u);
+  EXPECT_EQ(trie.Access(57).ToString(), "10110");
+  EXPECT_EQ(trie.Select(BS("10110"), 99), std::optional<size_t>(99));
+  EXPECT_EQ(trie.RankPrefix(BS("101"), 100), 100u);
+  EXPECT_EQ(trie.Rank(BS("1011"), 100), 0u);
+}
+
+TEST(WaveletTrie, TwoValues) {
+  std::vector<BitString> seq;
+  for (int i = 0; i < 50; ++i) seq.push_back(BS(i % 3 == 0 ? "0" : "1"));
+  WaveletTrie trie(seq);
+  EXPECT_EQ(trie.NumDistinct(), 2u);
+  for (int i = 0; i < 50; ++i) {
+    ASSERT_EQ(trie.Access(i).ToString(), i % 3 == 0 ? "0" : "1");
+  }
+  EXPECT_EQ(trie.Rank(BS("0"), 50), 17u);
+}
+
+// ------------------------------------------- randomized vs naive oracle
+
+struct Workload {
+  const char* name;
+  size_t n;
+  size_t distinct;
+  unsigned min_len, max_len;
+};
+
+class WaveletTrieRandomTest : public ::testing::TestWithParam<Workload> {};
+
+std::vector<BitString> MakePrefixFreeSet(std::mt19937_64& rng, size_t count,
+                                         unsigned min_len, unsigned max_len) {
+  // Random byte strings through ByteCodec => automatically prefix-free.
+  std::vector<BitString> out;
+  std::set<std::string> seen;
+  while (out.size() < count) {
+    const size_t len = min_len + rng() % (max_len - min_len + 1);
+    std::string s;
+    for (size_t i = 0; i < len; ++i) s.push_back('a' + rng() % 4);
+    if (seen.insert(s).second) out.push_back(ByteCodec::Encode(s));
+  }
+  return out;
+}
+
+TEST_P(WaveletTrieRandomTest, MatchesNaive) {
+  const Workload w = GetParam();
+  std::mt19937_64 rng(w.n * 31 + w.distinct);
+  const auto alphabet = MakePrefixFreeSet(rng, w.distinct, w.min_len, w.max_len);
+  std::vector<BitString> seq;
+  for (size_t i = 0; i < w.n; ++i) {
+    seq.push_back(alphabet[rng() % alphabet.size()]);
+  }
+  WaveletTrie trie(seq);
+  NaiveIndexedSequence naive(seq);
+  ASSERT_EQ(trie.size(), w.n);
+
+  // Access at every position.
+  for (size_t i = 0; i < w.n; ++i) {
+    ASSERT_TRUE(trie.Access(i).Span().ContentEquals(naive.Access(i).Span()))
+        << "Access " << i;
+  }
+  // Rank/Select for every alphabet string (plus absent ones) at random pos.
+  for (const auto& s : alphabet) {
+    for (int q = 0; q < 5; ++q) {
+      const size_t pos = rng() % (w.n + 1);
+      ASSERT_EQ(trie.Rank(s, pos), naive.Rank(s, pos));
+    }
+    const size_t total = naive.Rank(s, w.n);
+    for (size_t k = 0; k < total; k += 1 + total / 8) {
+      ASSERT_EQ(trie.Select(s, k), naive.Select(s, k));
+    }
+    ASSERT_EQ(trie.Select(s, total), std::nullopt);
+  }
+  // Absent strings.
+  for (int q = 0; q < 10; ++q) {
+    const BitString absent = ByteCodec::Encode("zz" + std::to_string(q));
+    ASSERT_EQ(trie.Rank(absent, w.n), 0u);
+    ASSERT_EQ(trie.Select(absent, 0), std::nullopt);
+  }
+  // Prefix operations over random byte prefixes.
+  for (int q = 0; q < 30; ++q) {
+    std::string p;
+    const size_t len = rng() % 3;
+    for (size_t i = 0; i < len; ++i) p.push_back('a' + rng() % 4);
+    const BitString pb = ByteCodec::EncodePrefix(p);
+    const size_t pos = rng() % (w.n + 1);
+    ASSERT_EQ(trie.RankPrefix(pb, pos), naive.RankPrefix(pb, pos)) << "prefix " << p;
+    const size_t total = naive.RankPrefix(pb, w.n);
+    if (total > 0) {
+      const size_t k = rng() % total;
+      ASSERT_EQ(trie.SelectPrefix(pb, k), naive.SelectPrefix(pb, k));
+    }
+    ASSERT_EQ(trie.SelectPrefix(pb, total), std::nullopt);
+  }
+}
+
+TEST_P(WaveletTrieRandomTest, RangeAlgorithmsMatchNaive) {
+  const Workload w = GetParam();
+  std::mt19937_64 rng(w.n * 57 + w.distinct);
+  const auto alphabet = MakePrefixFreeSet(rng, w.distinct, w.min_len, w.max_len);
+  std::vector<BitString> seq;
+  // Skewed multiplicities so majority / frequent have interesting answers.
+  for (size_t i = 0; i < w.n; ++i) {
+    const size_t z = rng() % 100;
+    seq.push_back(alphabet[z < 55 ? 0 : z % alphabet.size()]);
+  }
+  WaveletTrie trie(seq);
+  NaiveIndexedSequence naive(seq);
+
+  for (int q = 0; q < 15; ++q) {
+    size_t l = rng() % (w.n + 1);
+    size_t r = rng() % (w.n + 1);
+    if (l > r) std::swap(l, r);
+
+    // Distinct values.
+    std::vector<std::pair<std::string, size_t>> got;
+    trie.DistinctInRange(l, r, [&](const BitString& s, size_t c) {
+      got.emplace_back(s.ToString(), c);
+    });
+    const auto expect_raw = naive.DistinctInRange(l, r);
+    std::vector<std::pair<std::string, size_t>> expect;
+    for (auto& [s, c] : expect_raw) expect.emplace_back(s.ToString(), c);
+    ASSERT_EQ(got, expect) << "distinct in [" << l << "," << r << ")";
+
+    // Majority.
+    const auto m1 = trie.RangeMajority(l, r);
+    const auto m2 = naive.RangeMajority(l, r);
+    ASSERT_EQ(m1.has_value(), m2.has_value());
+    if (m1) {
+      EXPECT_EQ(m1->first.ToString(), m2->first.ToString());
+      EXPECT_EQ(m1->second, m2->second);
+    }
+
+    // Frequent with a couple of thresholds.
+    for (size_t t : {size_t(1), (r - l) / 4 + 1}) {
+      std::vector<std::pair<std::string, size_t>> fgot;
+      trie.RangeFrequent(l, r, t, [&](const BitString& s, size_t c) {
+        fgot.emplace_back(s.ToString(), c);
+      });
+      std::vector<std::pair<std::string, size_t>> fexpect;
+      for (auto& [s, c] : naive.RangeFrequent(l, r, t)) {
+        fexpect.emplace_back(s.ToString(), c);
+      }
+      ASSERT_EQ(fgot, fexpect);
+    }
+
+    // Sequential access.
+    size_t expect_i = l;
+    trie.ForEachInRange(l, r, [&](size_t i, const BitString& s) {
+      ASSERT_EQ(i, expect_i++);
+      ASSERT_TRUE(s.Span().ContentEquals(naive.Access(i).Span()))
+          << "sequential at " << i;
+    });
+    ASSERT_EQ(expect_i, r);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Workloads, WaveletTrieRandomTest,
+    ::testing::Values(Workload{"tiny", 30, 5, 1, 3},
+                      Workload{"small", 300, 20, 1, 6},
+                      Workload{"medium", 2000, 100, 2, 10},
+                      Workload{"many_distinct", 1500, 700, 3, 12},
+                      Workload{"all_distinct_heavy", 400, 400, 4, 16}),
+    [](const auto& info) { return info.param.name; });
+
+// ------------------------------------------------------------ integer codec
+
+TEST(WaveletTrieIntCodec, FixedWidthActsAsWaveletTree) {
+  FixedIntCodec codec(16);
+  std::mt19937_64 rng(9);
+  std::vector<uint64_t> vals;
+  std::vector<BitString> seq;
+  for (int i = 0; i < 1000; ++i) {
+    vals.push_back(rng() % 500);
+    seq.push_back(codec.Encode(vals.back()));
+  }
+  WaveletTrie trie(seq);
+  for (int i = 0; i < 1000; ++i) {
+    ASSERT_EQ(codec.Decode(trie.Access(i).Span()), vals[i]);
+  }
+  // Rank of a value = linear count.
+  for (uint64_t v : {vals[0], vals[500], uint64_t(499), uint64_t(123)}) {
+    size_t expect = 0;
+    for (uint64_t x : vals) expect += (x == v);
+    ASSERT_EQ(trie.Rank(codec.Encode(v), 1000), expect);
+  }
+}
+
+TEST(WaveletTrie, SpaceIsCompressedVsNaive) {
+  // Zipf-ish skew, shared prefixes: the trie must be much smaller than the
+  // uncompressed vector-of-strings.
+  std::mt19937_64 rng(77);
+  std::vector<std::string> hosts = {"www.example.com/", "api.example.com/",
+                                    "cdn.example.com/assets/",
+                                    "www.example.com/images/"};
+  std::vector<BitString> seq;
+  for (int i = 0; i < 20000; ++i) {
+    const auto& h = hosts[(i * i + int(rng() % 3)) % hosts.size()];
+    seq.push_back(ByteCodec::Encode(h + std::to_string(rng() % 20)));
+  }
+  WaveletTrie trie(seq);
+  NaiveIndexedSequence naive(seq);
+  EXPECT_LT(trie.SizeInBits(), naive.SizeInBits() / 10);
+}
+
+}  // namespace
+}  // namespace wt
