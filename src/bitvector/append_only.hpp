@@ -32,6 +32,7 @@
 #include "bitvector/rrr.hpp"
 #include "common/assert.hpp"
 #include "common/bit_array.hpp"
+#include "common/bit_string.hpp"
 #include "common/bits.hpp"
 
 namespace wt {
@@ -53,6 +54,40 @@ class AppendOnlyBitVector {
     buffer_.PushBack(b);
     buffer_ones_ += b ? 1 : 0;
     if (buffer_.size() == kChunkBits) SealChunk();
+  }
+
+  /// Appends the low `len` (<= 64) bits of `value`, LSB first. Sealing and
+  /// per-word ones bookkeeping amortize over the whole word — one partial-sum
+  /// entry per 64 bits instead of one branch per bit (DESIGN.md #4).
+  void AppendWord(uint64_t value, size_t len) {
+    WT_DASSERT(len <= kWordBits);
+    value &= LowMask(len);
+    while (len > 0) {
+      const size_t take = std::min(len, kChunkBits - buffer_.size());
+      BufferAppend(value & LowMask(take), take);
+      value = take < kWordBits ? value >> take : 0;
+      len -= take;
+      if (buffer_.size() == kChunkBits) SealChunk();
+    }
+  }
+
+  /// Appends `n` copies of `bit` in O(n/64 + chunks sealed) word operations.
+  void AppendRun(bool bit, size_t n) {
+    const uint64_t fill = bit ? ~uint64_t(0) : 0;
+    while (n > 0) {
+      const size_t take = std::min({n, kChunkBits - buffer_.size(), kWordBits});
+      BufferAppend(fill & LowMask(take), take);
+      n -= take;
+      if (buffer_.size() == kChunkBits) SealChunk();
+    }
+  }
+
+  /// Appends every bit of `s` (word-at-a-time).
+  void AppendSpan(BitSpan s) {
+    for (size_t i = 0; i < s.size(); i += kWordBits) {
+      const size_t chunk = std::min(kWordBits, s.size() - i);
+      AppendWord(s.GetBits(i, chunk), chunk);
+    }
   }
 
   bool Get(size_t i) const {
@@ -178,6 +213,22 @@ class AppendOnlyBitVector {
   Iterator IteratorAt(size_t pos) const { return Iterator(this, pos); }
 
  private:
+  /// Appends `len` (<= 64) bits of `value` into the tail buffer, keeping the
+  /// per-word ones counts: one entry is due for every buffer word whose first
+  /// bit lands in [size, size+len). Caller must not cross the chunk boundary.
+  void BufferAppend(uint64_t value, size_t len) {
+    WT_DASSERT(len <= kWordBits && buffer_.size() + len <= kChunkBits);
+    value &= LowMask(len);
+    const size_t pos = buffer_.size();
+    for (size_t b = (pos + kWordBits - 1) & ~(kWordBits - 1); b < pos + len;
+         b += kWordBits) {
+      buffer_word_ones_.push_back(static_cast<uint32_t>(
+          buffer_ones_ + PopCount(value & LowMask(b - pos))));
+    }
+    buffer_.AppendBits(value, len);
+    buffer_ones_ += static_cast<size_t>(PopCount(value));
+  }
+
   size_t BufferRank1(size_t off) const {
     if (off == buffer_.size()) return buffer_ones_;
     const size_t w = off / kWordBits;

@@ -32,6 +32,7 @@
 #include "bitvector/rrr.hpp"
 #include "common/assert.hpp"
 #include "common/bit_array.hpp"
+#include "common/bit_string.hpp"
 #include "common/bits.hpp"
 
 namespace wt {
@@ -52,13 +53,50 @@ class DeamortizedAppendOnlyBitVector {
       : prefix_bit_(bit), prefix_len_(run_len), cum_ones_{0} {}
 
   void Append(bool b) {
-    AdvancePendingBuild();
+    AdvancePendingBuild(1);
     if ((buffer_.size() & (kWordBits - 1)) == 0) {
       buffer_word_ones_.push_back(static_cast<uint32_t>(buffer_ones_));
     }
     buffer_.PushBack(b);
     buffer_ones_ += b ? 1 : 0;
     if (buffer_.size() == kChunkBits) StartSeal();
+  }
+
+  /// Appends the low `len` (<= 64) bits of `value`, LSB first. The pending
+  /// build advances by as many blocks as `len` bit-appends would have
+  /// contributed, so the Lemma 4.8 invariant (the build finishes before the
+  /// buffer can refill) is preserved under word-wide ingestion.
+  void AppendWord(uint64_t value, size_t len) {
+    WT_DASSERT(len <= kWordBits);
+    value &= LowMask(len);
+    while (len > 0) {
+      AdvancePendingBuild(len);
+      const size_t take = std::min(len, kChunkBits - buffer_.size());
+      BufferAppend(value & LowMask(take), take);
+      value = take < kWordBits ? value >> take : 0;
+      len -= take;
+      if (buffer_.size() == kChunkBits) StartSeal();
+    }
+  }
+
+  /// Appends `n` copies of `bit` in O(n/64 + chunks sealed) word operations.
+  void AppendRun(bool bit, size_t n) {
+    const uint64_t fill = bit ? ~uint64_t(0) : 0;
+    while (n > 0) {
+      AdvancePendingBuild(n);
+      const size_t take = std::min({n, kChunkBits - buffer_.size(), kWordBits});
+      BufferAppend(fill & LowMask(take), take);
+      n -= take;
+      if (buffer_.size() == kChunkBits) StartSeal();
+    }
+  }
+
+  /// Appends every bit of `s` (word-at-a-time).
+  void AppendSpan(BitSpan s) {
+    for (size_t i = 0; i < s.size(); i += kWordBits) {
+      const size_t chunk = std::min(kWordBits, s.size() - i);
+      AppendWord(s.GetBits(i, chunk), chunk);
+    }
   }
 
   bool Get(size_t i) const {
@@ -248,9 +286,11 @@ class DeamortizedAppendOnlyBitVector {
 
   size_t NumSealed() const { return chunks_.size() + (pending_ ? 1 : 0); }
 
-  void AdvancePendingBuild() {
+  /// Advances the pending compression by the budget of `appended_bits`
+  /// sequential appends (Step stops early once the chunk is done).
+  void AdvancePendingBuild(size_t appended_bits) {
     if (!pending_) return;
-    if (pending_->builder.Step(kBuildBlocksPerAppend)) {
+    if (pending_->builder.Step(kBuildBlocksPerAppend * appended_bits)) {
       chunks_.push_back(pending_->builder.Take());
       pending_.reset();
     }
@@ -268,6 +308,22 @@ class DeamortizedAppendOnlyBitVector {
     buffer_ = BitArray();
     buffer_word_ones_.clear();
     buffer_ones_ = 0;
+  }
+
+  /// Appends `len` (<= 64) bits of `value` into the tail buffer, keeping the
+  /// per-word ones counts (see append_only.hpp). Caller must not cross the
+  /// chunk boundary.
+  void BufferAppend(uint64_t value, size_t len) {
+    WT_DASSERT(len <= kWordBits && buffer_.size() + len <= kChunkBits);
+    value &= LowMask(len);
+    const size_t pos = buffer_.size();
+    for (size_t b = (pos + kWordBits - 1) & ~(kWordBits - 1); b < pos + len;
+         b += kWordBits) {
+      buffer_word_ones_.push_back(static_cast<uint32_t>(
+          buffer_ones_ + PopCount(value & LowMask(b - pos))));
+    }
+    buffer_.AppendBits(value, len);
+    buffer_ones_ += static_cast<size_t>(PopCount(value));
   }
 
   size_t BufferRank1(size_t off) const {

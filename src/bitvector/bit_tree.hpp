@@ -21,6 +21,8 @@
 //   bool Get(size_t i); size_t Rank1(size_t pos);
 //   size_t Select(bool b, size_t k);
 //   void Insert(size_t pos, bool b); bool Erase(size_t pos);
+//   void AppendRun(bool b, size_t n);        // only for BitTree::AppendRun
+//   void AppendWord(uint64_t v, size_t len); // only for BitTree::AppendWord
 //   static std::pair<Leaf,size_t> MakeRunPrefix(bool b, size_t n);
 //   class Iterator { Iterator(const Leaf*, size_t pos); bool Next(); };
 #pragma once
@@ -89,23 +91,35 @@ class BitTree {
 
   void Insert(size_t pos, bool b) {
     WT_DASSERT(pos <= size_);
-    SplitResult sr = InsertRec(root_, pos, b);
-    if (sr.split) {
-      auto* nr = new InternalNode{};
-      nr->n = 2;
-      nr->child[0] = root_;
-      nr->bits[0] = NodeBits(root_);
-      nr->ones[0] = NodeOnes(root_);
-      nr->child[1] = sr.right;
-      nr->bits[1] = sr.right_bits;
-      nr->ones[1] = sr.right_ones;
-      root_ = nr;
-    }
+    FinishRootSplit(InsertRec(root_, pos, b));
     ++size_;
     ones_ += b ? 1 : 0;
   }
 
   void Append(bool b) { Insert(size_, b); }
+
+  /// Appends `n` copies of `b`: a single rightmost-path descent with one run
+  /// extension in the last leaf, O(log n + leaf) regardless of n.
+  void AppendRun(bool b, size_t n) {
+    if (n == 0) return;
+    FinishRootSplit(AppendTailRec(root_, n, b ? n : 0,
+                                  [&](Leaf& leaf) { leaf.AppendRun(b, n); }));
+    size_ += n;
+    ones_ += b ? n : 0;
+  }
+
+  /// Appends the low `len` (<= 64) bits of `value` LSB-first: one descent,
+  /// one decode/encode round in the last leaf for the whole word.
+  void AppendWord(uint64_t value, size_t len) {
+    WT_DASSERT(len <= kWordBits);
+    value &= LowMask(len);
+    if (len == 0) return;
+    const size_t ones = static_cast<size_t>(PopCount(value));
+    FinishRootSplit(AppendTailRec(
+        root_, len, ones, [&](Leaf& leaf) { leaf.AppendWord(value, len); }));
+    size_ += len;
+    ones_ += ones;
+  }
 
   /// Removes and returns the bit at `pos`.
   bool Erase(size_t pos) {
@@ -293,29 +307,23 @@ class BitTree {
     return s;
   }
 
-  SplitResult InsertRec(NodeBase* node, size_t pos, bool b) {
-    if (node->is_leaf) {
-      Leaf& leaf = static_cast<LeafNode*>(node)->leaf;
-      leaf.Insert(pos, b);
-      if (leaf.NeedsSplit()) {
-        auto* right = new LeafNode{};
-        right->leaf = leaf.SplitTail();
-        return {right, right->leaf.bits(), right->leaf.ones(), true};
-      }
-      return {};
-    }
-    auto* in = static_cast<InternalNode*>(node);
-    int i = 0;
-    while (i + 1 < in->n && pos >= in->bits[i]) {
-      pos -= in->bits[i];
-      ++i;
-    }
-    const SplitResult child_split = InsertRec(in->child[i], pos, b);
-    in->bits[i] += 1;
-    in->ones[i] += b ? 1 : 0;
-    if (!child_split.split) return {};
-    // The child split: refresh entry i and insert the new right sibling
-    // at slot i+1.
+  /// Grows a fresh root when the old one split.
+  void FinishRootSplit(SplitResult sr) {
+    if (!sr.split) return;
+    auto* nr = new InternalNode{};
+    nr->n = 2;
+    nr->child[0] = root_;
+    nr->bits[0] = NodeBits(root_);
+    nr->ones[0] = NodeOnes(root_);
+    nr->child[1] = sr.right;
+    nr->bits[1] = sr.right_bits;
+    nr->ones[1] = sr.right_ones;
+    root_ = nr;
+  }
+
+  /// Post-split bookkeeping shared by all insert paths: refresh entry i and
+  /// splice the new right sibling in at slot i+1, splitting `in` if full.
+  SplitResult HandleChildSplit(InternalNode* in, int i, SplitResult child_split) {
     in->bits[i] = NodeBits(in->child[i]);
     in->ones[i] = NodeOnes(in->child[i]);
     for (int j = in->n; j > i + 1; --j) {
@@ -339,6 +347,53 @@ class BitTree {
     }
     in->n = keep;
     return {right, NodeBits(right), NodeOnes(right), true};
+  }
+
+  SplitResult InsertRec(NodeBase* node, size_t pos, bool b) {
+    if (node->is_leaf) {
+      Leaf& leaf = static_cast<LeafNode*>(node)->leaf;
+      leaf.Insert(pos, b);
+      return MaybeSplitLeaf(leaf);
+    }
+    auto* in = static_cast<InternalNode*>(node);
+    int i = 0;
+    while (i + 1 < in->n && pos >= in->bits[i]) {
+      pos -= in->bits[i];
+      ++i;
+    }
+    const SplitResult child_split = InsertRec(in->child[i], pos, b);
+    in->bits[i] += 1;
+    in->ones[i] += b ? 1 : 0;
+    if (!child_split.split) return {};
+    return HandleChildSplit(in, i, child_split);
+  }
+
+  static SplitResult MaybeSplitLeaf(Leaf& leaf) {
+    if (!leaf.NeedsSplit()) return {};
+    auto* right = new LeafNode{};
+    right->leaf = leaf.SplitTail();
+    return {right, right->leaf.bits(), right->leaf.ones(), true};
+  }
+
+  /// Applies `op` to the last leaf (op must append exactly `delta_bits` bits
+  /// with `delta_ones` ones), updating the partial counts along the rightmost
+  /// path — the shared descent of AppendRun and AppendWord.
+  template <typename LeafOp>
+  SplitResult AppendTailRec(NodeBase* node, size_t delta_bits, size_t delta_ones,
+                            const LeafOp& op) {
+    if (node->is_leaf) {
+      Leaf& leaf = static_cast<LeafNode*>(node)->leaf;
+      op(leaf);
+      return MaybeSplitLeaf(leaf);
+    }
+    auto* in = static_cast<InternalNode*>(node);
+    const int i = in->n - 1;
+    const SplitResult child_split =
+        AppendTailRec(in->child[i], delta_bits, delta_ones, op);
+    in->bits[i] += delta_bits;
+    in->ones[i] += delta_ones;
+    if (!child_split.split) return {};
+    return HandleChildSplit(in, i, child_split);
   }
 
   bool EraseRec(NodeBase* node, size_t pos) {

@@ -99,6 +99,46 @@ class RleLeaf {
     }
   }
 
+  /// Appends `n` copies of `bit`: one run extension (or one new gamma code),
+  /// a single decode/encode round regardless of n.
+  void AppendRun(bool bit, size_t n) {
+    if (n == 0) return;
+    std::vector<uint64_t> runs = Decode();
+    if (runs.empty()) first_bit_ = bit;
+    if (!runs.empty() && BitOfRun(runs.size() - 1) == bit) {
+      runs.back() += n;
+    } else {
+      runs.push_back(n);
+    }
+    Encode(runs);
+  }
+
+  /// Appends the low `len` (<= 64) bits of `value` LSB-first, decomposed
+  /// into maximal equal-bit runs — one decode/encode round for the word.
+  void AppendWord(uint64_t value, size_t len) {
+    WT_DASSERT(len <= 64);
+    value &= LowMask(len);
+    if (len == 0) return;
+    std::vector<uint64_t> runs = Decode();
+    if (runs.empty()) first_bit_ = value & 1;
+    size_t i = 0;
+    while (i < len) {
+      const uint64_t rest = value >> i;
+      const bool b = rest & 1;
+      const size_t run =
+          std::min<size_t>(b ? static_cast<size_t>(std::countr_one(rest))
+                             : static_cast<size_t>(std::countr_zero(rest)),
+                           len - i);
+      if (!runs.empty() && BitOfRun(runs.size() - 1) == b) {
+        runs.back() += run;
+      } else {
+        runs.push_back(run);
+      }
+      i += run;
+    }
+    Encode(runs);
+  }
+
   void Insert(size_t pos, bool b) {
     WT_DASSERT(pos <= bits_);
     std::vector<uint64_t> runs = Decode();
@@ -286,14 +326,22 @@ class DynamicBitVector {
   /// Init(b, n): O(log n) regardless of n (Remark 4.2).
   DynamicBitVector(bool bit, size_t n) { tree_.Init(bit, n); }
 
-  /// Builds from existing bits (bulk construction, O(n)).
+  /// Builds from existing bits: word-at-a-time run appends instead of n
+  /// single-bit tree descents.
   explicit DynamicBitVector(const BitArray& bits) {
-    for (size_t i = 0; i < bits.size(); ++i) tree_.Append(bits.Get(i));
+    for (size_t i = 0; i < bits.size(); i += kWordBits) {
+      const size_t chunk = std::min(kWordBits, bits.size() - i);
+      tree_.AppendWord(bits.GetBits(i, chunk), chunk);
+    }
   }
 
   void Init(bool bit, size_t n) { tree_.Init(bit, n); }
   void Insert(size_t pos, bool b) { tree_.Insert(pos, b); }
   void Append(bool b) { tree_.Append(b); }
+  /// Appends `n` copies of `bit` in one rightmost descent (one gamma code).
+  void AppendRun(bool bit, size_t n) { tree_.AppendRun(bit, n); }
+  /// Appends the low `len` (<= 64) bits of `value`, LSB first, in one descent.
+  void AppendWord(uint64_t value, size_t len) { tree_.AppendWord(value, len); }
   bool Erase(size_t pos) { return tree_.Erase(pos); }
 
   bool Get(size_t pos) const { return tree_.Get(pos); }

@@ -66,21 +66,21 @@ constexpr OffsetWidths MakeOffsetWidths() {
 
 inline constexpr OffsetWidths kOffsetWidth = MakeOffsetWidths();
 
-/// Combinadic rank of a 63-bit block `w` with popcount `k` within its class.
-inline uint64_t EncodeBlock(uint64_t w, unsigned k) {
+/// Combinadic rank of `w` within class `r = popcount(w)`, iterating over the
+/// set bits only (O(popcount) instead of a 63-step scan with a branch per
+/// bit — block encoding is the hot loop of every chunk seal).
+inline uint64_t EncodeBlockDirect(uint64_t w, unsigned r) {
   uint64_t off = 0;
-  unsigned r = k;
-  for (int i = kBlockBits - 1; i >= 0 && r > 0; --i) {
-    if ((w >> i) & 1) {
-      off += kBinomial.c[i][r];
-      --r;
-    }
+  while (r > 0) {
+    const int i = 63 - std::countl_zero(w);  // highest remaining set bit
+    off += kBinomial.c[i][r];
+    --r;
+    w ^= uint64_t(1) << i;
   }
   return off;
 }
 
-/// Inverse of EncodeBlock.
-inline uint64_t DecodeBlock(uint64_t off, unsigned k) {
+inline uint64_t DecodeBlockDirect(uint64_t off, unsigned k) {
   uint64_t w = 0;
   unsigned r = k;
   for (int i = kBlockBits - 1; i >= 0 && r > 0; --i) {
@@ -92,6 +92,26 @@ inline uint64_t DecodeBlock(uint64_t off, unsigned k) {
     }
   }
   return w;
+}
+
+/// Combinadic rank of a 63-bit block `w` with popcount `k` within its class.
+/// Dense classes are ranked through the complement (C(63,k) == C(63,63-k),
+/// so complementation bijects the classes), capping the work at
+/// min(k, 63-k) <= 31 steps — all-ones and nearly-constant blocks, the
+/// common case for run-structured betas, become nearly free.
+inline uint64_t EncodeBlock(uint64_t w, unsigned k) {
+  if (2 * k > kBlockBits) {
+    return EncodeBlockDirect(~w & LowMask(kBlockBits), kBlockBits - k);
+  }
+  return EncodeBlockDirect(w, k);
+}
+
+/// Inverse of EncodeBlock.
+inline uint64_t DecodeBlock(uint64_t off, unsigned k) {
+  if (2 * k > kBlockBits) {
+    return ~DecodeBlockDirect(off, kBlockBits - k) & LowMask(kBlockBits);
+  }
+  return DecodeBlockDirect(off, k);
 }
 
 }  // namespace rrr_internal

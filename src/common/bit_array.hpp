@@ -5,6 +5,7 @@
 // structures.
 #pragma once
 
+#include <algorithm>
 #include <cstdint>
 #include <vector>
 
@@ -39,18 +40,32 @@ class BitArray {
     size_ += len;
   }
 
-  /// Appends `len` bits read from `other` starting at bit `start`.
-  void AppendRange(const BitArray& other, size_t start, size_t len) {
-    WT_DASSERT(start + len <= other.size_);
+  /// Appends `len` bits read from `src` starting at absolute bit `start`.
+  /// Word-parallel: when both ends are word-aligned the copy is a plain
+  /// word-array copy; otherwise it proceeds in 64-bit loads/stores.
+  /// Precondition: the source words covering [start, start+len) exist.
+  void AppendWords(const uint64_t* src, size_t start, size_t len) {
     Reserve(size_ + len);
+    if ((size_ & 63) == 0 && (start & 63) == 0) {
+      const uint64_t* from = src + (start >> 6);
+      std::copy(from, from + WordsFor(len), words_.begin() + (size_ >> 6));
+      size_ += len;
+      TrimLastWord();
+      return;
+    }
     size_t i = 0;
     while (i < len) {
       const size_t chunk = std::min<size_t>(64, len - i);
-      StoreBits(words_.data(), size_ + i, chunk,
-                LoadBits(other.words_.data(), start + i, chunk));
+      StoreBits(words_.data(), size_ + i, chunk, LoadBits(src, start + i, chunk));
       i += chunk;
     }
     size_ += len;
+  }
+
+  /// Appends `len` bits read from `other` starting at bit `start`.
+  void AppendRange(const BitArray& other, size_t start, size_t len) {
+    WT_DASSERT(start + len <= other.size_);
+    AppendWords(other.words_.data(), start, len);
   }
 
   /// Appends `n` copies of `bit`.
@@ -130,7 +145,13 @@ class BitArray {
  private:
   void Reserve(size_t bits) {
     const size_t need = WordsFor(bits);
-    if (need > words_.size()) words_.resize(need, 0);
+    if (need <= words_.size()) return;
+    // Grow geometrically: vector::resize alone reallocates to exactly `need`,
+    // which would make repeated word appends quadratic.
+    if (need > words_.capacity()) {
+      words_.reserve(std::max(need, words_.capacity() * 2));
+    }
+    words_.resize(need, 0);
   }
 
   // Keeps bits beyond size_ zero so that operator== and word reads are clean.

@@ -48,6 +48,14 @@ class BitSpan {
     return BitSpan(words_, start_ + pos, n);
   }
 
+  /// Reads `n` (<= 64) bits starting at `pos`, first bit in the LSB — the
+  /// word-parallel alternative to n calls of Get().
+  uint64_t GetBits(size_t pos, size_t n) const {
+    WT_DASSERT(pos + n <= len_);
+    if (n == 0) return 0;
+    return LoadBits(words_, start_ + pos, n);
+  }
+
   /// Longest common prefix length with `other`.
   size_t Lcp(BitSpan other) const {
     return BitsLcp(words_, start_, other.words_, other.start_,
@@ -105,14 +113,7 @@ class BitString {
 
   void PushBack(bool bit) { bits_.PushBack(bit); }
 
-  void Append(BitSpan s) {
-    size_t i = 0;
-    while (i < s.size()) {
-      const size_t chunk = std::min<size_t>(64, s.size() - i);
-      bits_.AppendBits(LoadBits(s.words(), s.start_bit() + i, chunk), chunk);
-      i += chunk;
-    }
-  }
+  void Append(BitSpan s) { bits_.AppendWords(s.words(), s.start_bit(), s.size()); }
 
   void Append(const BitString& s) { Append(s.Span()); }
 

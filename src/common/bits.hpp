@@ -32,6 +32,25 @@ constexpr uint64_t LowMask(size_t len) {
 
 namespace internal {
 
+// reverse_byte[b] = b with its 8 bits mirrored.
+struct ReverseByteTable {
+  std::array<uint8_t, 256> r{};
+};
+
+constexpr ReverseByteTable MakeReverseByteTable() {
+  ReverseByteTable t{};
+  for (int b = 0; b < 256; ++b) {
+    int r = 0;
+    for (int i = 0; i < 8; ++i) {
+      if (b & (1 << i)) r |= 1 << (7 - i);
+    }
+    t.r[b] = static_cast<uint8_t>(r);
+  }
+  return t;
+}
+
+inline constexpr ReverseByteTable kReverseByte = MakeReverseByteTable();
+
 // select_in_byte[b][k] = position (0..7) of the (k+1)-th set bit of byte b.
 struct SelectByteTable {
   std::array<std::array<uint8_t, 8>, 256> pos{};
@@ -72,6 +91,24 @@ inline unsigned SelectInWord(uint64_t x, unsigned k) {
 
 /// Position of the (k+1)-th *zero* bit of `x` (k is 0-based).
 inline unsigned SelectZeroInWord(uint64_t x, unsigned k) { return SelectInWord(~x, k); }
+
+/// Mirrors the bit order of a word (bit 0 <-> bit 63).
+inline uint64_t ReverseBits(uint64_t x) {
+  uint64_t out = 0;
+  for (int i = 0; i < 8; ++i) {
+    out = (out << 8) | internal::kReverseByte.r[x & 0xFF];
+    x >>= 8;
+  }
+  return out;
+}
+
+/// Mirrors the low `len` (<= 64) bits of x: result bit j = x bit (len-1-j).
+/// Bits of x at or above `len` are ignored. This is the word-parallel bridge
+/// between MSB-first codec encodings and the library's LSB-first bit layout.
+inline uint64_t ReverseBits(uint64_t x, size_t len) {
+  WT_DASSERT(len <= 64);
+  return len == 0 ? 0 : ReverseBits(x) >> (64 - len);
+}
 
 /// Read `len` (<= 64) bits starting at absolute bit `start` from `words`.
 /// Returned value has the first logical bit in its LSB.

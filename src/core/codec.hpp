@@ -28,6 +28,7 @@
 
 #include "common/assert.hpp"
 #include "common/bit_string.hpp"
+#include "common/bits.hpp"
 
 namespace wt {
 
@@ -42,12 +43,12 @@ class ByteCodec {
   }
 
   /// Encoding of a *prefix* query: no terminator, so byte-prefix relations
-  /// are preserved as bit-prefix relations.
+  /// are preserved as bit-prefix relations. Word-parallel: each byte is one
+  /// 9-bit append (flag + mirrored byte) instead of nine PushBacks.
   static BitString EncodePrefix(std::string_view p) {
     BitString out;
     for (unsigned char c : p) {
-      out.PushBack(false);
-      for (int b = 7; b >= 0; --b) out.PushBack((c >> b) & 1);
+      out.AppendBits(ReverseBits(c, 8) << 1, 9);
     }
     return out;
   }
@@ -59,9 +60,7 @@ class ByteCodec {
       WT_ASSERT_MSG(i < bits.size(), "ByteCodec: truncated encoding");
       if (bits.Get(i)) return out;  // terminator
       WT_ASSERT_MSG(i + 9 <= bits.size(), "ByteCodec: truncated group");
-      unsigned char c = 0;
-      for (int b = 0; b < 8; ++b) c = static_cast<unsigned char>((c << 1) | bits.Get(i + 1 + b));
-      out.push_back(static_cast<char>(c));
+      out.push_back(static_cast<char>(ReverseBits(bits.GetBits(i + 1, 8), 8)));
       i += 9;
     }
   }
@@ -73,7 +72,7 @@ class RawByteCodec {
 
   static BitString Encode(std::string_view s) {
     BitString out = EncodePrefix(s);
-    for (int b = 0; b < 8; ++b) out.PushBack(false);  // 0x00 terminator
+    out.AppendBits(0, 8);  // 0x00 terminator
     return out;
   }
 
@@ -81,7 +80,7 @@ class RawByteCodec {
     BitString out;
     for (unsigned char c : p) {
       WT_ASSERT_MSG(c != 0, "RawByteCodec: NUL bytes not supported");
-      for (int b = 7; b >= 0; --b) out.PushBack((c >> b) & 1);
+      out.AppendBits(ReverseBits(c, 8), 8);
     }
     return out;
   }
@@ -90,8 +89,8 @@ class RawByteCodec {
     WT_ASSERT_MSG(bits.size() % 8 == 0, "RawByteCodec: misaligned encoding");
     std::string out;
     for (size_t i = 0; i + 8 <= bits.size(); i += 8) {
-      unsigned char c = 0;
-      for (int b = 0; b < 8; ++b) c = static_cast<unsigned char>((c << 1) | bits.Get(i + b));
+      const unsigned char c =
+          static_cast<unsigned char>(ReverseBits(bits.GetBits(i, 8), 8));
       if (c == 0) return out;
       out.push_back(static_cast<char>(c));
     }
@@ -114,17 +113,13 @@ class FixedIntCodec {
   BitString Encode(uint64_t x) const {
     WT_DASSERT(width_ == 64 || x < (uint64_t(1) << width_));
     BitString out;
-    for (int b = static_cast<int>(width_) - 1; b >= 0; --b) {
-      out.PushBack((x >> b) & 1);
-    }
+    out.AppendBits(ReverseBits(x, width_), width_);  // MSB first
     return out;
   }
 
   uint64_t Decode(BitSpan bits) const {
     WT_ASSERT(bits.size() == width_);
-    uint64_t x = 0;
-    for (size_t i = 0; i < width_; ++i) x = (x << 1) | (bits.Get(i) ? 1 : 0);
-    return x;
+    return ReverseBits(bits.GetBits(0, width_), width_);
   }
 
   unsigned width() const { return width_; }
@@ -160,14 +155,13 @@ class HashedIntCodec {
     WT_DASSERT(width_ == 64 || x < (uint64_t(1) << width_));
     const uint64_t h = (a_ * x) & Mask();
     BitString out;
-    for (size_t b = width_; b-- > 0;) out.PushBack((h >> b) & 1);  // MSB first
+    out.AppendBits(ReverseBits(h, width_), width_);  // MSB first
     return out;
   }
 
   uint64_t Decode(BitSpan bits) const {
     WT_ASSERT(bits.size() == width_);
-    uint64_t h = 0;
-    for (size_t b = 0; b < width_; ++b) h = (h << 1) | (bits.Get(b) ? 1 : 0);
+    const uint64_t h = ReverseBits(bits.GetBits(0, width_), width_);
     return (a_inv_ * h) & Mask();
   }
 

@@ -22,6 +22,7 @@
 #include <cstdint>
 #include <functional>
 #include <optional>
+#include <span>
 #include <unordered_map>
 #include <utility>
 #include <vector>
@@ -31,6 +32,7 @@
 #include "bitvector/dynamic_bit_vector.hpp"
 #include "common/assert.hpp"
 #include "common/bit_string.hpp"
+#include "core/batch_dedup.hpp"
 
 namespace wt {
 
@@ -54,10 +56,234 @@ class DynamicWaveletTrieT {
     o.n_ = 0;
     o.distinct_ = 0;
   }
+  DynamicWaveletTrieT& operator=(DynamicWaveletTrieT&& o) noexcept {
+    if (this != &o) {
+      Free(root_);
+      root_ = o.root_;
+      n_ = o.n_;
+      distinct_ = o.distinct_;
+      o.root_ = nullptr;
+      o.n_ = 0;
+      o.distinct_ = 0;
+    }
+    return *this;
+  }
 
   /// Appends s to the sequence. O(|s| + h_s) for the append-only variant,
   /// O(|s| + h_s log n) for the fully dynamic one.
   void Append(BitSpan s) { InsertImpl(s, n_); }
+
+  /// Appends every string of `batch`, in order — observably identical to
+  /// calling Append on each element, but word-parallel end to end
+  /// (DESIGN.md #4): the batch is first collapsed onto its distinct alphabet,
+  /// all structural work (label LCPs, Figure 3 splits, fresh subtrees) runs
+  /// over the distinct set only, and each touched node is visited once per
+  /// batch, its beta receiving the branch bits as packed 64-bit words (or a
+  /// constant-run Init). Per-occurrence work is sequential integer traffic.
+  /// The spans must stay valid for the duration of the call.
+  void AppendBatch(std::span<const BitSpan> batch) {
+    if (batch.empty()) return;
+    const internal::BatchDict dict = internal::DedupBatch(batch);
+    // Occurrence ids are 16-bit whenever the distinct alphabet allows it:
+    // the per-occurrence partitions are memory-bound, so the narrower ids
+    // halve the dominant traffic.
+    if (dict.distinct.size() <= (size_t(1) << 16)) {
+      AppendBatchImpl<uint16_t>(dict);
+    } else {
+      AppendBatchImpl<uint32_t>(dict);
+    }
+  }
+
+ private:
+  template <typename IdT>
+  void AppendBatchImpl(const internal::BatchDict& dict) {
+    const size_t m = dict.id_of.size();
+    const std::vector<BitSpan>& dstr = dict.distinct;
+    const size_t dn = dstr.size();
+    // darr: distinct ids routed per subtree (drives structure); oarr: the
+    // occurrence sequence as distinct ids, in batch order (drives betas).
+    // Both are stably partitioned in place, range by range.
+    std::vector<IdT> darr(dn);
+    for (size_t i = 0; i < dn; ++i) darr[i] = static_cast<IdT>(i);
+    std::vector<IdT> oarr(m);
+    for (size_t i = 0; i < m; ++i) oarr[i] = static_cast<IdT>(dict.id_of[i]);
+    std::vector<IdT> dscratch(dn);
+    std::vector<IdT> oscratch(m);
+    std::vector<uint8_t> bit_of(dn);  // branch bit per distinct id, per node
+    struct Frame {
+      Node** link;  // child slot holding this subtree (null -> bulk build)
+      IdT *dbegin, *dend;
+      IdT *obegin, *oend;
+      size_t depth;  // bits consumed before this node's label
+    };
+    std::vector<Frame> stack;
+
+    // Stably partitions the distinct ids and the occurrence sequence by the
+    // bit at `split_pos`, appends the occurrence branch bits (the first
+    // `skip` are already folded into a constant-run Init and all follow
+    // `lead_bit`) to v->beta as packed words, and enqueues the children.
+    const auto partition_and_descend = [&](Node* v, const Frame& f,
+                                           size_t split_pos, size_t skip,
+                                           bool lead_bit) {
+      for (const IdT* it = f.dbegin; it != f.dend; ++it) {
+        // A routed string ending at or before the branch point would be a
+        // proper prefix of the others in this subtree.
+        WT_ASSERT_MSG(dstr[*it].size() > split_pos,
+                      "wavelet trie: append would break prefix-freeness");
+        bit_of[*it] = dstr[*it].Get(split_pos);
+      }
+      IdT* d0 = f.dbegin;
+      size_t dn1 = 0;
+      for (const IdT* it = f.dbegin; it != f.dend; ++it) {
+        const IdT d = *it;
+        const uint8_t b = bit_of[d];
+        *d0 = d;
+        d0 += b ^ 1;
+        dscratch[dn1] = d;
+        dn1 += b;
+      }
+      IdT* dmid = d0;
+      std::copy(dscratch.data(), dscratch.data() + dn1, d0);
+      IdT* o0 = f.obegin;
+      size_t on1 = 0;
+      const IdT* it = f.obegin;
+      if (skip > 0) {  // leading constant run: route wholesale, emit no bits
+        if (lead_bit) {
+          std::copy(it, it + skip, oscratch.data());
+          on1 = skip;
+        } else {
+          o0 += skip;
+        }
+        it += skip;
+      }
+      // Process occurrences in 64-item blocks: first gather the branch bits
+      // into one word (independent loads, pipelined), then partition driven
+      // from the register — the store cursors advance on 1-cycle register
+      // ops instead of waiting on the per-item table loads.
+      while (it != f.oend) {
+        const size_t blk =
+            std::min<size_t>(kWordBits, static_cast<size_t>(f.oend - it));
+        uint64_t word = 0;
+        for (size_t j = 0; j < blk; ++j) {
+          word |= uint64_t(bit_of[it[j]]) << j;
+        }
+        v->beta.AppendWord(word, blk);
+        uint64_t w2 = word;
+        for (size_t j = 0; j < blk; ++j) {
+          const IdT d = it[j];
+          const uint64_t b = w2 & 1;
+          w2 >>= 1;
+          *o0 = d;
+          o0 += b ^ 1;
+          oscratch[on1] = d;
+          on1 += b;
+        }
+        it += blk;
+      }
+      IdT* omid = o0;
+      std::copy(oscratch.data(), oscratch.data() + on1, o0);
+      if (dmid != f.dbegin) {
+        stack.push_back({&v->child[0], f.dbegin, dmid, f.obegin, omid,
+                         split_pos + 1});
+      }
+      if (f.dend != dmid) {
+        stack.push_back({&v->child[1], dmid, f.dend, omid, f.oend,
+                         split_pos + 1});
+      }
+    };
+
+    stack.push_back({&root_, darr.data(), darr.data() + dn, oarr.data(),
+                     oarr.data() + m, 0});
+    while (!stack.empty()) {
+      const Frame f = stack.back();
+      stack.pop_back();
+      const size_t dcount = static_cast<size_t>(f.dend - f.dbegin);
+      const size_t ocount = static_cast<size_t>(f.oend - f.obegin);
+      if (*f.link == nullptr) {
+        // Bulk-build a fresh subtree: label = LCP of the routed suffixes.
+        const BitSpan first = dstr[*f.dbegin].SubSpan(f.depth);
+        size_t lcp = first.size();
+        for (IdT* it = f.dbegin + 1; it != f.dend && lcp > 0; ++it) {
+          const BitSpan s = dstr[*it].SubSpan(f.depth);
+          lcp = std::min(lcp, s.Lcp(first));
+          if (s.size() < lcp) lcp = s.size();
+        }
+        Node* v = new Node(BitString::FromSpan(first.SubSpan(0, lcp)));
+        *f.link = v;
+        if (lcp == first.size()) {
+          // The first suffix ends here; all routed strings must be equal to
+          // it (a longer one would make it a proper prefix).
+          WT_ASSERT_MSG(dcount == 1,
+                        "wavelet trie: append would break prefix-freeness");
+          v->count = ocount;
+          ++distinct_;
+          continue;
+        }
+        partition_and_descend(v, f, f.depth + lcp, 0, false);
+        continue;
+      }
+      Node* v = *f.link;
+      const BitSpan label = v->label.Span();
+      // Minimal divergence point of the batch within the label; every split
+      // deeper down resolves when the old-side child is processed.
+      size_t p = label.size();
+      for (IdT* it = f.dbegin; it != f.dend; ++it) {
+        const BitSpan s = dstr[*it].SubSpan(f.depth);
+        const size_t l = s.Lcp(label);
+        WT_ASSERT_MSG(l == label.size() || f.depth + l < dstr[*it].size(),
+                      "wavelet trie: append would break prefix-freeness");
+        if (l < p) {
+          p = l;
+          if (p == 0) break;
+        }
+      }
+      if (p < label.size()) {
+        // Split v at p (Figure 3, batched): the label tail moves into a
+        // child that keeps v's children/beta/payload; the diverging strings
+        // bulk-build the sibling. Leading occurrences that still follow the
+        // old bit extend the O(1) constant-run Init, exactly matching what
+        // element-wise appends would have produced.
+        const bool old_bit = label.Get(p);
+        Node* old_half = new Node(BitString::FromSpan(label.SubSpan(p + 1)));
+        old_half->child[0] = v->child[0];
+        old_half->child[1] = v->child[1];
+        old_half->beta = std::move(v->beta);
+        old_half->count = v->count;
+        const size_t old_size = SubtreeSize(old_half);
+        v->count = 0;
+        v->child[old_bit] = old_half;
+        v->child[!old_bit] = nullptr;
+        v->label.Truncate(p);
+        const size_t split_pos = f.depth + p;
+        size_t k = 0;
+        for (const IdT* it = f.obegin; it != f.oend; ++it, ++k) {
+          if (dstr[*it].Get(split_pos) != old_bit) break;
+        }
+        v->beta = BV(old_bit, old_size + k);
+        partition_and_descend(v, f, split_pos, k, old_bit);
+        continue;
+      }
+      if (v->IsLeaf()) {
+        WT_ASSERT_MSG(dcount == 1 &&
+                          dstr[*f.dbegin].size() == f.depth + label.size(),
+                      "wavelet trie: append would break prefix-freeness");
+        v->count += ocount;
+        continue;
+      }
+      partition_and_descend(v, f, f.depth + label.size(), 0, false);
+    }
+    n_ += m;
+  }
+
+ public:
+
+  /// Convenience overload: appends a batch of owned strings.
+  void AppendBatch(const std::vector<BitString>& batch) {
+    std::vector<BitSpan> spans;
+    spans.reserve(batch.size());
+    for (const auto& s : batch) spans.push_back(s.Span());
+    AppendBatch(std::span<const BitSpan>(spans));
+  }
 
   /// Inserts s before position pos (paper: Insert(s, pos)).
   void Insert(BitSpan s, size_t pos)

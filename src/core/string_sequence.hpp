@@ -39,20 +39,33 @@ class StringSequence {
   StringSequence() = default;
   explicit StringSequence(Codec codec) : codec_(std::move(codec)) {}
 
-  /// Static bulk construction (WaveletTrie only).
+  /// Static bulk construction (WaveletTrie only), via the word-parallel
+  /// BulkBuild path.
   explicit StringSequence(const std::vector<Value>& values, Codec codec = {})
     requires kStatic
       : codec_(std::move(codec)) {
     std::vector<BitString> enc;
     enc.reserve(values.size());
     for (const auto& v : values) enc.push_back(codec_.Encode(v));
-    trie_ = Trie(enc);
+    trie_ = WaveletTrie::BulkBuild(enc);
   }
 
   void Append(const Value& v)
     requires(!kStatic)
   {
     trie_.Append(codec_.Encode(v));
+  }
+
+  /// Appends a whole batch in one word-parallel trie pass — the bulk-load
+  /// entry point for streaming ingest (equivalent to Append on each value,
+  /// in order, but one traversal per touched trie node per batch).
+  void AppendBatch(const std::vector<Value>& values)
+    requires(!kStatic)
+  {
+    std::vector<BitString> enc;
+    enc.reserve(values.size());
+    for (const auto& v : values) enc.push_back(codec_.Encode(v));
+    trie_.AppendBatch(enc);
   }
 
   void Insert(const Value& v, size_t pos)
@@ -162,7 +175,7 @@ class StringSequence {
       enc.push_back(s);
     });
     StringSequence<WaveletTrie, Codec> out(codec_);
-    out.trie_ = WaveletTrie(enc);
+    out.trie_ = WaveletTrie::BulkBuild(enc);
     return out;
   }
 

@@ -20,9 +20,11 @@
 // frequent elements) are implemented on the same representation.
 #pragma once
 
+#include <algorithm>
 #include <cstdint>
 #include <functional>
 #include <optional>
+#include <span>
 #include <unordered_map>
 #include <utility>
 #include <vector>
@@ -31,6 +33,7 @@
 #include "bitvector/rrr.hpp"
 #include "common/assert.hpp"
 #include "common/bit_string.hpp"
+#include "core/batch_dedup.hpp"
 #include "succinct/binary_tree_shape.hpp"
 
 namespace wt {
@@ -116,6 +119,128 @@ class WaveletTrie {
     label_ends_ = EliasFano(label_ends, labels_.size());
     beta_ = Rrr(beta_bits);
     beta_ends_ = EliasFano(beta_ends, beta_bits.size());
+  }
+
+  /// Word-parallel bulk construction (the DESIGN.md #4 fast path). Produces
+  /// byte-identical serialization to the WaveletTrie(seq) constructor — the
+  /// constructor stays as the bit-for-bit reference the differential test
+  /// compares against — but first collapses the sequence onto its distinct
+  /// alphabet: label LCPs and shape decisions run over the distinct set
+  /// only, and each node's branch bits are emitted as packed 64-bit words
+  /// driven by an L1-resident per-node bit table over distinct ids.
+  static WaveletTrie BulkBuild(const std::vector<BitString>& seq) {
+    WaveletTrie out;
+    out.n_ = seq.size();
+    if (out.n_ == 0) return out;
+    const size_t n = out.n_;
+    std::vector<BitSpan> spans;
+    spans.reserve(n);
+    for (const auto& s : seq) spans.push_back(s.Span());
+    internal::BatchDict dict =
+        internal::DedupBatch(std::span<const BitSpan>(spans));
+    const std::vector<BitSpan>& dstr = dict.distinct;
+    const size_t dn = dstr.size();
+    std::vector<uint32_t> darr(dn);
+    for (size_t i = 0; i < dn; ++i) darr[i] = static_cast<uint32_t>(i);
+    std::vector<uint32_t>& oarr = dict.id_of;
+    std::vector<uint32_t> dscratch(dn);
+    std::vector<uint32_t> oscratch(n);
+    std::vector<uint8_t> bit_of(dn);
+
+    BitArray shape_bits;
+    BitArray beta_bits;
+    std::vector<uint64_t> label_ends;
+    std::vector<uint64_t> beta_ends;
+
+    struct Frame {
+      uint32_t *dbegin, *dend;  // distinct ids in this subtree
+      uint32_t *obegin, *oend;  // occurrence sequence (distinct ids), in order
+      size_t offset;            // bits of every string already consumed
+    };
+    std::vector<Frame> stack{{darr.data(), darr.data() + dn, oarr.data(),
+                              oarr.data() + n, 0}};
+    while (!stack.empty()) {
+      const Frame f = stack.back();
+      stack.pop_back();
+      const BitSpan first = dstr[*f.dbegin].SubSpan(f.offset);
+      // Longest common prefix of the distinct suffixes in this subtree.
+      size_t lcp = first.size();
+      for (uint32_t* it = f.dbegin + 1; it != f.dend && lcp > 0; ++it) {
+        const BitSpan suffix = dstr[*it].SubSpan(f.offset);
+        lcp = std::min(lcp, suffix.Lcp(first));
+        if (suffix.size() < lcp) lcp = suffix.size();
+      }
+      const BitSpan rep = dstr[*f.dbegin];
+      out.labels_.AppendWords(rep.words(), rep.start_bit() + f.offset, lcp);
+      label_ends.push_back(out.labels_.size());
+      const size_t split = f.offset + lcp;
+      if (lcp == first.size()) {
+        // The first suffix ends here; all routed strings must equal it.
+        WT_ASSERT_MSG(f.dend - f.dbegin == 1,
+                      "WaveletTrie: input set is not prefix-free");
+        shape_bits.PushBack(false);  // leaf
+        continue;
+      }
+      WT_ASSERT_MSG(std::all_of(f.dbegin, f.dend,
+                                [&](uint32_t d) { return dstr[d].size() > split; }),
+                    "WaveletTrie: input set is not prefix-free");
+      shape_bits.PushBack(true);  // internal
+      // Branch bit per distinct id, then one stable partition of both the
+      // distinct set and the occurrence sequence, packing beta words.
+      for (const uint32_t* it = f.dbegin; it != f.dend; ++it) {
+        bit_of[*it] = dstr[*it].Get(split);
+      }
+      uint32_t* d0 = f.dbegin;
+      size_t dn1 = 0;
+      for (const uint32_t* it = f.dbegin; it != f.dend; ++it) {
+        const uint32_t d = *it;
+        const uint8_t b = bit_of[d];
+        *d0 = d;
+        d0 += b ^ 1;
+        dscratch[dn1] = d;
+        dn1 += b;
+      }
+      uint32_t* dmid = d0;
+      std::copy(dscratch.data(), dscratch.data() + dn1, d0);
+      uint32_t* o0 = f.obegin;
+      size_t on1 = 0;
+      // 64-item blocks: gather bits into a word (pipelined loads), then
+      // partition from the register (no load-latency dependency chain).
+      const uint32_t* it = f.obegin;
+      while (it != f.oend) {
+        const size_t blk =
+            std::min<size_t>(kWordBits, static_cast<size_t>(f.oend - it));
+        uint64_t word = 0;
+        for (size_t j = 0; j < blk; ++j) {
+          word |= uint64_t(bit_of[it[j]]) << j;
+        }
+        beta_bits.AppendBits(word, blk);
+        uint64_t w2 = word;
+        for (size_t j = 0; j < blk; ++j) {
+          const uint32_t d = it[j];
+          const uint64_t b = w2 & 1;
+          w2 >>= 1;
+          *o0 = d;
+          o0 += b ^ 1;
+          oscratch[on1] = d;
+          on1 += b;
+        }
+        it += blk;
+      }
+      uint32_t* omid = o0;
+      std::copy(oscratch.data(), oscratch.data() + on1, o0);
+      beta_ends.push_back(beta_bits.size());
+      // Preorder: left subtree first, so push right first.
+      stack.push_back({dmid, f.dend, omid, f.oend, split + 1});
+      stack.push_back({f.dbegin, dmid, f.obegin, omid, split + 1});
+    }
+
+    out.shape_ = BinaryTreeShape(std::move(shape_bits));
+    out.labels_.ShrinkToFit();
+    out.label_ends_ = EliasFano(label_ends, out.labels_.size());
+    out.beta_ = Rrr(beta_bits);
+    out.beta_ends_ = EliasFano(beta_ends, beta_bits.size());
+    return out;
   }
 
   size_t size() const { return n_; }
@@ -436,7 +561,7 @@ class WaveletTrie {
 
  private:
   static constexpr uint64_t kMagic = 0x57544C4945525431ull;  // "WTLIERT1"
-  static constexpr uint32_t kVersion = 1;
+  static constexpr uint32_t kVersion = 2;  // v2: complement-capped RRR offsets
 
   BitSpan Label(size_t v) const {
     const size_t start = label_ends_.SegmentStart(v);
