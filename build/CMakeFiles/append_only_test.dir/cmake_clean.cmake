@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/append_only_test.dir/tests/append_only_test.cpp.o"
+  "CMakeFiles/append_only_test.dir/tests/append_only_test.cpp.o.d"
+  "append_only_test"
+  "append_only_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/append_only_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

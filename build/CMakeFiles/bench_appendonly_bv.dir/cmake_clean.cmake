@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_appendonly_bv.dir/bench/bench_appendonly_bv.cpp.o"
+  "CMakeFiles/bench_appendonly_bv.dir/bench/bench_appendonly_bv.cpp.o.d"
+  "bench_appendonly_bv"
+  "bench_appendonly_bv.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_appendonly_bv.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

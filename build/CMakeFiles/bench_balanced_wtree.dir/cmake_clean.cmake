@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_balanced_wtree.dir/bench/bench_balanced_wtree.cpp.o"
+  "CMakeFiles/bench_balanced_wtree.dir/bench/bench_balanced_wtree.cpp.o.d"
+  "bench_balanced_wtree"
+  "bench_balanced_wtree.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_balanced_wtree.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

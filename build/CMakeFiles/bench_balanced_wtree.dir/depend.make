@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_balanced_wtree.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_deamortization.dir/bench/bench_deamortization.cpp.o"
+  "CMakeFiles/bench_deamortization.dir/bench/bench_deamortization.cpp.o.d"
+  "bench_deamortization"
+  "bench_deamortization.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_deamortization.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

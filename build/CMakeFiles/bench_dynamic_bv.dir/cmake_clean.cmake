@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_dynamic_bv.dir/bench/bench_dynamic_bv.cpp.o"
+  "CMakeFiles/bench_dynamic_bv.dir/bench/bench_dynamic_bv.cpp.o.d"
+  "bench_dynamic_bv"
+  "bench_dynamic_bv.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_dynamic_bv.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_range_queries.dir/bench/bench_range_queries.cpp.o"
+  "CMakeFiles/bench_range_queries.dir/bench/bench_range_queries.cpp.o.d"
+  "bench_range_queries"
+  "bench_range_queries.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_range_queries.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_shapes.dir/bench/bench_shapes.cpp.o"
+  "CMakeFiles/bench_shapes.dir/bench/bench_shapes.cpp.o.d"
+  "bench_shapes"
+  "bench_shapes.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_shapes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table1_space.dir/bench/bench_table1_space.cpp.o"
+  "CMakeFiles/bench_table1_space.dir/bench/bench_table1_space.cpp.o.d"
+  "bench_table1_space"
+  "bench_table1_space.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table1_space.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

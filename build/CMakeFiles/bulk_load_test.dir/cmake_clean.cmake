@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bulk_load_test.dir/tests/bulk_load_test.cpp.o"
+  "CMakeFiles/bulk_load_test.dir/tests/bulk_load_test.cpp.o.d"
+  "bulk_load_test"
+  "bulk_load_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bulk_load_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/deamortized_test.dir/tests/deamortized_test.cpp.o"
+  "CMakeFiles/deamortized_test.dir/tests/deamortized_test.cpp.o.d"
+  "deamortized_test"
+  "deamortized_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/deamortized_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

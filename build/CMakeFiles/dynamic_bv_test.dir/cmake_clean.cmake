@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dynamic_bv_test.dir/tests/dynamic_bv_test.cpp.o"
+  "CMakeFiles/dynamic_bv_test.dir/tests/dynamic_bv_test.cpp.o.d"
+  "dynamic_bv_test"
+  "dynamic_bv_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dynamic_bv_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dynamic_wavelet_trie_test.dir/tests/dynamic_wavelet_trie_test.cpp.o"
+  "CMakeFiles/dynamic_wavelet_trie_test.dir/tests/dynamic_wavelet_trie_test.cpp.o.d"
+  "dynamic_wavelet_trie_test"
+  "dynamic_wavelet_trie_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dynamic_wavelet_trie_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_analytics_warehouse.dir/examples/analytics_warehouse.cpp.o"
+  "CMakeFiles/example_analytics_warehouse.dir/examples/analytics_warehouse.cpp.o.d"
+  "example_analytics_warehouse"
+  "example_analytics_warehouse.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_analytics_warehouse.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_column_store.dir/examples/column_store.cpp.o"
+  "CMakeFiles/example_column_store.dir/examples/column_store.cpp.o.d"
+  "example_column_store"
+  "example_column_store.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_column_store.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

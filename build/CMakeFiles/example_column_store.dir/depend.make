@@ -1,0 +1,2 @@
+# Empty dependencies file for example_column_store.
+# This may be replaced when dependencies are built.

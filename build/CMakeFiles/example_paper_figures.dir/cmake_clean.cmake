@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_paper_figures.dir/examples/paper_figures.cpp.o"
+  "CMakeFiles/example_paper_figures.dir/examples/paper_figures.cpp.o.d"
+  "example_paper_figures"
+  "example_paper_figures.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_paper_figures.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_social_graph_snapshots.dir/examples/social_graph_snapshots.cpp.o"
+  "CMakeFiles/example_social_graph_snapshots.dir/examples/social_graph_snapshots.cpp.o.d"
+  "example_social_graph_snapshots"
+  "example_social_graph_snapshots.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_social_graph_snapshots.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

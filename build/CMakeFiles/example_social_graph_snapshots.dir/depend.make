@@ -1,0 +1,2 @@
+# Empty dependencies file for example_social_graph_snapshots.
+# This may be replaced when dependencies are built.

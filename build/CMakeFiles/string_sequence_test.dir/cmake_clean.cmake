@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/string_sequence_test.dir/tests/string_sequence_test.cpp.o"
+  "CMakeFiles/string_sequence_test.dir/tests/string_sequence_test.cpp.o.d"
+  "string_sequence_test"
+  "string_sequence_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/string_sequence_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

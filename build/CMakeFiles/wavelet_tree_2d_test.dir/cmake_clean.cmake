@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wavelet_tree_2d_test.dir/tests/wavelet_tree_2d_test.cpp.o"
+  "CMakeFiles/wavelet_tree_2d_test.dir/tests/wavelet_tree_2d_test.cpp.o.d"
+  "wavelet_tree_2d_test"
+  "wavelet_tree_2d_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wavelet_tree_2d_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wavelet_trie_test.dir/tests/wavelet_trie_test.cpp.o"
+  "CMakeFiles/wavelet_trie_test.dir/tests/wavelet_trie_test.cpp.o.d"
+  "wavelet_trie_test"
+  "wavelet_trie_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wavelet_trie_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
