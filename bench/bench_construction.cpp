@@ -21,6 +21,7 @@
 
 #include <chrono>
 #include <cstdio>
+#include <cstdlib>
 #include <span>
 #include <vector>
 
@@ -162,7 +163,11 @@ double Seconds(std::chrono::steady_clock::time_point a,
 }
 
 bool WriteAcceptanceJson() {
-  const size_t n = 1'000'000;
+  // WT_BENCH_SMOKE shrinks the acceptance run so CI can exercise the whole
+  // path (build + ingest + identical-result checks) in seconds; the
+  // tracked perf numbers come from full runs without it.
+  const bool smoke = std::getenv("WT_BENCH_SMOKE") != nullptr;
+  const size_t n = smoke ? 50'000 : 1'000'000;
   const auto seq = MakeLog(n);
   size_t input_bits = 0;
   for (const auto& s : seq) input_bits += s.size();

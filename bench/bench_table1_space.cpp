@@ -9,15 +9,18 @@
 // Ordering static < append-only < dynamic must hold; the static overhead
 // over LB should be a modest fraction of ~h n.
 //
+// The three variants are built and measured through the unified public API
+// (wtrie::Sequence<Policy>::SizeInBits(), which counts the trie
+// representation plus codec state) so the reported numbers are exactly what
+// an application pays, and stay comparable across API changes.
+//
 // This is a measurement table, not a timing microbenchmark, so it prints
 // directly instead of using the google-benchmark loop.
 #include <cstdio>
 #include <vector>
 
-#include "core/codec.hpp"
-#include "core/dynamic_wavelet_trie.hpp"
+#include "api/sequence.hpp"
 #include "core/naive.hpp"
-#include "core/wavelet_trie.hpp"
 #include "util/entropy.hpp"
 #include "util/workloads.hpp"
 
@@ -25,19 +28,20 @@ using namespace wt;
 
 namespace {
 
-void Report(const char* workload, const std::vector<BitString>& seq) {
-  const size_t n = seq.size();
+template <typename Codec>
+void Report(const char* workload, const std::vector<typename Codec::Value>& values,
+            Codec codec = {}) {
+  const size_t n = values.size();
+  std::vector<BitString> seq;
+  seq.reserve(n);
+  for (const auto& v : values) seq.push_back(codec.Encode(v));
   const double nh0 = SequenceEntropyBits(seq);
   const auto lt = TrieLowerBoundBits(seq);
   const double lb = lt.total_bits + nh0;
 
-  WaveletTrie st(seq);
-  AppendOnlyWaveletTrie ao;
-  DynamicWaveletTrie dy;
-  for (const auto& s : seq) {
-    ao.Append(s);
-    dy.Append(s);
-  }
+  const wtrie::Sequence<wtrie::Static, Codec> st(values, codec);
+  const wtrie::Sequence<wtrie::AppendOnly, Codec> ao(values, codec);
+  const wtrie::Sequence<wtrie::Dynamic, Codec> dy(values, codec);
   NaiveIndexedSequence naive(seq);
 
   // ~h n = total beta bits = sum over elements of h_s; measure via heights.
@@ -70,9 +74,7 @@ int main() {
     opt.num_domains = 64;
     opt.paths_per_domain = 32;
     UrlLogGenerator gen(opt);
-    std::vector<BitString> seq;
-    for (const auto& u : gen.Take(1 << 17)) seq.push_back(ByteCodec::Encode(u));
-    Report("URL access log (Zipf domains)", seq);
+    Report("URL access log (Zipf domains)", gen.Take(1 << 17), ByteCodec{});
   }
   {
     // Skewed small alphabet: entropy far below the raw size.
@@ -81,19 +83,18 @@ int main() {
     opt.paths_per_domain = 4;
     opt.domain_skew = 1.4;
     UrlLogGenerator gen(opt);
-    std::vector<BitString> seq;
-    for (const auto& u : gen.Take(1 << 17)) seq.push_back(ByteCodec::Encode(u));
-    Report("low-entropy log (32 URLs, heavy skew)", seq);
+    Report("low-entropy log (32 URLs, heavy skew)", gen.Take(1 << 17),
+           ByteCodec{});
   }
   {
     // Integer column via the fixed-width codec.
-    FixedIntCodec codec(32);
-    std::vector<BitString> seq;
+    std::vector<uint64_t> vals;
     for (uint64_t v :
          GenerateIntegers(1 << 17, 256, IntDistribution::kZipf, 5)) {
-      seq.push_back(codec.Encode(v & 0xFFFFFFFFu));
+      vals.push_back(v & 0xFFFFFFFFu);
     }
-    Report("32-bit integer column (Zipf, 256 distinct)", seq);
+    Report("32-bit integer column (Zipf, 256 distinct)", vals,
+           FixedIntCodec(32));
   }
   return 0;
 }

@@ -5,16 +5,16 @@
 //  iterating SelectPrefix (e.g. what has been the most accessed domain
 //  during winter vacation?)".
 //
-// This example streams a synthetic URL log into the *append-only* Wavelet
-// Trie (Theorem 4.3: O(|s| + h_s) per append — compress-and-index on the
-// fly), then answers time-windowed questions with the prefix and range
-// operations. Positions are timestamps: position i = the i-th request.
+// This example streams a synthetic URL log into the unified API facade
+// under the *append-only* policy (Theorem 4.3: O(|s| + h_s) per append —
+// compress-and-index on the fly), then answers time-windowed questions with
+// the prefix and range operations. Positions are timestamps: position i =
+// the i-th request.
 #include <cstdio>
 #include <string>
 #include <vector>
 
-#include "core/codec.hpp"
-#include "core/dynamic_wavelet_trie.hpp"
+#include "api/sequence.hpp"
 #include "util/workloads.hpp"
 
 int main() {
@@ -28,12 +28,12 @@ int main() {
   opt.seed = 2026;
   UrlLogGenerator gen(opt);
 
-  AppendOnlyWaveletTrie log;
+  wtrie::Sequence<wtrie::AppendOnly> log;
   size_t raw_bits = 0;
   for (size_t i = 0; i < kRequests; ++i) {
-    const BitString enc = ByteCodec::Encode(gen.Next());
-    raw_bits += enc.size();
-    log.Append(enc);  // indexed the moment it arrives
+    const std::string url = gen.Next();
+    raw_bits += 9 * url.size() + 1;  // ByteCodec: 9 bits/byte + terminator
+    (void)log.Append(url);           // indexed the moment it arrives
   }
   std::printf("indexed %zu requests, %zu distinct URLs\n", log.size(),
               log.NumDistinct());
@@ -49,15 +49,14 @@ int main() {
   std::printf("\ntop domains in window [%zu, %zu):\n", l, r);
   for (size_t d = 0; d < 5; ++d) {
     const std::string domain = gen.Domain(d) + "/";
-    const BitString p = ByteCodec::EncodePrefix(domain);
-    const size_t hits = log.RankPrefix(p, r) - log.RankPrefix(p, l);
+    const size_t hits = log.RangeCountPrefix(domain, l, r).value();
     std::printf("  %-18s %6zu hits\n", domain.c_str(), hits);
   }
 
   // Q2: was any single URL the majority of the window? (Section 5)
-  if (auto m = log.RangeMajority(l, r)) {
-    std::printf("\nmajority URL: %s (%zu of %zu)\n",
-                ByteCodec::Decode(m->first.Span()).c_str(), m->second, r - l);
+  if (auto m = log.Majority(l, r); m.ok()) {
+    std::printf("\nmajority URL: %s (%zu of %zu)\n", m->first.c_str(),
+                m->second, r - l);
   } else {
     std::printf("\nno majority URL in the window\n");
   }
@@ -66,37 +65,31 @@ int main() {
   // branches below the threshold are pruned, so this touches only the
   // heavy part of the trie).
   std::printf("\nURLs with >= 2%% of window traffic:\n");
-  log.RangeFrequent(l, r, (r - l) / 50, [](const BitString& s, size_t count) {
-    std::printf("  %-34s %5zu\n", ByteCodec::Decode(s.Span()).c_str(), count);
-  });
+  auto frequent = log.Frequent(l, r, (r - l) / 50).value();
+  while (frequent.Next()) {
+    std::printf("  %-34s %5zu\n", frequent.value().c_str(), frequent.count());
+  }
 
   // Q4: when did the most popular URL get its 1000th hit? Select gives the
   // position (= timestamp) directly.
-  const BitString top = ByteCodec::Encode(gen.Url(0, 0));
-  if (auto pos = log.Select(top, 999)) {
+  if (auto pos = log.Select(gen.Url(0, 0), 999); pos.ok()) {
     std::printf("\n1000th hit of %s at request #%zu\n", gen.Url(0, 0).c_str(),
                 *pos);
   }
 
   // Q5: distinct URLs under one domain in the window, with counts
-  // (Section 5 distinct-values, restricted by prefix via counting first).
+  // (Section 5 distinct-values restricted by prefix: the descent maps the
+  // window through the node bitvectors and never leaves the subtree).
   const std::string d0 = gen.Domain(0) + "/";
-  const BitString p0 = ByteCodec::EncodePrefix(d0);
   std::printf("\n%s URLs seen in window: %zu distinct paths\n", d0.c_str(),
-              [&] {
-                size_t distinct = 0;
-                log.DistinctInRange(l, r, [&](const BitString& s, size_t) {
-                  if (p0.Span().IsPrefixOf(s.Span())) ++distinct;
-                });
-                return distinct;
-              }());
+              log.DistinctWithPrefix(d0, l, r).value().size());
 
   // Q6: replay a slice of the log in order (Section 5 sequential access:
-  // one Rank per trie node for the whole range, then O(1)-advance
-  // iterators).
+  // one Rank per trie node per cursor chunk, then O(1)-advance iterators).
   std::printf("\nfirst 5 requests of the window:\n");
-  log.ForEachInRange(l, l + 5, [](size_t i, const BitString& s) {
-    std::printf("  #%zu %s\n", i, ByteCodec::Decode(s.Span()).c_str());
-  });
+  auto scan = log.Scan(l, l + 5).value();
+  while (scan.Next()) {
+    std::printf("  #%zu %s\n", scan.position(), scan.value().c_str());
+  }
   return 0;
 }

@@ -8,6 +8,7 @@
 // vacation?" — is TopK over a row window, with no scan and no second copy
 // of the data.
 #include <cstdio>
+#include <sstream>
 #include <string>
 #include <vector>
 
@@ -84,6 +85,18 @@ int main() {
   for (const auto& spec : log.schema()) {
     std::printf("column %-7s %8.2f KB\n", spec.name.c_str(),
                 log.ColumnSizeInBits(spec.name) / 8e3);
+  }
+
+  // Whole-table persistence: schema + every column through the versioned
+  // envelope; string columns ship their canonical static image.
+  std::stringstream file;
+  if (log.Save(file).ok()) {
+    const auto bytes = file.str().size();
+    auto reloaded = Table::Load(file);
+    std::printf("round-trip: %.2f MB on disk, %zu rows reloaded, "
+                "top domain still %s\n",
+                bytes / 1e6, reloaded->num_rows(),
+                reloaded->TopK("url", 1, from, to).front().first.c_str());
   }
   return 0;
 }

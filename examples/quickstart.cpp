@@ -1,82 +1,103 @@
-// Quickstart: the indexed-sequence-of-strings API in five minutes.
+// Quickstart: the unified indexed-sequence-of-strings API in five minutes.
 //
-// Build & run:   cmake -B build -G Ninja && cmake --build build
-//                ./build/examples/quickstart
+// Build & run:   cmake -B build && cmake --build build
+//                ./build/example_quickstart
 //
 // The sequence model (paper Section 1): a list of strings where order and
 // multiplicity matter, supporting Access / Rank / Select plus the prefix
-// variants, in compressed space, with optional dynamic updates.
+// variants, in compressed space, with optional dynamic updates. One facade,
+// three policies (src/api/sequence.hpp):
+//
+//   wtrie::Sequence<wtrie::Static>      — immutable, smallest (Theorem 3.7)
+//   wtrie::Sequence<wtrie::AppendOnly>  — streaming ingest (Theorem 4.3)
+//   wtrie::Sequence<wtrie::Dynamic>     — Insert/Delete (Theorem 4.4)
 #include <cstdio>
+#include <sstream>
 #include <string>
 #include <vector>
 
-#include "core/codec.hpp"
-#include "core/dynamic_wavelet_trie.hpp"
-#include "core/wavelet_trie.hpp"
+#include "api/sequence.hpp"
 
 int main() {
-  using namespace wt;
-
   // ------------------------------------------------ static construction
-  // Encode application strings into prefix-free binary strings with a
-  // codec, then build the static Wavelet Trie.
+  // Values are encoded into prefix-free binary strings by the codec
+  // (ByteCodec by default), and built through the word-parallel bulk path.
   const std::vector<std::string> log = {
       "api/users", "api/orders", "web/home",   "api/users",
       "web/cart",  "api/users",  "api/orders", "web/home",
   };
-  std::vector<BitString> encoded;
-  for (const auto& s : log) encoded.push_back(ByteCodec::Encode(s));
-  WaveletTrie trie(encoded);
+  wtrie::Sequence<wtrie::Static> seq(log);
 
-  std::printf("sequence length: %zu, distinct strings: %zu\n", trie.size(),
-              trie.NumDistinct());
+  std::printf("sequence length: %zu, distinct strings: %zu\n", seq.size(),
+              seq.NumDistinct());
 
-  // Access: the string at a position.
-  std::printf("Access(3) = %s\n", ByteCodec::Decode(trie.Access(3).Span()).c_str());
+  // Access: the string at a position. Out-of-range positions return an
+  // error instead of aborting — the public boundary is bounds-checked.
+  std::printf("Access(3) = %s\n", seq.Access(3).value().c_str());
+  if (auto bad = seq.Access(999); !bad.ok()) {
+    std::printf("Access(999) -> error: %s\n", bad.status().message());
+  }
 
   // Rank: occurrences of a string before a position.
   std::printf("Rank(\"api/users\", 6) = %zu\n",
-              trie.Rank(ByteCodec::Encode("api/users"), 6));
+              seq.Rank("api/users", 6).value());
 
-  // Select: position of the k-th occurrence (0-based).
-  if (auto pos = trie.Select(ByteCodec::Encode("api/users"), 2)) {
+  // Select: position of the k-th occurrence (0-based); kNotFound past the
+  // last occurrence.
+  if (auto pos = seq.Select("api/users", 2); pos.ok()) {
     std::printf("Select(\"api/users\", 2) = %zu\n", *pos);
   }
 
-  // Prefix operations: count / locate strings by shared prefix. Note the
-  // prefix is encoded WITHOUT the terminator.
-  const BitString api = ByteCodec::EncodePrefix("api/");
-  std::printf("RankPrefix(\"api/\", 8) = %zu\n", trie.RankPrefix(api, 8));
-  if (auto pos = trie.SelectPrefix(api, 3)) {
+  // Prefix operations: count / locate strings by shared prefix.
+  std::printf("RankPrefix(\"api/\", 8) = %zu\n",
+              seq.RankPrefix("api/", 8).value());
+  if (auto pos = seq.SelectPrefix("api/", 3); pos.ok()) {
     std::printf("SelectPrefix(\"api/\", 3) = %zu\n", *pos);
   }
 
-  // Range analytics (paper Section 5).
+  // Range analytics (paper Section 5), as cursors.
   std::printf("distinct values in [2, 7):\n");
-  trie.DistinctInRange(2, 7, [](const BitString& s, size_t count) {
-    std::printf("  %-12s x%zu\n", ByteCodec::Decode(s.Span()).c_str(), count);
-  });
-  if (auto m = trie.RangeMajority(0, 6)) {
-    std::printf("majority of [0, 6): %s (%zu times)\n",
-                ByteCodec::Decode(m->first.Span()).c_str(), m->second);
+  auto distinct = seq.Distinct(2, 7).value();
+  while (distinct.Next()) {
+    std::printf("  %-12s x%zu\n", distinct.value().c_str(), distinct.count());
+  }
+  if (auto m = seq.Majority(0, 6); m.ok()) {
+    std::printf("majority of [0, 6): %s (%zu times)\n", m->first.c_str(),
+                m->second);
+  }
+  auto scan = seq.Scan(0, 3).value();
+  while (scan.Next()) {
+    std::printf("scan[%zu] = %s\n", scan.position(), scan.value().c_str());
   }
 
-  // ------------------------------------------------ dynamic updates
-  // The fully dynamic variant supports Insert/Delete of *previously unseen*
-  // strings — the alphabet grows and shrinks with the data.
-  DynamicWaveletTrie dyn;
-  for (const auto& s : log) dyn.Append(ByteCodec::Encode(s));
-  dyn.Insert(ByteCodec::Encode("api/payments"), 4);  // brand new string
-  std::printf("after insert: distinct = %zu, Access(4) = %s\n", dyn.NumDistinct(),
-              ByteCodec::Decode(dyn.Access(4).Span()).c_str());
-  dyn.Delete(4);  // last occurrence: the alphabet shrinks back
+  // ------------------------------------------------ lifecycle: Thaw/Freeze
+  // A static sequence re-opens under a mutable policy (enumerate-and-replay),
+  // takes updates, and freezes back into the compact static form.
+  auto dyn = seq.Thaw<wtrie::Dynamic>();
+  (void)dyn.Insert("api/payments", 4);  // brand new string: alphabet grows
+  std::printf("after insert: distinct = %zu, Access(4) = %s\n",
+              dyn.NumDistinct(), dyn.Access(4).value().c_str());
+  (void)dyn.Delete(4);  // last occurrence: the alphabet shrinks back
   std::printf("after delete: distinct = %zu, size = %zu\n", dyn.NumDistinct(),
               dyn.size());
+  wtrie::Sequence<wtrie::Static> frozen = dyn.Freeze();
+
+  // ------------------------------------------------ persistence
+  // Save/Load work for every policy (mutable ones persist through their
+  // canonical static image); corrupt bytes are a recoverable error.
+  std::stringstream file;
+  if (frozen.Save(file).ok()) {
+    auto loaded = wtrie::Sequence<wtrie::Static>::Load(file);
+    std::printf("reloaded: size = %zu, Access(0) = %s\n", loaded->size(),
+                loaded->Access(0).value().c_str());
+  }
+  std::stringstream garbage("not a wtrie stream");
+  if (auto bad = wtrie::Sequence<wtrie::Static>::Load(garbage); !bad.ok()) {
+    std::printf("loading garbage -> error: %s\n", bad.status().message());
+  }
 
   // Space accounting.
-  size_t raw_bits = 0;
-  for (const auto& e : encoded) raw_bits += e.size();
-  std::printf("static trie: %zu bits vs %zu raw encoded bits\n",
-              trie.SizeInBits(), raw_bits);
+  std::printf("static: %zu bits; thawed dynamic: %zu bits\n",
+              frozen.SizeInBits(), dyn.SizeInBits());
   return 0;
 }

@@ -4,7 +4,8 @@
 // The same query log is stored twice:
 //   * TextCollection — concatenated with separators and full-text indexed
 //     (related-work approach (2), "Dynamic Text Collection");
-//   * StringSequence<WaveletTrie> — the paper's structure.
+//   * wtrie::Sequence<wtrie::Static> — the paper's structure, behind the
+//     unified API facade (src/api/sequence.hpp).
 // Both answer sequence queries (Access / Count / prefix counts); only the
 // text index answers substring queries, and only the Wavelet Trie answers
 // Rank/Select in time independent of the number of occurrences. The printed
@@ -14,8 +15,7 @@
 #include <string>
 #include <vector>
 
-#include "core/string_sequence.hpp"
-#include "core/wavelet_trie.hpp"
+#include "api/sequence.hpp"
 #include "text/text_collection.hpp"
 #include "util/workloads.hpp"
 
@@ -41,7 +41,7 @@ int main() {
               text.SizeInBits() / 8e6);
 
   t0 = std::chrono::steady_clock::now();
-  StringSequence<WaveletTrie> trie(log);
+  wtrie::Sequence<wtrie::Static> trie(log);
   std::printf("WaveletTrie    built in %.1f ms, %.2f MB\n", MsSince(t0),
               trie.SizeInBits() / 8e6);
 
@@ -60,7 +60,7 @@ int main() {
   const size_t rank_text = text.Rank(probe, 15000);
   const double ms_text = MsSince(t0);
   t0 = std::chrono::steady_clock::now();
-  const size_t rank_trie = trie.Rank(probe, 15000);
+  const size_t rank_trie = trie.Rank(probe, 15000).value();
   const double ms_trie = MsSince(t0);
   std::printf("rank@15000: text=%zu (%.3f ms) trie=%zu (%.3f ms)\n", rank_text,
               ms_text, rank_trie, ms_trie);
@@ -72,7 +72,7 @@ int main() {
   std::printf("\n");
 
   // What only the Wavelet Trie does in O(h): the idx-th doc with a prefix.
-  if (auto pos = trie.SelectPrefix(domain, 99)) {
+  if (auto pos = trie.SelectPrefix(domain, 99); pos.ok()) {
     std::printf("100th request under %s is at position %zu\n", domain.c_str(),
                 *pos);
   }

@@ -1,0 +1,121 @@
+// Cursors: pull-style enumeration for the public wtrie API.
+//
+// The core structures expose push-style visitors (ForEachInRange,
+// DistinctInRange) — natural for the trie traversals, awkward at an API
+// boundary: the caller cannot pause, compose, or early-exit without
+// exceptions. The facade converts them into forward cursors:
+//
+//   auto cur = seq.Scan(l, r).value();
+//   while (cur.Next()) use(cur.position(), cur.value());
+//
+// ScanCursor pulls the underlying Section 5 sequential scan in fixed-size
+// chunks, so the one-Rank-per-node amortization of ForEachInRange is kept
+// within each chunk while memory stays O(chunk). DistinctCursor materializes
+// its entries up front (the distinct set of a range is the natural result
+// granularity, and the lexicographic traversal cannot be usefully paused).
+//
+// Cursors borrow the sequence they came from: the Sequence must outlive
+// them, and (for mutable policies) must not be mutated while a cursor is
+// live.
+#pragma once
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "common/assert.hpp"
+#include "common/bit_string.hpp"
+
+namespace wtrie {
+
+/// Forward cursor over the decoded values of positions [l, r), in order.
+template <typename Trie, typename Codec>
+class ScanCursor {
+ public:
+  using Value = typename Codec::Value;
+
+  ScanCursor(const Trie* trie, const Codec* codec, size_t l, size_t r)
+      : trie_(trie), codec_(codec), next_(l), end_(r) {
+    WT_DASSERT(l <= r);
+    buf_.reserve(kChunk < r - l ? kChunk : r - l);
+  }
+
+  /// Advances to the next entry. Returns false once the range is exhausted;
+  /// position()/value() are valid only after a Next() that returned true.
+  bool Next() {
+    if (buf_pos_ + 1 < buf_.size()) {
+      ++buf_pos_;
+      return true;
+    }
+    if (next_ >= end_) return false;
+    Refill();
+    return true;
+  }
+
+  /// Sequence position of the current entry.
+  size_t position() const { return buf_base_ + buf_pos_; }
+  /// Decoded value of the current entry.
+  const Value& value() const { return buf_[buf_pos_]; }
+
+  /// Entries not yet returned by Next().
+  size_t remaining() const {
+    const size_t buffered = buf_.empty() ? 0 : buf_.size() - (buf_pos_ + 1);
+    return (end_ - next_) + buffered;
+  }
+
+ private:
+  static constexpr size_t kChunk = 1024;
+
+  void Refill() {
+    const size_t chunk_end = next_ + kChunk < end_ ? next_ + kChunk : end_;
+    buf_.clear();
+    trie_->ForEachInRange(next_, chunk_end,
+                          [this](size_t, const wt::BitString& s) {
+                            buf_.push_back(codec_->Decode(s.Span()));
+                          });
+    buf_base_ = next_;
+    buf_pos_ = 0;
+    next_ = chunk_end;
+  }
+
+  const Trie* trie_;
+  const Codec* codec_;
+  size_t next_;  // first position not yet buffered
+  size_t end_;
+  size_t buf_base_ = 0;           // sequence position of buf_[0]
+  size_t buf_pos_ = size_t(-1);   // index of the current entry within buf_
+  std::vector<Value> buf_;
+};
+
+/// Forward cursor over (distinct value, multiplicity) pairs of a range, in
+/// lexicographic order of the encoded strings. Also used for the Section 5
+/// frequent-elements result.
+template <typename Value>
+class DistinctCursor {
+ public:
+  struct Entry {
+    Value value;
+    size_t count;
+  };
+
+  explicit DistinctCursor(std::vector<Entry> entries)
+      : entries_(std::move(entries)) {}
+
+  bool Next() {
+    if (pos_ == entries_.size()) return false;
+    ++pos_;
+    return pos_ < entries_.size();
+  }
+
+  const Value& value() const { return entries_[pos_].value; }
+  size_t count() const { return entries_[pos_].count; }
+
+  /// Total number of entries (independent of cursor progress).
+  size_t size() const { return entries_.size(); }
+
+ private:
+  std::vector<Entry> entries_;
+  size_t pos_ = size_t(-1);
+};
+
+}  // namespace wtrie

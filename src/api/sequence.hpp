@@ -1,0 +1,476 @@
+// wtrie::Sequence<Policy, Codec> — the unified public API of the library.
+//
+// The paper (Grossi & Ottaviano, PODS 2012) defines ONE abstract interface —
+// Access / Rank / Select, the prefix variants RankPrefix / SelectPrefix, the
+// Section 5 range analytics, and Insert / Delete — realized by three
+// structures: the static succinct representation (Theorem 3.7), the
+// append-only Wavelet Trie (Theorem 4.3), and the fully-dynamic Wavelet Trie
+// (Theorem 4.4). This header is that interface as a single facade:
+//
+//   wtrie::Sequence<wtrie::Static>      — Theorem 3.7 (immutable, smallest)
+//   wtrie::Sequence<wtrie::AppendOnly>  — Theorem 4.3 (streaming ingest)
+//   wtrie::Sequence<wtrie::Dynamic>     — Theorem 4.4 (Insert/Delete)
+//
+// One operation set across the policies; mutations are compile-time gated by
+// the policy's capability flags (`requires Policy::kMutable`), everything
+// else is uniform. Differences from the core classes it wraps:
+//
+//   * bounds-checked Result<T>/Status returns at the boundary (result.hpp)
+//     instead of aborting asserts — untrusted positions, ranges, and bytes
+//     are the caller's prerogative here;
+//   * cursor-based enumeration (cursor.hpp) instead of std::function
+//     visitors;
+//   * explicit lifecycle transitions: Freeze() (any policy -> Static, via
+//     the word-parallel BulkBuild) and Thaw<P>() (Static -> a mutable
+//     policy, via enumerate-and-replay: the Section 5 sequential scan feeds
+//     AppendBatch, so extraction pays one Rank per trie node and replay is
+//     word-parallel end to end);
+//   * whole-structure persistence for ALL policies: Save/Load wrap a
+//     versioned, checksummed envelope (common/serialize.hpp). Mutable
+//     policies persist through their canonical static image and thaw on
+//     load, so a file written by any policy can be loaded into any other.
+#pragma once
+
+#include <cstdint>
+#include <istream>
+#include <ostream>
+#include <sstream>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "api/cursor.hpp"
+#include "api/result.hpp"
+#include "common/serialize.hpp"
+#include "core/codec.hpp"
+#include "core/dynamic_wavelet_trie.hpp"
+#include "core/wavelet_trie.hpp"
+
+namespace wtrie {
+
+// ----------------------------------------------------------------- policies
+
+/// Theorem 3.7: immutable succinct representation. Smallest footprint,
+/// O(|s| + h_s) queries, no updates.
+struct Static {
+  using Trie = wt::WaveletTrie;
+  static constexpr uint8_t kPolicyId = 0;
+  static constexpr bool kMutable = false;
+  static constexpr bool kFullyDynamic = false;
+  static constexpr const char* kName = "Static";
+};
+
+/// Theorem 4.3: append-only Wavelet Trie. O(|s| + h_s) Append, queries as
+/// Static plus the streaming ingest path (AppendBatch).
+struct AppendOnly {
+  using Trie = wt::AppendOnlyWaveletTrie;
+  static constexpr uint8_t kPolicyId = 1;
+  static constexpr bool kMutable = true;
+  static constexpr bool kFullyDynamic = false;
+  static constexpr const char* kName = "AppendOnly";
+};
+
+/// Theorem 4.4: fully-dynamic Wavelet Trie. Insert/Delete at arbitrary
+/// positions in O(|s| + h_s log n).
+struct Dynamic {
+  using Trie = wt::DynamicWaveletTrie;
+  static constexpr uint8_t kPolicyId = 2;
+  static constexpr bool kMutable = true;
+  static constexpr bool kFullyDynamic = true;
+  static constexpr const char* kName = "Dynamic";
+};
+
+namespace internal {
+
+template <typename C>
+constexpr uint8_t CodecIdOf() {
+  if constexpr (requires { C::kCodecId; }) {
+    return C::kCodecId;
+  } else {
+    return 0;  // custom codec: id not checked on load
+  }
+}
+
+template <typename C>
+constexpr bool kHasCodecState = requires(const C& c, std::ostream& o) {
+  c.SaveState(o);
+};
+
+}  // namespace internal
+
+// ----------------------------------------------------------------- Sequence
+
+template <typename Policy, typename Codec = wt::ByteCodec>
+class Sequence {
+ public:
+  using Value = typename Codec::Value;
+  using Trie = typename Policy::Trie;
+  using Cursor = ScanCursor<Trie, Codec>;
+
+  static constexpr bool kMutable = Policy::kMutable;
+  static constexpr bool kFullyDynamic = Policy::kFullyDynamic;
+  static constexpr bool kHasPrefixCodec = requires(const Codec& c, Value v) {
+    { c.EncodePrefix(v) } -> std::convertible_to<wt::BitString>;
+  };
+
+  Sequence() = default;
+  explicit Sequence(Codec codec) : codec_(std::move(codec)) {}
+
+  /// Uniform bulk construction for every policy: Static builds through the
+  /// word-parallel BulkBuild, mutable policies through AppendBatch (one trie
+  /// traversal per node per batch).
+  explicit Sequence(const std::vector<Value>& values, Codec codec = {})
+      : codec_(std::move(codec)) {
+    std::vector<wt::BitString> enc = EncodeAll(values);
+    if constexpr (kMutable) {
+      trie_.AppendBatch(enc);
+    } else {
+      trie_ = Trie::BulkBuild(enc);
+    }
+  }
+
+  // ------------------------------------------------------------- mutations
+
+  /// Appends v at the end (paper: Insert(s, n)). O(|s| + h_s), plus the
+  /// log n factor under the Dynamic policy.
+  Status Append(const Value& v)
+    requires kMutable
+  {
+    trie_.Append(codec_.Encode(v));
+    return Status::Ok();
+  }
+
+  /// Appends a whole batch in one word-parallel trie pass — observably
+  /// identical to Append on each value, in order.
+  Status AppendBatch(const std::vector<Value>& values)
+    requires kMutable
+  {
+    trie_.AppendBatch(EncodeAll(values));
+    return Status::Ok();
+  }
+
+  /// Inserts v before position pos (paper: Insert(s, pos)).
+  Status Insert(const Value& v, size_t pos)
+    requires kFullyDynamic
+  {
+    if (pos > size()) {
+      return Status::Error(ErrorCode::kOutOfRange, "Insert: pos > size()");
+    }
+    trie_.Insert(codec_.Encode(v), pos);
+    return Status::Ok();
+  }
+
+  /// Deletes the value at position pos (paper: Delete(pos)). Deleting the
+  /// last occurrence shrinks the alphabet.
+  Status Delete(size_t pos)
+    requires kFullyDynamic
+  {
+    if (pos >= size()) {
+      return Status::Error(ErrorCode::kOutOfRange, "Delete: pos >= size()");
+    }
+    trie_.Delete(pos);
+    return Status::Ok();
+  }
+
+  // --------------------------------------------------------------- queries
+
+  size_t size() const { return trie_.size(); }
+  bool empty() const { return trie_.size() == 0; }
+  /// Number of distinct values (the alphabet Sset).
+  size_t NumDistinct() const { return trie_.NumDistinct(); }
+
+  /// The value at position pos (paper: Access). O(|result| + h).
+  Result<Value> Access(size_t pos) const {
+    if (pos >= size()) {
+      return Status::Error(ErrorCode::kOutOfRange, "Access: pos >= size()");
+    }
+    return codec_.Decode(trie_.Access(pos).Span());
+  }
+
+  /// Occurrences of v in positions [0, pos) (paper: Rank).
+  Result<size_t> Rank(const Value& v, size_t pos) const {
+    if (pos > size()) {
+      return Status::Error(ErrorCode::kOutOfRange, "Rank: pos > size()");
+    }
+    return trie_.Rank(codec_.Encode(v), pos);
+  }
+
+  /// Position of the (idx+1)-th occurrence of v (paper: Select; idx
+  /// 0-based). kNotFound when v occurs fewer than idx+1 times.
+  Result<size_t> Select(const Value& v, size_t idx) const {
+    const auto pos = trie_.Select(codec_.Encode(v), idx);
+    if (!pos) {
+      return Status::Error(ErrorCode::kNotFound,
+                           "Select: fewer than idx+1 occurrences");
+    }
+    return *pos;
+  }
+
+  /// Total occurrences of v.
+  size_t Count(const Value& v) const {
+    return trie_.Rank(codec_.Encode(v), size());
+  }
+
+  /// Occurrences of v in [l, r).
+  Result<size_t> RangeCount(const Value& v, size_t l, size_t r) const {
+    if (const Status s = CheckRange(l, r); !s.ok()) return s;
+    const wt::BitString enc = codec_.Encode(v);
+    return trie_.Rank(enc, r) - trie_.Rank(enc, l);
+  }
+
+  // ------------------------------------------------------ prefix operations
+  // Exposed when the codec preserves prefixes (ByteCodec / RawByteCodec);
+  // Section 6's randomized codecs give them up by design.
+
+  /// Values with prefix p in [0, pos) (paper: RankPrefix).
+  Result<size_t> RankPrefix(const Value& p, size_t pos) const
+    requires kHasPrefixCodec
+  {
+    if (pos > size()) {
+      return Status::Error(ErrorCode::kOutOfRange, "RankPrefix: pos > size()");
+    }
+    return trie_.RankPrefix(codec_.EncodePrefix(p), pos);
+  }
+
+  /// Position of the (idx+1)-th value having prefix p (paper: SelectPrefix).
+  Result<size_t> SelectPrefix(const Value& p, size_t idx) const
+    requires kHasPrefixCodec
+  {
+    const auto pos = trie_.SelectPrefix(codec_.EncodePrefix(p), idx);
+    if (!pos) {
+      return Status::Error(ErrorCode::kNotFound,
+                           "SelectPrefix: fewer than idx+1 matches");
+    }
+    return *pos;
+  }
+
+  /// Total values with prefix p.
+  size_t CountPrefix(const Value& p) const
+    requires kHasPrefixCodec
+  {
+    return trie_.RankPrefix(codec_.EncodePrefix(p), size());
+  }
+
+  /// Values with prefix p in [l, r).
+  Result<size_t> RangeCountPrefix(const Value& p, size_t l, size_t r) const
+    requires kHasPrefixCodec
+  {
+    if (const Status s = CheckRange(l, r); !s.ok()) return s;
+    const wt::BitString enc = codec_.EncodePrefix(p);
+    return trie_.RankPrefix(enc, r) - trie_.RankPrefix(enc, l);
+  }
+
+  // ------------------------------------------------- Section 5 analytics
+
+  /// Sequential access over [l, r) as a forward cursor — one Rank per
+  /// traversed trie node per cursor chunk, not per element.
+  Result<Cursor> Scan(size_t l, size_t r) const {
+    if (const Status s = CheckRange(l, r); !s.ok()) return s;
+    return Cursor(&trie_, &codec_, l, r);
+  }
+
+  /// Distinct values in [l, r) with multiplicities, in lexicographic order
+  /// of the encoded strings.
+  Result<DistinctCursor<Value>> Distinct(size_t l, size_t r) const {
+    if (const Status s = CheckRange(l, r); !s.ok()) return s;
+    std::vector<typename DistinctCursor<Value>::Entry> entries;
+    trie_.DistinctInRange(l, r, [&](const wt::BitString& s, size_t c) {
+      entries.push_back({codec_.Decode(s.Span()), c});
+    });
+    return DistinctCursor<Value>(std::move(entries));
+  }
+
+  /// Distinct values with prefix p in [l, r) ("the distinct hostnames in a
+  /// given time range").
+  Result<DistinctCursor<Value>> DistinctWithPrefix(const Value& p, size_t l,
+                                                   size_t r) const
+    requires kHasPrefixCodec
+  {
+    if (const Status s = CheckRange(l, r); !s.ok()) return s;
+    std::vector<typename DistinctCursor<Value>::Entry> entries;
+    trie_.DistinctInRangeWithPrefix(codec_.EncodePrefix(p).Span(), l, r,
+                                    [&](const wt::BitString& s, size_t c) {
+                                      entries.push_back({codec_.Decode(s.Span()), c});
+                                    });
+    return DistinctCursor<Value>(std::move(entries));
+  }
+
+  /// The value occurring more than (r-l)/2 times in [l, r); kNotFound when
+  /// no majority exists.
+  Result<std::pair<Value, size_t>> Majority(size_t l, size_t r) const {
+    if (const Status s = CheckRange(l, r); !s.ok()) return s;
+    auto m = trie_.RangeMajority(l, r);
+    if (!m) {
+      return Status::Error(ErrorCode::kNotFound, "Majority: no majority");
+    }
+    return std::make_pair(codec_.Decode(m->first.Span()), m->second);
+  }
+
+  /// Values occurring at least `threshold` times in [l, r) (threshold >= 1).
+  Result<DistinctCursor<Value>> Frequent(size_t l, size_t r,
+                                         size_t threshold) const {
+    if (const Status s = CheckRange(l, r); !s.ok()) return s;
+    if (threshold == 0) {
+      return Status::Error(ErrorCode::kInvalidArgument,
+                           "Frequent: threshold must be >= 1");
+    }
+    std::vector<typename DistinctCursor<Value>::Entry> entries;
+    trie_.RangeFrequent(l, r, threshold, [&](const wt::BitString& s, size_t c) {
+      entries.push_back({codec_.Decode(s.Span()), c});
+    });
+    return DistinctCursor<Value>(std::move(entries));
+  }
+
+  // -------------------------------------------------------------- lifecycle
+
+  /// Snapshots this sequence into the Static policy (Theorem 3.7) — the
+  /// "flush" of a streaming ingest path. Extraction uses the Section 5
+  /// sequential scan; construction uses the word-parallel BulkBuild.
+  Sequence<Static, Codec> Freeze() const {
+    Sequence<Static, Codec> out(codec_);
+    if constexpr (kMutable) {
+      out.trie_ = wt::WaveletTrie::BulkBuild(ExtractEncoded());
+    } else {
+      out.trie_ = trie_;  // already static: plain copy
+    }
+    return out;
+  }
+
+  /// Re-opens a Static sequence under a mutable policy — the inverse of
+  /// Freeze. Enumerate-and-replay: the sequential scan extracts the encoded
+  /// strings (one Rank per trie node for the whole sequence), AppendBatch
+  /// replays them word-parallel. Queries are identical before and after.
+  template <typename P2>
+  Sequence<P2, Codec> Thaw() const
+    requires(!kMutable && P2::kMutable)
+  {
+    Sequence<P2, Codec> out(codec_);
+    out.trie_.AppendBatch(ExtractEncoded());
+    return out;
+  }
+
+  // ------------------------------------------------------------ persistence
+
+  static constexpr uint64_t kMagic = 0x5754534551415031ull;  // "WTSEQAP1"
+  static constexpr uint32_t kFormatVersion = 1;
+
+  /// Serializes the whole structure: versioned, checksummed envelope around
+  /// [codec state][canonical static image]. Mutable policies are frozen into
+  /// the static image on the fly — every policy writes the same payload
+  /// format, so any policy can Load any file.
+  Status Save(std::ostream& out) const {
+    // Known limitation: saving a mutable policy materializes the extracted
+    // strings and the static image in memory before the envelope is
+    // written (the checksum needs the whole payload). Shard very large
+    // sequences at the application level before saving.
+    std::ostringstream payload;
+    if constexpr (internal::kHasCodecState<Codec>) {
+      codec_.SaveState(payload);
+    }
+    if constexpr (kMutable) {
+      wt::WaveletTrie::BulkBuild(ExtractEncoded()).Save(payload);
+    } else {
+      trie_.Save(payload);
+    }
+    wt::VersionedEnvelope::Write(out, kMagic, kFormatVersion, Tag(),
+                                 std::move(payload).str());
+    if (!out.good()) {
+      return Status::Error(ErrorCode::kIoError, "Save: stream write failed");
+    }
+    return Status::Ok();
+  }
+
+  /// Deserializes a Sequence written by Save (under any policy). The codec
+  /// instantiation must match the one the file was written with. Corrupt,
+  /// truncated, or mismatched input yields an error instead of an abort:
+  /// the payload is checksum-verified before the aborting core loaders
+  /// parse it. Note the checksum is an *integrity* check (accidental
+  /// corruption), not authentication — a deliberately forged payload with
+  /// a matching checksum can still trip the core loaders' asserts.
+  static Result<Sequence> Load(std::istream& in) {
+    uint32_t tag = 0;
+    std::string payload;
+    const Status env = StatusFromEnvelopeError(
+        wt::VersionedEnvelope::Read(in, kMagic, kFormatVersion, &tag,
+                                    &payload));
+    if (!env.ok()) return env;
+    // The saved codec id must match the loading instantiation's. Custom
+    // codecs without kCodecId all share id 0 — two *different* custom
+    // codecs are indistinguishable to this check (documented limitation),
+    // but any custom/built-in mix is rejected.
+    const uint8_t codec_id = static_cast<uint8_t>(tag & 0xFF);
+    if (codec_id != internal::CodecIdOf<Codec>()) {
+      return Status::Error(ErrorCode::kInvalidArgument,
+                           "Load: stream was saved with a different codec");
+    }
+    std::istringstream body(payload);
+    Sequence out;
+    if constexpr (internal::kHasCodecState<Codec>) {
+      out.codec_.LoadState(body);
+    }
+    wt::WaveletTrie image;
+    image.Load(body);
+    if constexpr (kMutable) {
+      std::vector<wt::BitString> enc;
+      enc.reserve(image.size());
+      image.ForEachInRange(0, image.size(),
+                           [&](size_t, const wt::BitString& s) {
+                             enc.push_back(s);
+                           });
+      out.trie_.AppendBatch(enc);
+    } else {
+      out.trie_ = std::move(image);
+    }
+    return out;
+  }
+
+  // ------------------------------------------------------------------ admin
+
+  /// Compressed footprint in bits (trie representation + codec state).
+  size_t SizeInBits() const { return trie_.SizeInBits() + 8 * sizeof(Codec); }
+
+  const Trie& trie() const { return trie_; }
+  const Codec& codec() const { return codec_; }
+
+ private:
+  template <typename P2, typename C2>
+  friend class Sequence;  // Freeze/Thaw build sibling instantiations
+
+  static constexpr uint32_t Tag() {
+    return (uint32_t(Policy::kPolicyId) << 8) |
+           uint32_t(internal::CodecIdOf<Codec>());
+  }
+
+  Status CheckRange(size_t l, size_t r) const {
+    if (l > r) {
+      return Status::Error(ErrorCode::kInvalidArgument, "range: l > r");
+    }
+    if (r > size()) {
+      return Status::Error(ErrorCode::kOutOfRange, "range: r > size()");
+    }
+    return Status::Ok();
+  }
+
+  std::vector<wt::BitString> EncodeAll(const std::vector<Value>& values) const {
+    std::vector<wt::BitString> enc;
+    enc.reserve(values.size());
+    for (const auto& v : values) enc.push_back(codec_.Encode(v));
+    return enc;
+  }
+
+  /// The whole sequence as encoded strings, extracted with the Section 5
+  /// sequential scan (one Rank per trie node total, not per element).
+  std::vector<wt::BitString> ExtractEncoded() const {
+    std::vector<wt::BitString> enc;
+    enc.reserve(size());
+    trie_.ForEachInRange(0, size(), [&](size_t, const wt::BitString& s) {
+      enc.push_back(s);
+    });
+    return enc;
+  }
+
+  Codec codec_;
+  Trie trie_;
+};
+
+}  // namespace wtrie

@@ -1,14 +1,28 @@
-// Minimal binary serialization helpers for the static structures.
+// Minimal binary serialization helpers for the static structures, plus the
+// versioned envelope used by the public API layer (src/api/sequence.hpp).
 //
 // Format: little-endian PODs, vectors as u64 length + raw elements. The
 // static WaveletTrie adds a magic/version header (see wavelet_trie.hpp);
 // derived directories (rank counters, excess-search trees) are rebuilt on
 // load rather than versioned.
+//
+// Two layers of error handling coexist here:
+//   * WritePod/ReadPod/WriteVec/ReadVec abort on truncation (internal
+//     invariant style, used by the core structures);
+//   * TryReadPod and the VersionedEnvelope never abort — they report
+//     failure to the caller, so the public API boundary can surface
+//     corrupt/truncated input as a recoverable error. The envelope
+//     carries a magic, a format version, and a checksummed payload:
+//     once the checksum matches, the aborting core loaders can safely
+//     parse the payload bytes.
 #pragma once
 
+#include <algorithm>
 #include <cstdint>
 #include <istream>
 #include <ostream>
+#include <sstream>
+#include <string>
 #include <type_traits>
 #include <vector>
 
@@ -49,5 +63,94 @@ std::vector<T> ReadVec(std::istream& in) {
   WT_ASSERT_MSG(in.good() || n == 0, "serialize: truncated stream");
   return v;
 }
+
+/// Non-aborting POD read: returns false on a short or failed read instead of
+/// aborting, leaving *v untouched on failure.
+template <typename T>
+bool TryReadPod(std::istream& in, T* v) {
+  static_assert(std::is_trivially_copyable_v<T>);
+  T tmp{};
+  in.read(reinterpret_cast<char*>(&tmp), sizeof(T));
+  if (in.gcount() != static_cast<std::streamsize>(sizeof(T))) return false;
+  *v = tmp;
+  return true;
+}
+
+/// FNV-1a over a byte range — the integrity check of the versioned envelope.
+inline uint64_t Fnv1a(const void* data, size_t len) {
+  const auto* p = static_cast<const unsigned char*>(data);
+  uint64_t h = 0xCBF29CE484222325ull;
+  for (size_t i = 0; i < len; ++i) {
+    h ^= p[i];
+    h *= 0x100000001B3ull;
+  }
+  return h;
+}
+
+/// Versioned, checksummed container for whole-structure persistence:
+///
+///   u64 magic | u32 format version | u32 tag | u64 payload bytes |
+///   u64 FNV-1a(payload) | payload
+///
+/// `tag` is caller-defined metadata (the API layer packs policy and codec
+/// ids into it). Reading never aborts: every failure mode (bad magic,
+/// unsupported version, truncation, checksum mismatch) is reported through
+/// the returned enum so callers can translate it into their error type.
+struct VersionedEnvelope {
+  enum class ReadError {
+    kOk,
+    kBadMagic,
+    kBadVersion,
+    kTruncated,
+    kChecksumMismatch,
+  };
+
+  static void Write(std::ostream& out, uint64_t magic, uint32_t version,
+                    uint32_t tag, const std::string& payload) {
+    WritePod<uint64_t>(out, magic);
+    WritePod<uint32_t>(out, version);
+    WritePod<uint32_t>(out, tag);
+    WritePod<uint64_t>(out, payload.size());
+    WritePod<uint64_t>(out, Fnv1a(payload.data(), payload.size()));
+    out.write(payload.data(), static_cast<std::streamsize>(payload.size()));
+  }
+
+  /// Reads and verifies one envelope. On kOk, `tag` and `payload` are set;
+  /// `max_version` rejects formats newer than the reader understands.
+  static ReadError Read(std::istream& in, uint64_t magic, uint32_t max_version,
+                        uint32_t* tag, std::string* payload) {
+    uint64_t m = 0;
+    if (!TryReadPod(in, &m)) return ReadError::kTruncated;
+    if (m != magic) return ReadError::kBadMagic;
+    uint32_t version = 0;
+    if (!TryReadPod(in, &version)) return ReadError::kTruncated;
+    if (version == 0 || version > max_version) return ReadError::kBadVersion;
+    uint32_t t = 0;
+    uint64_t len = 0, sum = 0;
+    if (!TryReadPod(in, &t) || !TryReadPod(in, &len) || !TryReadPod(in, &sum)) {
+      return ReadError::kTruncated;
+    }
+    // The length field is untrusted (the checksum covers the payload only),
+    // so never allocate `len` bytes up front: read in bounded chunks and let
+    // a lying length surface as truncation when the stream runs dry.
+    constexpr uint64_t kChunk = 1 << 20;
+    std::string body;
+    while (body.size() < len) {
+      const uint64_t want = std::min<uint64_t>(kChunk, len - body.size());
+      const size_t old_size = body.size();
+      body.resize(old_size + want);
+      in.read(body.data() + old_size, static_cast<std::streamsize>(want));
+      if (in.gcount() != static_cast<std::streamsize>(want)) {
+        return ReadError::kTruncated;
+      }
+    }
+    if (Fnv1a(body.data(), body.size()) != sum) {
+      return ReadError::kChecksumMismatch;
+    }
+    *tag = t;
+    *payload = std::move(body);
+    return ReadError::kOk;
+  }
+};
 
 }  // namespace wt

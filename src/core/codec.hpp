@@ -23,18 +23,27 @@
 #pragma once
 
 #include <cstdint>
+#include <istream>
+#include <ostream>
 #include <string>
 #include <string_view>
 
 #include "common/assert.hpp"
 #include "common/bit_string.hpp"
 #include "common/bits.hpp"
+#include "common/serialize.hpp"
 
 namespace wt {
+
+// Each codec carries a stable one-byte id, recorded in the serialization
+// envelope of api/sequence.hpp so a Load into the wrong instantiation fails
+// cleanly instead of decoding garbage. Stateful codecs additionally expose
+// SaveState/LoadState; stateless ones have nothing to persist.
 
 class ByteCodec {
  public:
   using Value = std::string;
+  static constexpr uint8_t kCodecId = 1;
 
   static BitString Encode(std::string_view s) {
     BitString out = EncodePrefix(s);
@@ -69,6 +78,7 @@ class ByteCodec {
 class RawByteCodec {
  public:
   using Value = std::string;
+  static constexpr uint8_t kCodecId = 2;
 
   static BitString Encode(std::string_view s) {
     BitString out = EncodePrefix(s);
@@ -105,9 +115,16 @@ class RawByteCodec {
 class FixedIntCodec {
  public:
   using Value = uint64_t;
+  static constexpr uint8_t kCodecId = 3;
 
   explicit FixedIntCodec(unsigned width = 64) : width_(width) {
     WT_ASSERT(width >= 1 && width <= 64);
+  }
+
+  void SaveState(std::ostream& out) const { WritePod<uint32_t>(out, width_); }
+  void LoadState(std::istream& in) {
+    width_ = ReadPod<uint32_t>(in);
+    WT_ASSERT_MSG(width_ >= 1 && width_ <= 64, "FixedIntCodec: corrupt width");
   }
 
   BitString Encode(uint64_t x) const {
@@ -142,12 +159,27 @@ class FixedIntCodec {
 class HashedIntCodec {
  public:
   using Value = uint64_t;
+  static constexpr uint8_t kCodecId = 4;
 
   explicit HashedIntCodec(unsigned width = 64, uint64_t seed = 0x9E3779B97F4A7C15ull)
       : width_(width) {
     WT_ASSERT(width >= 1 && width <= 64);
     // Full-entropy odd multiplier derived from the seed (splitmix64 finalizer).
     a_ = Mix(seed) | 1;
+    a_inv_ = InverseOdd(a_);
+  }
+
+  /// Persists the multiplier itself (not the seed): a reload must decode
+  /// codes produced by this exact instance.
+  void SaveState(std::ostream& out) const {
+    WritePod<uint32_t>(out, width_);
+    WritePod<uint64_t>(out, a_);
+  }
+  void LoadState(std::istream& in) {
+    width_ = ReadPod<uint32_t>(in);
+    WT_ASSERT_MSG(width_ >= 1 && width_ <= 64, "HashedIntCodec: corrupt width");
+    a_ = ReadPod<uint64_t>(in);
+    WT_ASSERT_MSG(a_ & 1, "HashedIntCodec: corrupt multiplier");
     a_inv_ = InverseOdd(a_);
   }
 

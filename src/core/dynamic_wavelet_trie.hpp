@@ -20,7 +20,6 @@
 #pragma once
 
 #include <cstdint>
-#include <functional>
 #include <optional>
 #include <span>
 #include <unordered_map>
@@ -42,8 +41,10 @@ class DynamicWaveletTrieT {
   /// True when BV supports arbitrary-position insertion and deletion.
   static constexpr bool kFullyDynamic = requires(BV& b) { b.Erase(size_t{}); };
 
-  using DistinctFn = std::function<void(const BitString&, size_t)>;
-  using AccessFn = std::function<void(size_t, const BitString&)>;
+  // Visitor parameters are deduced callables, not std::function — see the
+  // note in wavelet_trie.hpp. Same signatures:
+  //   distinct enumeration: fn(const BitString& value, size_t multiplicity)
+  //   sequential access:    fn(size_t position, const BitString& value)
 
   DynamicWaveletTrieT() = default;
   ~DynamicWaveletTrieT() { Free(root_); }
@@ -418,6 +419,7 @@ class DynamicWaveletTrieT {
   }
 
   /// Section 5: distinct strings in [l, r) with multiplicities (lex order).
+  template <typename DistinctFn>
   void DistinctInRange(size_t l, size_t r, const DistinctFn& fn) const {
     WT_ASSERT(l <= r && r <= n_);
     if (l == r || root_ == nullptr) return;
@@ -428,6 +430,7 @@ class DynamicWaveletTrieT {
   /// Section 5, prefix-restricted variant: distinct strings with prefix p
   /// in [l, r), with multiplicities (see wavelet_trie.hpp for the paper
   /// quote). The descent maps the window through the node bitvectors.
+  template <typename DistinctFn>
   void DistinctInRangeWithPrefix(BitSpan p, size_t l, size_t r,
                                  const DistinctFn& fn) const {
     WT_ASSERT(l <= r && r <= n_);
@@ -488,6 +491,7 @@ class DynamicWaveletTrieT {
   }
 
   /// Section 5 heuristic: strings occurring at least t times in [l, r).
+  template <typename DistinctFn>
   void RangeFrequent(size_t l, size_t r, size_t t, const DistinctFn& fn) const {
     WT_ASSERT(l <= r && r <= n_ && t >= 1);
     if (r - l < t || root_ == nullptr) return;
@@ -497,6 +501,7 @@ class DynamicWaveletTrieT {
 
   /// Section 5 sequential access over [l, r): one Rank per traversed node
   /// for the whole range, O(1)-advance bit iterators afterwards.
+  template <typename AccessFn>
   void ForEachInRange(size_t l, size_t r, const AccessFn& fn) const {
     WT_ASSERT(l <= r && r <= n_);
     if (l == r || root_ == nullptr) return;
@@ -534,6 +539,7 @@ class DynamicWaveletTrieT {
     }
   }
 
+  template <typename DistinctFn>
   void ForEachDistinct(const DistinctFn& fn) const { DistinctInRange(0, n_, fn); }
 
   size_t SizeInBits() const { return NodeSize(root_); }
@@ -683,6 +689,7 @@ class DynamicWaveletTrieT {
     return idx;
   }
 
+  template <typename DistinctFn>
   void DistinctRec(const Node* v, size_t l, size_t r, BitString* prefix,
                    const DistinctFn& fn) const {
     const size_t mark = prefix->size();
@@ -705,6 +712,7 @@ class DynamicWaveletTrieT {
     prefix->Truncate(mark);
   }
 
+  template <typename DistinctFn>
   void FrequentRec(const Node* v, size_t l, size_t r, size_t t,
                    BitString* prefix, const DistinctFn& fn) const {
     const size_t mark = prefix->size();

@@ -15,7 +15,6 @@
 #pragma once
 
 #include <cstdint>
-#include <functional>
 #include <optional>
 #include <string>
 #include <vector>
@@ -119,8 +118,10 @@ class StringSequence {
   }
 
   /// Section 5: distinct decoded values in [l, r) with multiplicities.
-  void DistinctInRange(size_t l, size_t r,
-                       const std::function<void(const Value&, size_t)>& fn) const {
+  /// fn(const Value&, size_t multiplicity); deduced callable, see
+  /// wavelet_trie.hpp.
+  template <typename F>
+  void DistinctInRange(size_t l, size_t r, const F& fn) const {
     trie_.DistinctInRange(l, r, [&](const BitString& s, size_t c) {
       fn(codec_.Decode(s.Span()), c);
     });
@@ -128,9 +129,9 @@ class StringSequence {
 
   /// Section 5, prefix-restricted: distinct decoded values with prefix p in
   /// [l, r), with multiplicities ("the distinct hostnames in a time range").
-  void DistinctInRangeWithPrefix(
-      const Value& p, size_t l, size_t r,
-      const std::function<void(const Value&, size_t)>& fn) const
+  template <typename F>
+  void DistinctInRangeWithPrefix(const Value& p, size_t l, size_t r,
+                                 const F& fn) const
     requires kHasPrefixCodec
   {
     trie_.DistinctInRangeWithPrefix(codec_.EncodePrefix(p).Span(), l, r,
@@ -147,16 +148,17 @@ class StringSequence {
   }
 
   /// Section 5: values occurring at least t times in [l, r).
-  void RangeFrequent(size_t l, size_t r, size_t t,
-                     const std::function<void(const Value&, size_t)>& fn) const {
+  template <typename F>
+  void RangeFrequent(size_t l, size_t r, size_t t, const F& fn) const {
     trie_.RangeFrequent(l, r, t, [&](const BitString& s, size_t c) {
       fn(codec_.Decode(s.Span()), c);
     });
   }
 
   /// Section 5: sequential decoded access over [l, r).
-  void ForEachInRange(size_t l, size_t r,
-                      const std::function<void(size_t, const Value&)>& fn) const {
+  /// fn(size_t position, const Value&).
+  template <typename F>
+  void ForEachInRange(size_t l, size_t r, const F& fn) const {
     trie_.ForEachInRange(l, r, [&](size_t i, const BitString& s) {
       fn(i, codec_.Decode(s.Span()));
     });
@@ -179,7 +181,10 @@ class StringSequence {
     return out;
   }
 
-  size_t SizeInBits() const { return trie_.SizeInBits() + 8 * sizeof(*this); }
+  /// Compressed footprint: the trie representation plus the codec state.
+  /// (8 * sizeof(*this) would double-count the trie object, whose content
+  /// SizeInBits() already measures — the codec is the only extra state.)
+  size_t SizeInBits() const { return trie_.SizeInBits() + 8 * sizeof(Codec); }
 
   const Trie& trie() const { return trie_; }
   const Codec& codec() const { return codec_; }

@@ -22,7 +22,6 @@
 
 #include <algorithm>
 #include <cstdint>
-#include <functional>
 #include <optional>
 #include <span>
 #include <unordered_map>
@@ -38,13 +37,15 @@
 
 namespace wt {
 
+// Enumeration methods take the visitor as a deduced callable (inlined at the
+// call site) rather than a std::function — the type-erased closures showed
+// up in the Section 5 scan profiles, and the public API layer (src/api/)
+// wraps these visitors into cursors anyway. Visitor signatures:
+//   distinct enumeration: fn(const BitString& value, size_t multiplicity)
+//   sequential access:    fn(size_t position, const BitString& value)
+
 class WaveletTrie {
  public:
-  /// Callback for distinct-value enumeration: (value, multiplicity in range).
-  using DistinctFn = std::function<void(const BitString&, size_t)>;
-  /// Callback for sequential access: (position, value).
-  using AccessFn = std::function<void(size_t, const BitString&)>;
-
   WaveletTrie() = default;
 
   /// Builds from a sequence of binary strings whose distinct set must be
@@ -367,6 +368,7 @@ class WaveletTrie {
   /// Section 5, "Distinct values in range": enumerates each distinct string
   /// occurring in [l, r) with its multiplicity, in lexicographic order.
   /// O(sum over reported strings of |s| + h_s) bitvector operations.
+  template <typename DistinctFn>
   void DistinctInRange(size_t l, size_t r, const DistinctFn& fn) const {
     WT_ASSERT(l <= r && r <= n_);
     if (l == r || n_ == 0) return;
@@ -380,6 +382,7 @@ class WaveletTrie {
   /// range"): enumerates the distinct strings *with prefix p* occurring in
   /// [l, r), with multiplicities. The descent to p's node maps the range
   /// through the betas; the enumeration then never leaves p's subtree.
+  template <typename DistinctFn>
   void DistinctInRangeWithPrefix(BitSpan p, size_t l, size_t r,
                                  const DistinctFn& fn) const {
     WT_ASSERT(l <= r && r <= n_);
@@ -444,6 +447,7 @@ class WaveletTrie {
 
   /// Section 5 heuristic: all strings occurring at least `t` times in
   /// [l, r) (t >= 1). Branches with fewer than t positions are pruned.
+  template <typename DistinctFn>
   void RangeFrequent(size_t l, size_t r, size_t t, const DistinctFn& fn) const {
     WT_ASSERT(l <= r && r <= n_);
     WT_ASSERT(t >= 1);
@@ -455,6 +459,7 @@ class WaveletTrie {
   /// Section 5, "Sequential access": calls fn(i, S_i) for i in [l, r) using
   /// per-node bit iterators — one Rank per traversed node for the whole
   /// range instead of per string.
+  template <typename AccessFn>
   void ForEachInRange(size_t l, size_t r, const AccessFn& fn) const {
     WT_ASSERT(l <= r && r <= n_);
     if (l == r || n_ == 0) return;
@@ -494,6 +499,7 @@ class WaveletTrie {
   }
 
   /// All distinct strings (the alphabet Sset) with global multiplicities.
+  template <typename DistinctFn>
   void ForEachDistinct(const DistinctFn& fn) const { DistinctInRange(0, n_, fn); }
 
   /// Serializes the index. Format: magic, version, n, then components
@@ -605,6 +611,7 @@ class WaveletTrie {
     return 1 + std::max(HeightRec(shape_.LeftChild(v)), HeightRec(shape_.RightChild(v)));
   }
 
+  template <typename DistinctFn>
   void DistinctRec(size_t v, size_t l, size_t r, BitString* prefix,
                    const DistinctFn& fn) const {
     const size_t mark = prefix->size();
@@ -628,6 +635,7 @@ class WaveletTrie {
     prefix->Truncate(mark);
   }
 
+  template <typename DistinctFn>
   void FrequentRec(size_t v, size_t l, size_t r, size_t t, BitString* prefix,
                    const DistinctFn& fn) const {
     const size_t mark = prefix->size();

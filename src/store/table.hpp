@@ -16,9 +16,12 @@
 
 #include <algorithm>
 #include <cstdint>
+#include <istream>
 #include <map>
 #include <memory>
 #include <optional>
+#include <ostream>
+#include <sstream>
 #include <string>
 #include <string_view>
 #include <utility>
@@ -26,6 +29,7 @@
 #include <vector>
 
 #include "common/assert.hpp"
+#include "common/serialize.hpp"
 #include "store/column.hpp"
 
 namespace wt {
@@ -186,6 +190,76 @@ class Table {
                                                size_t to = SIZE_MAX) const {
     const auto [l, r] = Window(from, to);
     return StringCol(col).FrequentValues(l, r, threshold);
+  }
+
+  // ------------------------------------------------------------ persistence
+
+  static constexpr uint64_t kMagic = 0x575454424C453031ull;  // "WTTBLE01"
+  static constexpr uint32_t kFormatVersion = 1;
+
+  /// Whole-table persistence: schema, row count, then every column —
+  /// string columns through the facade's versioned envelope (canonical
+  /// static image), integer columns as their decoded value sequence — all
+  /// inside one checksummed outer envelope.
+  wtrie::Status Save(std::ostream& out) const {
+    std::ostringstream payload;
+    WritePod<uint64_t>(payload, schema_.size());
+    for (const auto& spec : schema_) {
+      WritePod<uint8_t>(payload, spec.type == ColumnType::kString ? 0 : 1);
+      WritePod<uint64_t>(payload, spec.name.size());
+      payload.write(spec.name.data(),
+                    static_cast<std::streamsize>(spec.name.size()));
+    }
+    WritePod<uint64_t>(payload, rows_);
+    for (size_t c = 0; c < schema_.size(); ++c) {
+      const auto [type, idx] = col_index_[c];
+      if (type == ColumnType::kString) {
+        const wtrie::Status s = string_cols_[idx]->Save(payload);
+        if (!s.ok()) return s;
+      } else {
+        int_cols_[idx]->Save(payload);
+      }
+    }
+    VersionedEnvelope::Write(out, kMagic, kFormatVersion, 0,
+                             std::move(payload).str());
+    if (!out.good()) {
+      return wtrie::Status::Error(wtrie::ErrorCode::kIoError,
+                                  "Table::Save: stream write failed");
+    }
+    return wtrie::Status::Ok();
+  }
+
+  static wtrie::Result<Table> Load(std::istream& in) {
+    uint32_t tag = 0;
+    std::string payload;
+    const wtrie::Status env = wtrie::StatusFromEnvelopeError(
+        VersionedEnvelope::Read(in, kMagic, kFormatVersion, &tag, &payload));
+    if (!env.ok()) return env;
+    std::istringstream body(payload);
+    const uint64_t num_cols = ReadPod<uint64_t>(body);
+    std::vector<ColumnSpec> schema;
+    schema.reserve(num_cols);
+    for (uint64_t c = 0; c < num_cols; ++c) {
+      const uint8_t type = ReadPod<uint8_t>(body);
+      const uint64_t len = ReadPod<uint64_t>(body);
+      std::string name(len, '\0');
+      body.read(name.data(), static_cast<std::streamsize>(len));
+      schema.push_back(
+          {std::move(name), type == 0 ? ColumnType::kString : ColumnType::kInt});
+    }
+    Table table(std::move(schema));
+    table.rows_ = ReadPod<uint64_t>(body);
+    for (size_t c = 0; c < table.schema_.size(); ++c) {
+      const auto [type, idx] = table.col_index_[c];
+      if (type == ColumnType::kString) {
+        auto col = StringColumn::Load(body);
+        if (!col.ok()) return col.status();
+        *table.string_cols_[idx] = std::move(col).value();
+      } else {
+        table.int_cols_[idx]->Load(body);
+      }
+    }
+    return table;
   }
 
   // ------------------------------------------------------------------ admin

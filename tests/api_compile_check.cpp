@@ -1,0 +1,23 @@
+// Compile-time check of the public API surface: explicitly instantiates
+// every policy (and both codec families) so the api/ headers are fully
+// compiled under -Wall -Wextra -Werror (see CMakeLists.txt). Not a runtime
+// test — building this TU is the assertion.
+#include "api/sequence.hpp"
+
+template class wtrie::Sequence<wtrie::Static>;
+template class wtrie::Sequence<wtrie::AppendOnly>;
+template class wtrie::Sequence<wtrie::Dynamic>;
+template class wtrie::Sequence<wtrie::Static, wt::RawByteCodec>;
+template class wtrie::Sequence<wtrie::Static, wt::FixedIntCodec>;
+template class wtrie::Sequence<wtrie::Dynamic, wt::HashedIntCodec>;
+template class wtrie::ScanCursor<wt::WaveletTrie, wt::ByteCodec>;
+template class wtrie::DistinctCursor<std::string>;
+
+// The member templates Freeze/Thaw are not reached by explicit class
+// instantiation; force them too.
+template wtrie::Sequence<wtrie::AppendOnly, wt::ByteCodec>
+wtrie::Sequence<wtrie::Static, wt::ByteCodec>::Thaw<wtrie::AppendOnly>() const;
+template wtrie::Sequence<wtrie::Dynamic, wt::ByteCodec>
+wtrie::Sequence<wtrie::Static, wt::ByteCodec>::Thaw<wtrie::Dynamic>() const;
+
+int main() { return 0; }
