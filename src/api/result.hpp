@@ -25,7 +25,7 @@ enum class ErrorCode {
   kInvalidArgument,  // e.g. l > r, threshold 0
   kNotFound,         // Select past the last occurrence, no majority, ...
   kCorruptStream,    // bad magic / checksum mismatch / garbage payload
-  kVersionMismatch,  // format version newer than this reader
+  kVersionMismatch,  // format version outside what this reader supports
   kTruncatedStream,  // stream ended inside the envelope
   kIoError,          // underlying stream write failure
 };

@@ -33,7 +33,9 @@
 
 #include <cstdint>
 #include <istream>
+#include <optional>
 #include <ostream>
+#include <span>
 #include <sstream>
 #include <string>
 #include <utility>
@@ -218,6 +220,93 @@ class Sequence {
     return trie_.Rank(enc, r) - trie_.Rank(enc, l);
   }
 
+  // -------------------------------------------------------- batched queries
+  // Observably identical to the per-element loops, but executed as ONE
+  // node-grouped trie traversal per batch (DESIGN.md #6) under the Static
+  // policy: each touched node's directory lines are loaded once per batch
+  // instead of once per query. Policies whose trie has no native batch path
+  // (AppendOnly/Dynamic) fall back to the loop, so the API is uniform.
+
+  /// out[i] == Access(positions[i]); positions in any order, duplicates ok.
+  Result<std::vector<Value>> AccessBatch(
+      const std::vector<size_t>& positions) const {
+    for (const size_t p : positions) {
+      if (p >= size()) {
+        return Status::Error(ErrorCode::kOutOfRange,
+                             "AccessBatch: pos >= size()");
+      }
+    }
+    std::vector<Value> out;
+    out.reserve(positions.size());
+    if constexpr (requires { trie_.AccessBatch(std::span<const size_t>()); }) {
+      for (const wt::BitString& s :
+           trie_.AccessBatch(std::span<const size_t>(positions))) {
+        out.push_back(codec_.Decode(s.Span()));
+      }
+    } else {
+      for (const size_t p : positions) {
+        out.push_back(codec_.Decode(trie_.Access(p).Span()));
+      }
+    }
+    return out;
+  }
+
+  /// out[i] == Rank(values[i], positions[i]). values and positions must
+  /// have equal lengths.
+  Result<std::vector<size_t>> RankBatch(
+      const std::vector<Value>& values,
+      const std::vector<size_t>& positions) const {
+    if (values.size() != positions.size()) {
+      return Status::Error(ErrorCode::kInvalidArgument,
+                           "RankBatch: values/positions length mismatch");
+    }
+    for (const size_t p : positions) {
+      if (p > size()) {
+        return Status::Error(ErrorCode::kOutOfRange, "RankBatch: pos > size()");
+      }
+    }
+    const std::vector<wt::BitString> enc = EncodeAll(values);
+    if constexpr (requires {
+                    trie_.RankBatch(std::span<const wt::BitSpan>(),
+                                    std::span<const size_t>());
+                  }) {
+      return trie_.RankBatch(Spans(enc), std::span<const size_t>(positions));
+    } else {
+      std::vector<size_t> out;
+      out.reserve(values.size());
+      for (size_t i = 0; i < values.size(); ++i) {
+        out.push_back(trie_.Rank(enc[i], positions[i]));
+      }
+      return out;
+    }
+  }
+
+  /// out[i] == Select(values[i], indices[i]), with nullopt where the value
+  /// occurs fewer than indices[i]+1 times (the batch analogue of the single
+  /// query's kNotFound).
+  Result<std::vector<std::optional<size_t>>> SelectBatch(
+      const std::vector<Value>& values,
+      const std::vector<size_t>& indices) const {
+    if (values.size() != indices.size()) {
+      return Status::Error(ErrorCode::kInvalidArgument,
+                           "SelectBatch: values/indices length mismatch");
+    }
+    const std::vector<wt::BitString> enc = EncodeAll(values);
+    if constexpr (requires {
+                    trie_.SelectBatch(std::span<const wt::BitSpan>(),
+                                      std::span<const size_t>());
+                  }) {
+      return trie_.SelectBatch(Spans(enc), std::span<const size_t>(indices));
+    } else {
+      std::vector<std::optional<size_t>> out;
+      out.reserve(values.size());
+      for (size_t i = 0; i < values.size(); ++i) {
+        out.push_back(trie_.Select(enc[i], indices[i]));
+      }
+      return out;
+    }
+  }
+
   // ------------------------------------------------------ prefix operations
   // Exposed when the codec preserves prefixes (ByteCodec / RawByteCodec);
   // Section 6's randomized codecs give them up by design.
@@ -352,7 +441,12 @@ class Sequence {
   // ------------------------------------------------------------ persistence
 
   static constexpr uint64_t kMagic = 0x5754534551415031ull;  // "WTSEQAP1"
-  static constexpr uint32_t kFormatVersion = 1;
+  // v2: the embedded WaveletTrie image switched to the directory-free RRR
+  // payload (trie stream version 3). Bumped in lockstep — and passed to the
+  // envelope reader as the *minimum* accepted version too — so files
+  // written by the previous format fail the envelope version check with a
+  // clean Load error instead of tripping the core loader's aborting assert.
+  static constexpr uint32_t kFormatVersion = 2;
 
   /// Serializes the whole structure: versioned, checksummed envelope around
   /// [codec state][canonical static image]. Mutable policies are frozen into
@@ -391,8 +485,8 @@ class Sequence {
     uint32_t tag = 0;
     std::string payload;
     const Status env = StatusFromEnvelopeError(
-        wt::VersionedEnvelope::Read(in, kMagic, kFormatVersion, &tag,
-                                    &payload));
+        wt::VersionedEnvelope::Read(in, kMagic, kFormatVersion, &tag, &payload,
+                                    /*min_version=*/kFormatVersion));
     if (!env.ok()) return env;
     // The saved codec id must match the loading instantiation's. Custom
     // codecs without kCodecId all share id 0 — two *different* custom
@@ -456,6 +550,13 @@ class Sequence {
     enc.reserve(values.size());
     for (const auto& v : values) enc.push_back(codec_.Encode(v));
     return enc;
+  }
+
+  static std::vector<wt::BitSpan> Spans(const std::vector<wt::BitString>& enc) {
+    std::vector<wt::BitSpan> spans;
+    spans.reserve(enc.size());
+    for (const auto& s : enc) spans.push_back(s.Span());
+    return spans;
   }
 
   /// The whole sequence as encoded strings, extracted with the Section 5

@@ -12,6 +12,11 @@
 #include <bit>
 #include <cstdint>
 #include <cstddef>
+#include <utility>
+
+#if defined(__BMI2__)
+#include <immintrin.h>
+#endif
 
 #include "common/assert.hpp"
 
@@ -72,9 +77,10 @@ inline constexpr SelectByteTable kSelectByte = MakeSelectByteTable();
 
 }  // namespace internal
 
-/// Position of the (k+1)-th set bit of `x` (k is 0-based).
+/// Table-driven in-word select; the portable fallback for SelectInWord and
+/// the differential oracle its pdep fast path is tested against.
 /// Precondition: k < PopCount(x).
-inline unsigned SelectInWord(uint64_t x, unsigned k) {
+inline unsigned SelectInWordPortable(uint64_t x, unsigned k) {
   WT_DASSERT(k < static_cast<unsigned>(PopCount(x)));
   unsigned base = 0;
   for (int i = 0; i < 8; ++i) {
@@ -89,8 +95,66 @@ inline unsigned SelectInWord(uint64_t x, unsigned k) {
   return 64;
 }
 
+/// Position of the (k+1)-th set bit of `x` (k is 0-based). With BMI2, a
+/// single pdep deposits a lone bit at the k-th set position of x and a
+/// count-trailing-zeros reads its index — the branch-free in-word select
+/// every Select query bottoms out in.
+/// Precondition: k < PopCount(x).
+inline unsigned SelectInWord(uint64_t x, unsigned k) {
+#if defined(__BMI2__)
+  WT_DASSERT(k < static_cast<unsigned>(PopCount(x)));
+  return static_cast<unsigned>(std::countr_zero(_pdep_u64(uint64_t(1) << k, x)));
+#else
+  return SelectInWordPortable(x, k);
+#endif
+}
+
 /// Position of the (k+1)-th *zero* bit of `x` (k is 0-based).
 inline unsigned SelectZeroInWord(uint64_t x, unsigned k) { return SelectInWord(~x, k); }
+
+/// Best-effort read prefetch of the cache line holding `p` (no-op when the
+/// compiler has no intrinsic). Used by the batched query paths to overlap
+/// the next level's node-header and directory loads with current work.
+inline void PrefetchRead(const void* p) {
+#if defined(__GNUC__) || defined(__clang__)
+  __builtin_prefetch(p, 0, 3);
+#else
+  (void)p;
+#endif
+}
+
+/// Superblock window [lo, hi] for a sampled select search: position samples
+/// are taken every `sample_rate`-th target bit, and `samples[j]` names the
+/// superblock holding the (j*sample_rate)-th one (zero). `last_sb` is the
+/// largest superblock index the search may return (the directory's final
+/// real entry). Shared by the BitVector and RRR Select paths, which used to
+/// clamp this window with four hand-expanded copies of the same expression.
+inline std::pair<size_t, size_t> SelectSampleWindow(const uint32_t* samples,
+                                                    size_t num_samples, size_t k,
+                                                    size_t sample_rate,
+                                                    size_t last_sb) {
+  const size_t j = k / sample_rate;
+  WT_DASSERT(j < num_samples);
+  const size_t lo = samples[j];
+  const size_t hi =
+      (j + 1 < num_samples) ? std::min<size_t>(samples[j + 1] + 1, last_sb) : last_sb;
+  return {lo, hi};
+}
+
+/// Largest superblock sb in [lo, hi] with count_before(sb) <= k, by binary
+/// search. `count_before` must be non-decreasing and count_before(lo) <= k.
+template <typename CountBefore>
+inline size_t SelectSuperblock(size_t lo, size_t hi, size_t k,
+                               const CountBefore& count_before) {
+  while (lo < hi) {
+    const size_t mid = (lo + hi + 1) / 2;
+    if (count_before(mid) <= k)
+      lo = mid;
+    else
+      hi = mid - 1;
+  }
+  return lo;
+}
 
 /// Mirrors the bit order of a word (bit 0 <-> bit 63).
 inline uint64_t ReverseBits(uint64_t x) {

@@ -115,16 +115,22 @@ struct VersionedEnvelope {
     out.write(payload.data(), static_cast<std::streamsize>(payload.size()));
   }
 
-  /// Reads and verifies one envelope. On kOk, `tag` and `payload` are set;
-  /// `max_version` rejects formats newer than the reader understands.
+  /// Reads and verifies one envelope. On kOk, `tag` and `payload` are set.
+  /// `max_version` rejects formats newer than the reader understands;
+  /// `min_version` rejects older formats whose payload the caller can no
+  /// longer parse (so a stale file is a clean error, not a downstream
+  /// parser abort).
   static ReadError Read(std::istream& in, uint64_t magic, uint32_t max_version,
-                        uint32_t* tag, std::string* payload) {
+                        uint32_t* tag, std::string* payload,
+                        uint32_t min_version = 1) {
     uint64_t m = 0;
     if (!TryReadPod(in, &m)) return ReadError::kTruncated;
     if (m != magic) return ReadError::kBadMagic;
     uint32_t version = 0;
     if (!TryReadPod(in, &version)) return ReadError::kTruncated;
-    if (version == 0 || version > max_version) return ReadError::kBadVersion;
+    if (version == 0 || version < min_version || version > max_version) {
+      return ReadError::kBadVersion;
+    }
     uint32_t t = 0;
     uint64_t len = 0, sum = 0;
     if (!TryReadPod(in, &t) || !TryReadPod(in, &len) || !TryReadPod(in, &sum)) {

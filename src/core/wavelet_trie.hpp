@@ -11,10 +11,22 @@
 //             delimited by an Elias--Fano partial-sum structure;
 //   * betas:  all internal-node bitvectors concatenated in preorder into ONE
 //             RRR vector, delimited by Elias--Fano — per-node Rank/Select are
-//             two O(1) queries on the global RRR.
+//             O(1) queries on the global RRR.
 //
-// Space: LT(Sset) + nH0(S) + o(~h n) bits (Theorem 3.7). Queries:
-// Access/Rank/Select/RankPrefix/SelectPrefix in O(|s| + h_s).
+// Query fast path (DESIGN.md #6): a flat 16-byte-per-node header array —
+// label end, right-child id, beta start, ones-before-beta-start — is
+// precomputed at construction/load, so each traversal level is one header
+// load plus one fused RRR operation instead of recomputed Elias--Fano
+// selects, shape excess searches and paired ranks. The Elias--Fano
+// delimiters and shape directories remain the serialized source of truth
+// (headers are derived, never stored) and the fallback when a trie exceeds
+// the headers' 2^32-bit addressing. Batched AccessBatch/RankBatch/
+// SelectBatch amortize one traversal per touched node per batch, mirroring
+// what AppendBatch did for ingestion.
+//
+// Space: LT(Sset) + nH0(S) + o(~h n) bits (Theorem 3.7) plus O(|Sset|)
+// words of headers. Queries: Access/Rank/Select/RankPrefix/SelectPrefix in
+// O(|s| + h_s).
 //
 // Section 5 range analytics (sequential access, distinct values, majority,
 // frequent elements) are implemented on the same representation.
@@ -120,6 +132,7 @@ class WaveletTrie {
     label_ends_ = EliasFano(label_ends, labels_.size());
     beta_ = Rrr(beta_bits);
     beta_ends_ = EliasFano(beta_ends, beta_bits.size());
+    BuildHeaders();
   }
 
   /// Word-parallel bulk construction (the DESIGN.md #4 fast path). Produces
@@ -241,6 +254,7 @@ class WaveletTrie {
     out.label_ends_ = EliasFano(label_ends, out.labels_.size());
     out.beta_ = Rrr(beta_bits);
     out.beta_ends_ = EliasFano(beta_ends, beta_bits.size());
+    out.BuildHeaders();
     return out;
   }
 
@@ -249,18 +263,21 @@ class WaveletTrie {
   /// Number of distinct strings |Sset|.
   size_t NumDistinct() const { return n_ == 0 ? 0 : shape_.NumLeaves(); }
 
-  /// The string at position pos (paper: Access). O(|result| + h).
+  /// The string at position pos (paper: Access). O(|result| + h). Each level
+  /// is one header load plus one fused RRR rank-and-get.
   BitString Access(size_t pos) const {
     WT_ASSERT(pos < n_);
     BitString out;
     size_t v = 0;
-    while (shape_.IsInternal(v)) {
+    while (IsInternalNode(v)) {
       out.Append(Label(v));
-      const size_t r = shape_.InternalRank(v);
-      const bool b = BetaGet(r, pos);
-      out.PushBack(b);
-      pos = BetaRank(r, b, pos);
-      v = b ? shape_.RightChild(v) : shape_.LeftChild(v);
+      const auto [start, ones_start] = BetaLoc(v);
+      const auto [ones_abs, bit] = beta_.RankGet(start + pos);
+      const size_t ones = ones_abs - ones_start;
+      out.PushBack(bit);
+      pos = bit ? ones : pos - ones;
+      v = bit ? RightChildOf(v) : v + 1;
+      if (!headers_.empty()) PrefetchRead(&headers_[v]);
     }
     out.Append(Label(v));
     return out;
@@ -275,12 +292,11 @@ class WaveletTrie {
       const BitSpan label = Label(v);
       if (!label.IsPrefixOf(s.SubSpan(depth))) return 0;
       depth += label.size();
-      if (!shape_.IsInternal(v)) return depth == s.size() ? pos : 0;
+      if (!IsInternalNode(v)) return depth == s.size() ? pos : 0;
       if (depth >= s.size()) return 0;  // s is a proper prefix of stored keys
       const bool b = s.Get(depth++);
-      const size_t r = shape_.InternalRank(v);
-      pos = BetaRank(r, b, pos);
-      v = b ? shape_.RightChild(v) : shape_.LeftChild(v);
+      pos = BetaRank(v, b, pos);
+      v = b ? RightChildOf(v) : v + 1;
     }
   }
 
@@ -296,11 +312,10 @@ class WaveletTrie {
       if (lcp == rest.size()) return pos;  // p exhausted: whole subtree matches
       if (lcp < label.size()) return 0;    // mismatch inside the label
       depth += lcp;
-      if (!shape_.IsInternal(v)) return 0;  // p longer than the stored key
+      if (!IsInternalNode(v)) return 0;  // p longer than the stored key
       const bool b = p.Get(depth++);
-      const size_t r = shape_.InternalRank(v);
-      pos = BetaRank(r, b, pos);
-      v = b ? shape_.RightChild(v) : shape_.LeftChild(v);
+      pos = BetaRank(v, b, pos);
+      v = b ? RightChildOf(v) : v + 1;
     }
   }
 
@@ -308,23 +323,22 @@ class WaveletTrie {
   /// s occurs fewer than idx+1 times.
   std::optional<size_t> Select(BitSpan s, size_t idx) const {
     if (n_ == 0) return std::nullopt;
-    // Descend to the leaf for s, recording (internal rank, branch bit).
+    // Descend to the leaf for s, recording (node, branch bit).
     std::vector<std::pair<size_t, bool>> path;
     size_t v = 0, depth = 0, len = n_;
     for (;;) {
       const BitSpan label = Label(v);
       if (!label.IsPrefixOf(s.SubSpan(depth))) return std::nullopt;
       depth += label.size();
-      if (!shape_.IsInternal(v)) {
+      if (!IsInternalNode(v)) {
         if (depth != s.size()) return std::nullopt;
         break;
       }
       if (depth >= s.size()) return std::nullopt;
       const bool b = s.Get(depth++);
-      const size_t r = shape_.InternalRank(v);
-      path.push_back({r, b});
-      len = BetaRank(r, b, len);
-      v = b ? shape_.RightChild(v) : shape_.LeftChild(v);
+      path.push_back({v, b});
+      len = BetaRank(v, b, len);
+      v = b ? RightChildOf(v) : v + 1;
     }
     if (idx >= len) return std::nullopt;  // fewer than idx+1 occurrences
     return SelectUp(path, idx);
@@ -342,15 +356,100 @@ class WaveletTrie {
       if (lcp == rest.size()) break;  // subtree of v holds all matches
       if (lcp < label.size()) return std::nullopt;
       depth += lcp;
-      if (!shape_.IsInternal(v)) return std::nullopt;
+      if (!IsInternalNode(v)) return std::nullopt;
       const bool b = p.Get(depth++);
-      const size_t r = shape_.InternalRank(v);
-      path.push_back({r, b});
-      len = BetaRank(r, b, len);
-      v = b ? shape_.RightChild(v) : shape_.LeftChild(v);
+      path.push_back({v, b});
+      len = BetaRank(v, b, len);
+      v = b ? RightChildOf(v) : v + 1;
     }
     if (idx >= len) return std::nullopt;
     return SelectUp(path, idx);
+  }
+
+  // ------------------------------------------------------- batched queries
+  //
+  // One node-grouped traversal per batch (DESIGN.md #6): queries are
+  // partitioned across the trie exactly like strings during BulkBuild, so
+  // each touched node's header, directory lines and decoded beta blocks are
+  // loaded once per batch instead of once per query, with the next level's
+  // headers prefetched while the current node's positions are ranked.
+  // Results are identical to the per-query loops (differential-tested).
+
+  /// out[i] == Access(positions[i]); positions in any order, duplicates ok.
+  std::vector<BitString> AccessBatch(std::span<const size_t> positions) const {
+    const size_t m = positions.size();
+    std::vector<BitString> out(m);
+    if (m == 0) return out;
+    WT_ASSERT(n_ > 0);
+    for (const size_t p : positions) WT_ASSERT(p < n_);
+    if (n_ >= (uint64_t(1) << 32)) {  // beyond the packed-key range
+      for (size_t i = 0; i < m; ++i) out[i] = Access(positions[i]);
+      return out;
+    }
+    BatchState st(m);
+    SortByPosition(positions, &st);
+    BitString prefix;
+    Rrr::RankCursor cursor(&beta_);
+    // Each query records only its (distinct) leaf string's id — a 4-byte
+    // scatter — and the strings are materialized in one sequential pass, so
+    // neither the traversal nor the copies write 40-byte objects at random
+    // indices.
+    std::vector<BitString> leaf_vals;
+    leaf_vals.reserve(256);
+    std::vector<uint32_t> leaf_of(m);
+    AccessBatchRec(0, 0, m, &st, &cursor, &prefix, &leaf_vals, &leaf_of);
+    for (size_t i = 0; i < m; ++i) out[i] = leaf_vals[leaf_of[i]];
+    return out;
+  }
+
+  /// out[i] == Rank(strings[i], positions[i]).
+  std::vector<size_t> RankBatch(std::span<const BitSpan> strings,
+                                std::span<const size_t> positions) const {
+    WT_ASSERT(strings.size() == positions.size());
+    const size_t m = strings.size();
+    std::vector<size_t> out(m, 0);
+    if (m == 0 || n_ == 0) return out;
+    for (const size_t p : positions) WT_ASSERT(p <= n_);
+    if (n_ >= (uint64_t(1) << 32)) {  // beyond the packed-key range
+      for (size_t i = 0; i < m; ++i) out[i] = Rank(strings[i], positions[i]);
+      return out;
+    }
+    StringBatch sb(m, internal::DedupBatch(strings));
+    SortByPosition(positions, &sb.st);
+    for (size_t i = 0; i < m; ++i) sb.did[i] = sb.dict.id_of[QidOf(sb.st.q[i])];
+    Rrr::RankCursor cursor(&beta_);
+    RankBatchRec(0, 0, 0, m, 0, sb.darr.size(), &sb, &cursor, &out);
+    return out;
+  }
+
+  /// out[i] == Select(strings[i], indices[i]).
+  std::vector<std::optional<size_t>> SelectBatch(
+      std::span<const BitSpan> strings, std::span<const size_t> indices) const {
+    WT_ASSERT(strings.size() == indices.size());
+    const size_t m = strings.size();
+    std::vector<std::optional<size_t>> out(m);
+    if (m == 0 || n_ == 0) return out;
+    if (n_ >= (uint64_t(1) << 32)) {  // beyond the packed-key range
+      for (size_t i = 0; i < m; ++i) out[i] = Select(strings[i], indices[i]);
+      return out;
+    }
+    StringBatch sb(m, internal::DedupBatch(strings));
+    size_t w = 0;
+    for (size_t i = 0; i < m; ++i) {
+      // An occurrence index >= n can never be satisfied; drop it up front
+      // (this also keeps the index inside the packed key's 32 bits).
+      if (indices[i] < n_) {
+        sb.st.q[w] = Pack(indices[i], static_cast<uint32_t>(i));
+        sb.did[w] = sb.dict.id_of[i];
+        ++w;
+      }
+    }
+    Rrr::RankCursor cursor(&beta_);
+    Rrr::SelectCursor scursor(&beta_);
+    const size_t end = SelectBatchRec(0, 0, n_, 0, w, 0, sb.darr.size(), &sb,
+                                      &cursor, &scursor);
+    for (size_t i = 0; i < end; ++i) out[QidOf(sb.st.q[i])] = PosOf(sb.st.q[i]);
+    return out;
   }
 
   /// Occurrences of s in [l, r).
@@ -396,15 +495,14 @@ class WaveletTrie {
       if (lcp == rest.size()) break;  // subtree of v holds all matches
       if (lcp < label.size()) return;  // mismatch inside the label
       depth += lcp;
-      if (!shape_.IsInternal(v)) return;  // p longer than any stored key
+      if (!IsInternalNode(v)) return;  // p longer than any stored key
       const bool b = p.Get(depth++);
-      const size_t rk = shape_.InternalRank(v);
-      l = BetaRank(rk, b, l);
-      r = BetaRank(rk, b, r);
+      l = BetaRank(v, b, l);
+      r = BetaRank(v, b, r);
       if (l >= r) return;  // no occurrences inside the window
       prefix.Append(label);
       prefix.PushBack(b);
-      v = b ? shape_.RightChild(v) : shape_.LeftChild(v);
+      v = b ? RightChildOf(v) : v + 1;
     }
     DistinctRec(v, l, r, &prefix, fn);
   }
@@ -421,22 +519,21 @@ class WaveletTrie {
     size_t v = 0;
     for (;;) {
       prefix.Append(Label(v));
-      if (!shape_.IsInternal(v)) {
+      if (!IsInternalNode(v)) {
         if (2 * (r - l) <= range) return std::nullopt;
         return std::make_pair(std::move(prefix), r - l);
       }
-      const size_t rk = shape_.InternalRank(v);
-      const size_t l0 = BetaRank(rk, false, l), r0 = BetaRank(rk, false, r);
+      const size_t l0 = BetaRank(v, false, l), r0 = BetaRank(v, false, r);
       const size_t c0 = r0 - l0;
       const size_t c1 = (r - l) - c0;
       if (2 * c0 > r - l) {
         prefix.PushBack(false);
-        v = shape_.LeftChild(v);
+        v = v + 1;
         l = l0;
         r = r0;
       } else if (2 * c1 > r - l) {
         prefix.PushBack(true);
-        v = shape_.RightChild(v);
+        v = RightChildOf(v);
         l = l - l0;
         r = r - r0;
       } else {
@@ -472,27 +569,26 @@ class WaveletTrie {
       size_t v = 0;
       // Parent context, used only when a node is visited for the first time
       // in this range (one Rank per traversed node for the whole range).
-      size_t parent_rk = 0, parent_pos = 0;
+      size_t parent_v = 0, parent_pos = 0;
       bool parent_bit = false, has_parent = false;
       for (;;) {
         out.Append(Label(v));
-        if (!shape_.IsInternal(v)) break;
-        const size_t rk = shape_.InternalRank(v);
-        const size_t start = beta_ends_.SegmentStart(rk);
-        auto it = iters.find(rk);
+        if (!IsInternalNode(v)) break;
+        const size_t start = BetaLoc(v).first;
+        auto it = iters.find(v);
         if (it == iters.end()) {
           const size_t node_pos =
-              has_parent ? BetaRank(parent_rk, parent_bit, parent_pos) : i;
-          it = iters.emplace(rk, Rrr::Iterator(&beta_, start + node_pos)).first;
+              has_parent ? BetaRank(parent_v, parent_bit, parent_pos) : i;
+          it = iters.emplace(v, Rrr::Iterator(&beta_, start + node_pos)).first;
         }
         const size_t node_pos = it->second.position() - start;
         const bool b = it->second.Next();
         out.PushBack(b);
         has_parent = true;
-        parent_rk = rk;
+        parent_v = v;
         parent_bit = b;
         parent_pos = node_pos;
-        v = b ? shape_.RightChild(v) : shape_.LeftChild(v);
+        v = b ? RightChildOf(v) : v + 1;
       }
       fn(i, out);
     }
@@ -504,7 +600,8 @@ class WaveletTrie {
 
   /// Serializes the index. Format: magic, version, n, then components
   /// (shape preorder bits, labels, Elias-Fano delimiters, global RRR);
-  /// rank/select/excess directories are rebuilt on Load.
+  /// rank/select/excess directories and the flat node headers are rebuilt
+  /// on Load.
   void Save(std::ostream& out) const {
     WritePod<uint64_t>(out, kMagic);
     WritePod<uint32_t>(out, kVersion);
@@ -523,17 +620,20 @@ class WaveletTrie {
     WT_ASSERT_MSG(ReadPod<uint32_t>(in) == kVersion,
                   "WaveletTrie: unsupported version");
     n_ = ReadPod<uint64_t>(in);
+    headers_.clear();
     if (n_ == 0) return;
     shape_.Load(in);
     labels_.Load(in);
     label_ends_.Load(in);
     beta_.Load(in);
     beta_ends_.Load(in);
+    BuildHeaders();
   }
 
   size_t SizeInBits() const {
     return labels_.SizeInBits() + label_ends_.SizeInBits() + beta_.SizeInBits() +
-           beta_ends_.SizeInBits() + shape_.SizeInBits();
+           beta_ends_.SizeInBits() + shape_.SizeInBits() +
+           8 * sizeof(NodeHeader) * headers_.capacity();
   }
 
   /// Maximum number of internal nodes on any root-to-leaf path.
@@ -567,35 +667,101 @@ class WaveletTrie {
 
  private:
   static constexpr uint64_t kMagic = 0x57544C4945525431ull;  // "WTLIERT1"
-  static constexpr uint32_t kVersion = 2;  // v2: complement-capped RRR offsets
+  static constexpr uint32_t kVersion = 3;  // v3: directory-free RRR payload
+
+  /// Flat per-node query header (DESIGN.md #6): everything a traversal
+  /// level needs in one 16-byte load. `right == 0` marks a leaf (the root
+  /// is never anyone's child). The label of node v spans
+  /// [headers_[v-1].label_end, headers_[v].label_end) — labels are
+  /// concatenated in preorder, so the previous node's end is this node's
+  /// start. For internal nodes, the beta segment starts at beta_start and
+  /// ones_start caches beta_.Rank1(beta_start), halving the RRR work of
+  /// every per-node rank and select.
+  struct NodeHeader {
+    uint32_t label_end;
+    uint32_t right;
+    uint32_t beta_start;
+    uint32_t ones_start;
+  };
+
+  /// Builds the flat header array. Skipped (leaving the Elias--Fano path in
+  /// charge) only when a component exceeds the headers' 32-bit addressing.
+  /// The global beta never can: a single Rrr is capped at 2^32-1 bits by
+  /// its own interleaved directory, so the trie's capacity limit is
+  /// 2^32-1 *total beta bits* (sum of per-string trie depths — ~150M
+  /// strings at height 30, more when strings repeat; n itself is unbounded
+  /// when the alphabet is a single string). Label bits and node count keep
+  /// the guard.
+  void BuildHeaders() {
+    headers_.clear();
+    if (n_ == 0) return;
+    const size_t num_nodes = shape_.NumNodes();
+    constexpr uint64_t kCap = uint64_t(1) << 32;
+    if (labels_.size() >= kCap || num_nodes >= kCap) {
+      return;
+    }
+    headers_.resize(num_nodes);
+    Rrr::RankCursor cursor(&beta_);
+    for (size_t v = 0; v < num_nodes; ++v) {
+      NodeHeader& h = headers_[v];
+      h.label_end = static_cast<uint32_t>(label_ends_.Access(v));
+      if (shape_.IsInternal(v)) {
+        const size_t r = shape_.InternalRank(v);
+        const size_t start = beta_ends_.SegmentStart(r);
+        h.right = static_cast<uint32_t>(shape_.RightChild(v));
+        h.beta_start = static_cast<uint32_t>(start);
+        h.ones_start = static_cast<uint32_t>(cursor.Rank1(start));
+      } else {
+        h.right = 0;
+        h.beta_start = 0;
+        h.ones_start = 0;
+      }
+    }
+  }
+
+  bool IsInternalNode(size_t v) const {
+    return headers_.empty() ? shape_.IsInternal(v) : headers_[v].right != 0;
+  }
+
+  size_t RightChildOf(size_t v) const {
+    return headers_.empty() ? shape_.RightChild(v) : headers_[v].right;
+  }
 
   BitSpan Label(size_t v) const {
+    if (!headers_.empty()) {
+      const size_t start = v == 0 ? 0 : headers_[v - 1].label_end;
+      return BitSpan(labels_.data(), start, headers_[v].label_end - start);
+    }
     const size_t start = label_ends_.SegmentStart(v);
     const size_t end = label_ends_.SegmentEnd(v);
     return BitSpan(labels_.data(), start, end - start);
   }
 
-  bool BetaGet(size_t r, size_t pos) const {
-    return beta_.Get(beta_ends_.SegmentStart(r) + pos);
+  /// Location of internal node v's beta in the global RRR: (start bit,
+  /// ones before start). One header load on the fast path.
+  std::pair<size_t, size_t> BetaLoc(size_t v) const {
+    if (!headers_.empty()) {
+      const NodeHeader& h = headers_[v];
+      return {h.beta_start, h.ones_start};
+    }
+    const size_t r = shape_.InternalRank(v);
+    const size_t start = beta_ends_.SegmentStart(r);
+    return {start, beta_.Rank1(start)};
   }
 
-  /// Rank of bit b in [0, pos) of internal node r's bitvector: two O(1)
-  /// queries on the global RRR.
-  size_t BetaRank(size_t r, bool b, size_t pos) const {
-    const size_t start = beta_ends_.SegmentStart(r);
-    const size_t ones = beta_.Rank1(start + pos) - beta_.Rank1(start);
+  /// Rank of bit b in [0, pos) of internal node v's bitvector: one RRR rank
+  /// (the rank at the segment start is precomputed in the header).
+  size_t BetaRank(size_t v, bool b, size_t pos) const {
+    const auto [start, ones_start] = BetaLoc(v);
+    const size_t ones = beta_.Rank1(start + pos) - ones_start;
     return b ? ones : pos - ones;
   }
 
-  /// Select of the (k+1)-th b within internal node r's bitvector.
-  size_t BetaSelect(size_t r, bool b, size_t k) const {
-    const size_t start = beta_ends_.SegmentStart(r);
-    if (b) {
-      const size_t ones_before = beta_.Rank1(start);
-      return beta_.Select1(ones_before + k) - start;
-    }
-    const size_t zeros_before = start - beta_.Rank1(start);
-    return beta_.Select0(zeros_before + k) - start;
+  /// Select of the (k+1)-th b within internal node v's bitvector.
+  size_t BetaSelect(size_t v, bool b, size_t k) const {
+    const auto [start, ones_start] = BetaLoc(v);
+    if (b) return beta_.Select1(ones_start + k) - start;
+    return beta_.Select0((start - ones_start) + k) - start;
   }
 
   size_t SelectUp(const std::vector<std::pair<size_t, bool>>& path,
@@ -604,6 +770,336 @@ class WaveletTrie {
       idx = BetaSelect(path[i].first, path[i].second, idx);
     }
     return idx;
+  }
+
+  // ------------------------------------------------ batched traversal core
+
+  /// Shared per-batch scratch. Each live query is one packed 64-bit key:
+  /// the per-node position (Access/Rank), or the occurrence index and later
+  /// the subtree-relative result (Select), in the high half; the original
+  /// query index in the low half. One word per query halves the partition
+  /// traffic and makes the initial order-by-position a radix sort.
+  struct BatchState {
+    explicit BatchState(size_t m) : q(m), scratch(m), counts(1 << kRadixBits) {
+      WT_ASSERT_MSG(m < (uint64_t(1) << 32), "batch larger than 2^32 queries");
+    }
+    std::vector<uint64_t> q;
+    std::vector<uint64_t> scratch;
+    std::vector<uint32_t> counts;  // radix histogram, reused per pass
+  };
+
+  static constexpr unsigned kRadixBits = 11;
+
+  /// Extra state for the string-keyed batches (Rank/Select): the queries
+  /// dedup onto their distinct strings (internal::DedupBatch, shared with
+  /// the ingestion bulk path), `darr` carries the distinct ids alive at the
+  /// current node, `did` the per-query distinct id in lockstep with
+  /// BatchState::q, and `route` the per-distinct verdict at the node being
+  /// processed.
+  struct StringBatch {
+    StringBatch(size_t m, internal::BatchDict d)
+        : dict(std::move(d)),
+          st(m),
+          did(m),
+          did_scratch(m),
+          darr(dict.distinct.size()),
+          dscratch(dict.distinct.size()),
+          route(dict.distinct.size()) {
+      for (size_t i = 0; i < darr.size(); ++i) {
+        darr[i] = static_cast<uint32_t>(i);
+      }
+    }
+    internal::BatchDict dict;
+    BatchState st;
+    std::vector<uint32_t> did, did_scratch;
+    std::vector<uint32_t> darr, dscratch;
+    std::vector<uint8_t> route;
+  };
+
+  static uint64_t Pack(size_t pos, uint32_t qid) {
+    return (static_cast<uint64_t>(pos) << 32) | qid;
+  }
+  static size_t PosOf(uint64_t key) { return key >> 32; }
+  static uint32_t QidOf(uint64_t key) { return static_cast<uint32_t>(key); }
+
+  /// Orders the batch by position so that every node's beta is walked
+  /// monotonically (rank mappings preserve relative order on both branches,
+  /// so sortedness is invariant down the whole traversal). LSD radix on the
+  /// position half; the qid half rides along and keeps ties in input order.
+  static void SortByPosition(std::span<const size_t> positions, BatchState* st) {
+    const size_t m = positions.size();
+    size_t max_pos = 0;
+    for (size_t i = 0; i < m; ++i) {
+      st->q[i] = Pack(positions[i], static_cast<uint32_t>(i));
+      max_pos = std::max(max_pos, positions[i]);
+    }
+    const unsigned pos_bits = BitWidth(max_pos);
+    for (unsigned done = 0; done < pos_bits; done += kRadixBits) {
+      const unsigned shift = 32 + done;
+      const unsigned digit_bits = std::min(kRadixBits, pos_bits - done);
+      const uint64_t mask = LowMask(digit_bits);
+      std::fill(st->counts.begin(), st->counts.begin() + (size_t(1) << digit_bits),
+                0);
+      for (size_t i = 0; i < m; ++i) ++st->counts[(st->q[i] >> shift) & mask];
+      uint32_t sum = 0;
+      for (size_t c = 0; c < (size_t(1) << digit_bits); ++c) {
+        const uint32_t t = st->counts[c];
+        st->counts[c] = sum;
+        sum += t;
+      }
+      for (size_t i = 0; i < m; ++i) {
+        st->scratch[st->counts[(st->q[i] >> shift) & mask]++] = st->q[i];
+      }
+      st->q.swap(st->scratch);
+    }
+  }
+
+  void PrefetchChildren(size_t v, size_t right) const {
+    if (headers_.empty()) return;
+    PrefetchRead(&headers_[v + 1]);
+    PrefetchRead(&headers_[right]);
+  }
+
+  /// Per-query rank step of the batched traversals: a cursor walk (cache
+  /// hit, short class-scan advance, or directory restart — positions within
+  /// a node arrive sorted, so almost always the first two), with the
+  /// directory lines of the query two ahead prefetched to overlap its loads
+  /// with this query's decode.
+  std::pair<size_t, bool> BatchRankGet(Rrr::RankCursor* cursor, size_t gpos,
+                                       size_t prefetch_pos,
+                                       bool has_prefetch) const {
+    // Positions are sorted, so prefetch_pos >= gpos; skip the prefetch when
+    // the lookahead lands within a block of the current query (its lines
+    // are already inbound).
+    if (has_prefetch && prefetch_pos - gpos >= Rrr::kBlockBits) {
+      cursor->Prefetch(prefetch_pos);
+    }
+    return cursor->RankGet(gpos);
+  }
+
+  size_t BatchRank1(Rrr::RankCursor* cursor, size_t gpos, size_t prefetch_pos,
+                    bool has_prefetch) const {
+    if (has_prefetch && prefetch_pos - gpos >= Rrr::kBlockBits) {
+      cursor->Prefetch(prefetch_pos);
+    }
+    return cursor->Rank1(gpos);
+  }
+
+  void AccessBatchRec(size_t v, size_t lo, size_t hi, BatchState* st,
+                      Rrr::RankCursor* cursor, BitString* prefix,
+                      std::vector<BitString>* leaf_vals,
+                      std::vector<uint32_t>* leaf_of) const {
+    const size_t mark = prefix->size();
+    prefix->Append(Label(v));
+    if (!IsInternalNode(v)) {
+      const uint32_t leaf_id = static_cast<uint32_t>(leaf_vals->size());
+      leaf_vals->push_back(*prefix);
+      for (size_t i = lo; i < hi; ++i) (*leaf_of)[QidOf(st->q[i])] = leaf_id;
+      prefix->Truncate(mark);
+      return;
+    }
+    const size_t right = RightChildOf(v);
+    PrefetchChildren(v, right);
+    const auto [start, ones_start] = BetaLoc(v);
+    size_t w = lo, n1 = 0;
+    for (size_t i = lo; i < hi; ++i) {
+      const uint64_t key = st->q[i];
+      const auto [ones_abs, bit] = BatchRankGet(
+          cursor, start + PosOf(key),
+          start + PosOf(st->q[i + 2 < hi ? i + 2 : i]), i + 2 < hi);
+      const size_t ones = ones_abs - ones_start;
+      if (bit) {
+        st->scratch[n1++] = Pack(ones, QidOf(key));
+      } else {
+        st->q[w++] = Pack(PosOf(key) - ones, QidOf(key));
+      }
+    }
+    std::copy_n(st->scratch.data(), n1, st->q.data() + w);
+    const size_t lab_end = prefix->size();
+    if (lo < w) {
+      prefix->PushBack(false);
+      AccessBatchRec(v + 1, lo, w, st, cursor, prefix, leaf_vals, leaf_of);
+      prefix->Truncate(lab_end);
+    }
+    if (w < hi) {
+      prefix->PushBack(true);
+      AccessBatchRec(right, w, hi, st, cursor, prefix, leaf_vals, leaf_of);
+    }
+    prefix->Truncate(mark);
+  }
+
+  /// Routes this node's distinct suffixes once (label check + branch bit on
+  /// the distinct set, as in BulkBuild), making the per-query work an
+  /// L1-resident table lookup plus one cursor rank. Returns the partition
+  /// point of the distinct ids so the caller-level arrays stay in lockstep.
+  enum : uint8_t { kRouteDrop = 0, kRouteLeft = 1, kRouteRight = 2, kRouteMatch = 3 };
+
+  void RouteDistinct(size_t v, const BitSpan& label, size_t depth, size_t d2,
+                     bool internal_node, size_t dlo, size_t dhi,
+                     StringBatch* sb) const {
+    (void)v;
+    for (size_t j = dlo; j < dhi; ++j) {
+      const uint32_t d = sb->darr[j];
+      const BitSpan s = sb->dict.distinct[d];
+      uint8_t r = kRouteDrop;
+      if (label.IsPrefixOf(s.SubSpan(depth))) {
+        if (!internal_node) {
+          if (s.size() == d2) r = kRouteMatch;
+        } else if (s.size() > d2) {
+          r = s.Get(d2) ? kRouteRight : kRouteLeft;
+        }
+      }
+      sb->route[d] = r;
+    }
+  }
+
+  /// Stable three-way partition of the distinct ids by route (drops
+  /// vanish); returns {left end, right count}.
+  std::pair<size_t, size_t> PartitionDistinct(size_t dlo, size_t dhi,
+                                              StringBatch* sb) const {
+    size_t dw = dlo, dn1 = 0;
+    for (size_t j = dlo; j < dhi; ++j) {
+      const uint32_t d = sb->darr[j];
+      const uint8_t r = sb->route[d];
+      if (r == kRouteLeft) {
+        sb->darr[dw++] = d;
+      } else if (r == kRouteRight) {
+        sb->dscratch[dn1++] = d;
+      }
+    }
+    std::copy_n(sb->dscratch.data(), dn1, sb->darr.data() + dw);
+    return {dw, dn1};
+  }
+
+  void RankBatchRec(size_t v, size_t depth, size_t lo, size_t hi, size_t dlo,
+                    size_t dhi, StringBatch* sb, Rrr::RankCursor* cursor,
+                    std::vector<size_t>* out) const {
+    const BitSpan label = Label(v);
+    const size_t d2 = depth + label.size();
+    const bool internal_node = IsInternalNode(v);
+    RouteDistinct(v, label, depth, d2, internal_node, dlo, dhi, sb);
+    if (!internal_node) {
+      for (size_t i = lo; i < hi; ++i) {
+        const uint64_t key = sb->st.q[i];
+        if (sb->route[sb->did[i]] == kRouteMatch) {
+          (*out)[QidOf(key)] = PosOf(key);
+        }
+      }
+      return;
+    }
+    const size_t right = RightChildOf(v);
+    PrefetchChildren(v, right);
+    const auto [dw, dn1] = PartitionDistinct(dlo, dhi, sb);
+    const auto [start, ones_start] = BetaLoc(v);
+    size_t w = lo, n1 = 0;
+    for (size_t i = lo; i < hi; ++i) {
+      const uint32_t d = sb->did[i];
+      const uint8_t r = sb->route[d];
+      if (r == kRouteDrop) continue;  // mismatch or proper prefix: rank 0
+      const uint64_t key = sb->st.q[i];
+      const size_t ones =
+          BatchRank1(cursor, start + PosOf(key),
+                     start + PosOf(sb->st.q[i + 2 < hi ? i + 2 : i]),
+                     i + 2 < hi) -
+          ones_start;
+      if (r == kRouteRight) {
+        sb->st.scratch[n1] = Pack(ones, QidOf(key));
+        sb->did_scratch[n1] = d;
+        ++n1;
+      } else {
+        sb->st.q[w] = Pack(PosOf(key) - ones, QidOf(key));
+        sb->did[w] = d;
+        ++w;
+      }
+    }
+    std::copy_n(sb->st.scratch.data(), n1, sb->st.q.data() + w);
+    std::copy_n(sb->did_scratch.data(), n1, sb->did.data() + w);
+    if (lo < w) {
+      RankBatchRec(v + 1, d2 + 1, lo, w, dlo, dw, sb, cursor, out);
+    }
+    if (n1 > 0) {
+      RankBatchRec(right, d2 + 1, w, w + n1, dw, dw + dn1, sb, cursor, out);
+    }
+  }
+
+  /// Descends like RankBatch, then maps subtree-relative select results
+  /// back up through each node on return. On entry the position half of
+  /// each key holds the occurrence index; on exit (for surviving, compacted
+  /// queries) the position within v's subtree sequence, in ascending order:
+  /// leaves sort their survivors, each per-node mapping is monotone, and
+  /// the two children's sorted runs are merged — so the ascent's selects
+  /// arrive rank-sorted at every node and the select cursor walks each
+  /// node's beta forward instead of re-searching per query. Returns the end
+  /// of the compacted survivor range (dropped queries stay nullopt).
+  size_t SelectBatchRec(size_t v, size_t depth, size_t len, size_t lo,
+                        size_t hi, size_t dlo, size_t dhi, StringBatch* sb,
+                        Rrr::RankCursor* cursor,
+                        Rrr::SelectCursor* scursor) const {
+    const BitSpan label = Label(v);
+    const size_t d2 = depth + label.size();
+    const bool internal_node = IsInternalNode(v);
+    RouteDistinct(v, label, depth, d2, internal_node, dlo, dhi, sb);
+    if (!internal_node) {
+      size_t keep = lo;
+      for (size_t i = lo; i < hi; ++i) {
+        const uint64_t key = sb->st.q[i];
+        if (sb->route[sb->did[i]] == kRouteMatch && PosOf(key) < len) {
+          sb->st.q[keep++] = key;
+        }
+      }
+      std::sort(sb->st.q.begin() + lo, sb->st.q.begin() + keep);
+      return keep;
+    }
+    const size_t right = RightChildOf(v);
+    PrefetchChildren(v, right);
+    const auto [dw, dn1] = PartitionDistinct(dlo, dhi, sb);
+    const auto [start, ones_start] = BetaLoc(v);
+    const size_t ones_total = cursor->Rank1(start + len) - ones_start;
+    size_t w = lo, n1 = 0;
+    for (size_t i = lo; i < hi; ++i) {
+      const uint32_t d = sb->did[i];
+      const uint8_t r = sb->route[d];
+      if (r == kRouteDrop) continue;  // mismatch or proper prefix: nullopt
+      const uint64_t key = sb->st.q[i];
+      if (r == kRouteRight) {
+        sb->st.scratch[n1] = key;
+        sb->did_scratch[n1] = d;
+        ++n1;
+      } else {
+        sb->st.q[w] = key;
+        sb->did[w] = d;
+        ++w;
+      }
+    }
+    std::copy_n(sb->st.scratch.data(), n1, sb->st.q.data() + w);
+    std::copy_n(sb->did_scratch.data(), n1, sb->did.data() + w);
+    const size_t left_end =
+        lo < w ? SelectBatchRec(v + 1, d2 + 1, len - ones_total, lo, w, dlo,
+                                dw, sb, cursor, scursor)
+               : lo;
+    const size_t right_end =
+        n1 > 0 ? SelectBatchRec(right, d2 + 1, ones_total, w, w + n1, dw,
+                                dw + dn1, sb, cursor, scursor)
+               : w;
+    const size_t zeros_start = start - ones_start;
+    for (size_t i = lo; i < left_end; ++i) {
+      sb->st.q[i] =
+          Pack(scursor->Select0(zeros_start + PosOf(sb->st.q[i])) - start,
+               QidOf(sb->st.q[i]));
+    }
+    for (size_t i = w; i < right_end; ++i) {
+      sb->st.q[i] =
+          Pack(scursor->Select1(ones_start + PosOf(sb->st.q[i])) - start,
+               QidOf(sb->st.q[i]));
+    }
+    // Merge the two sorted runs (this also closes the gap the left child's
+    // drops left behind) and restore them to [lo, lo + survivors).
+    const size_t total = (left_end - lo) + (right_end - w);
+    std::merge(sb->st.q.begin() + lo, sb->st.q.begin() + left_end,
+               sb->st.q.begin() + w, sb->st.q.begin() + right_end,
+               sb->st.scratch.begin() + lo);
+    std::copy_n(sb->st.scratch.data() + lo, total, sb->st.q.data() + lo);
+    return lo + total;
   }
 
   size_t HeightRec(size_t v) const {
@@ -616,21 +1112,20 @@ class WaveletTrie {
                    const DistinctFn& fn) const {
     const size_t mark = prefix->size();
     prefix->Append(Label(v));
-    if (!shape_.IsInternal(v)) {
+    if (!IsInternalNode(v)) {
       fn(*prefix, r - l);
       prefix->Truncate(mark);
       return;
     }
-    const size_t rk = shape_.InternalRank(v);
-    const size_t l0 = BetaRank(rk, false, l), r0 = BetaRank(rk, false, r);
+    const size_t l0 = BetaRank(v, false, l), r0 = BetaRank(v, false, r);
     if (l0 < r0) {
       prefix->PushBack(false);
-      DistinctRec(shape_.LeftChild(v), l0, r0, prefix, fn);
+      DistinctRec(v + 1, l0, r0, prefix, fn);
       prefix->Truncate(mark + Label(v).size());
     }
     if (l - l0 < r - r0) {
       prefix->PushBack(true);
-      DistinctRec(shape_.RightChild(v), l - l0, r - r0, prefix, fn);
+      DistinctRec(RightChildOf(v), l - l0, r - r0, prefix, fn);
     }
     prefix->Truncate(mark);
   }
@@ -640,21 +1135,20 @@ class WaveletTrie {
                    const DistinctFn& fn) const {
     const size_t mark = prefix->size();
     prefix->Append(Label(v));
-    if (!shape_.IsInternal(v)) {
+    if (!IsInternalNode(v)) {
       if (r - l >= t) fn(*prefix, r - l);
       prefix->Truncate(mark);
       return;
     }
-    const size_t rk = shape_.InternalRank(v);
-    const size_t l0 = BetaRank(rk, false, l), r0 = BetaRank(rk, false, r);
+    const size_t l0 = BetaRank(v, false, l), r0 = BetaRank(v, false, r);
     if (r0 - l0 >= t) {
       prefix->PushBack(false);
-      FrequentRec(shape_.LeftChild(v), l0, r0, t, prefix, fn);
+      FrequentRec(v + 1, l0, r0, t, prefix, fn);
       prefix->Truncate(mark + Label(v).size());
     }
     if ((r - r0) - (l - l0) >= t) {
       prefix->PushBack(true);
-      FrequentRec(shape_.RightChild(v), l - l0, r - r0, t, prefix, fn);
+      FrequentRec(RightChildOf(v), l - l0, r - r0, t, prefix, fn);
     }
     prefix->Truncate(mark);
   }
@@ -665,6 +1159,7 @@ class WaveletTrie {
   EliasFano label_ends_;  // cumulative label lengths per node
   Rrr beta_;              // concatenated internal-node bitvectors, preorder
   EliasFano beta_ends_;   // cumulative beta lengths per internal node
+  std::vector<NodeHeader> headers_;  // derived query fast path (not saved)
 };
 
 }  // namespace wt
