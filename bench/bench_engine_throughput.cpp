@@ -1,0 +1,453 @@
+// Engine throughput (DESIGN.md #7): the acceptance numbers of the
+// concurrent segmented engine on the 1M Zipf-URL workload.
+//
+//   * query serving — aggregate throughput of 4 reader threads running the
+//     point-lookup serving stream (batched snapshot Access, 4 shards)
+//     against engine snapshots, gated at >= 3x a single thread running the
+//     same stream per-query on one Sequence<Static>. The single-threaded
+//     *batched* Sequence number is reported alongside so the two effects
+//     (batch amortization vs reader parallelism) stay distinguishable.
+//     Point lookups are the serving aggregate because they are the one
+//     operation positional sharding answers with single-shard work; the
+//     cross-shard operations are tracked separately:
+//   * rank — every global rank sums one rank per shard by construction, so
+//     its engine-vs-monolith multiplier (~#shards of per-shard work, less
+//     after batching) is reported as its own metric, not hidden in an
+//     aggregate;
+//   * select — cross-shard positional select is a lockstep binary search
+//     costing O(log n) batched cross-shard ranks; same treatment;
+//   * ingest — strings/s sustained through the memtable path
+//     (AppendEncodedBatch: round-robin span split + WAL-less word-parallel
+//     memtable appends, no freeze in the measured window), gated at
+//     >= 10M strings/s; the end-to-end number (codec + background freezes
+//     + final Flush) and the WAL-durable number are reported alongside;
+//   * correctness — Access/Rank/Select batch answers are asserted
+//     byte-identical to the single-Sequence oracle on every run; the
+//     binary exits nonzero on any mismatch.
+//
+// Writes BENCH_engine.json (committed at the repo root, uploaded by CI).
+// WT_BENCH_SMOKE shrinks the run for CI; the tracked numbers come from
+// full runs without it.
+#include <benchmark/benchmark.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <optional>
+#include <random>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "api/sequence.hpp"
+#include "engine/engine.hpp"
+#include "util/workloads.hpp"
+
+namespace {
+
+using namespace wtrie;
+
+using clock_type = std::chrono::steady_clock;
+using StrEngine = Engine<wt::ByteCodec>;
+using StrSequence = Sequence<Static, wt::ByteCodec>;
+
+double Seconds(clock_type::time_point a, clock_type::time_point b) {
+  return std::chrono::duration<double>(b - a).count();
+}
+
+std::vector<std::string> MakeLog(size_t n) {
+  wt::UrlLogOptions opt;
+  opt.num_domains = 64;
+  opt.paths_per_domain = 32;
+  opt.seed = 7;
+  wt::UrlLogGenerator gen(opt);
+  std::vector<std::string> out;
+  out.reserve(n);
+  for (size_t i = 0; i < n; ++i) out.push_back(gen.Next());
+  return out;
+}
+
+std::vector<uint64_t> MakePositions(size_t n, size_t q, uint64_t seed) {
+  std::mt19937_64 rng(seed);
+  std::vector<uint64_t> out;
+  out.reserve(q);
+  for (size_t i = 0; i < q; ++i) out.push_back(rng() % n);
+  return out;
+}
+
+struct RankSet {
+  std::vector<std::string> vals;
+  std::vector<uint64_t> pos;
+};
+
+RankSet MakeRanks(const std::vector<std::string>& values, size_t q,
+                  uint64_t seed) {
+  RankSet rs;
+  std::mt19937_64 rng(seed);
+  for (size_t i = 0; i < q; ++i) {
+    rs.vals.push_back(i % 7 == 6 ? "www.absent.example/none"
+                                 : values[rng() % values.size()]);
+    rs.pos.push_back(rng() % (values.size() + 1));
+  }
+  return rs;
+}
+
+struct SelectSet {
+  std::vector<std::string> vals;
+  std::vector<uint64_t> idx;
+};
+
+SelectSet MakeSelects(const std::vector<std::string>& values, size_t q,
+                      uint64_t seed) {
+  SelectSet ss;
+  std::mt19937_64 rng(seed);
+  for (size_t i = 0; i < q; ++i) {
+    ss.vals.push_back(values[rng() % values.size()]);
+    ss.idx.push_back(rng() % 500);
+  }
+  return ss;
+}
+
+// ------------------------------------------------------------ benchmark
+// tables (spot measurements; the gate below is what CI tracks)
+
+void BM_EngineIngestEncoded(benchmark::State& state) {
+  const auto values = MakeLog(size_t(1) << state.range(0));
+  std::vector<wt::BitString> enc;
+  enc.reserve(values.size());
+  for (const auto& v : values) enc.push_back(wt::ByteCodec::Encode(v));
+  for (auto _ : state) {
+    state.PauseTiming();
+    StrEngine::Options opt;
+    opt.num_shards = 4;
+    opt.memtable_limit = size_t(1) << 30;  // pure memtable path
+    auto eng = StrEngine::Open(opt).value();
+    state.ResumeTiming();
+    benchmark::DoNotOptimize(eng->AppendEncodedBatch(enc));
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(values.size()));
+}
+BENCHMARK(BM_EngineIngestEncoded)->Arg(17)->Arg(20)->Unit(benchmark::kMillisecond);
+
+void BM_EngineSnapshotAccessBatch(benchmark::State& state) {
+  const auto values = MakeLog(size_t(1) << state.range(0));
+  StrEngine::Options opt;
+  opt.num_shards = 4;
+  auto eng = StrEngine::Open(opt).value();
+  (void)eng->AppendBatch(values);
+  (void)eng->Flush();
+  const auto snap = eng->GetSnapshot();
+  const auto positions = MakePositions(values.size(), 8192, 13);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(snap.AccessBatch(positions));
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(positions.size()));
+}
+BENCHMARK(BM_EngineSnapshotAccessBatch)
+    ->Arg(17)
+    ->Arg(20)
+    ->Unit(benchmark::kMillisecond);
+
+// ----------------------------------------------------------------- the gate
+
+struct GateResult {
+  size_t n = 0;
+  size_t num_segments = 0;
+  double baseline_loop_qps = 0;    // single thread, per-query Sequence<Static>
+  double baseline_batch_qps = 0;   // single thread, batched Sequence<Static>
+  double engine_qps = 0;           // 4 reader threads, batched snapshots
+  double rank_engine_ns = 0;       // cross-shard RankBatch, ns/query
+  double rank_oracle_ns = 0;       // Sequence<Static> RankBatch, ns/query
+  double select_engine_ns = 0;     // cross-shard SelectBatch, ns/query
+  double select_oracle_ns = 0;     // Sequence<Static> SelectBatch, ns/query
+  double ingest_memtable_sps = 0;  // encoded strings/s, memtable path
+  double ingest_e2e_sps = 0;       // values/s incl. codec, freezes, Flush
+  double ingest_wal_sps = 0;       // values/s with WAL durability on
+  bool identical = true;
+};
+
+bool RunGate(GateResult* out, size_t n, size_t q, size_t rounds) {
+  const auto values = MakeLog(n);
+  out->n = n;
+
+  // Every gated metric is the best of three trials: the container's
+  // timing noise is one-sided (a busy neighbour only ever slows a trial
+  // down), and the same rule is applied to the baseline denominators, so
+  // the ratios stay fair.
+  constexpr int kTrials = 3;
+
+  // ---- ingest: pure memtable path (pre-encoded, no freeze in window).
+  {
+    std::vector<wt::BitString> enc;
+    enc.reserve(n);
+    for (const auto& v : values) enc.push_back(wt::ByteCodec::Encode(v));
+    for (int trial = 0; trial < kTrials; ++trial) {
+      StrEngine::Options opt;
+      opt.num_shards = 4;
+      opt.memtable_limit = size_t(1) << 30;
+      auto eng = StrEngine::Open(opt).value();
+      const auto t0 = clock_type::now();
+      if (!eng->AppendEncodedBatch(enc).ok()) return false;
+      const auto t1 = clock_type::now();
+      out->ingest_memtable_sps =
+          std::max(out->ingest_memtable_sps, double(n) / Seconds(t0, t1));
+    }
+  }
+  // ---- ingest: end to end (codec, default freezes, final Flush).
+  {
+    StrEngine::Options opt;
+    opt.num_shards = 4;
+    auto eng = StrEngine::Open(opt).value();
+    const auto t0 = clock_type::now();
+    if (!eng->AppendBatch(values).ok()) return false;
+    if (!eng->Flush().ok()) return false;
+    const auto t1 = clock_type::now();
+    out->ingest_e2e_sps = double(n) / Seconds(t0, t1);
+  }
+  // ---- ingest: WAL-durable end to end.
+  {
+    namespace fs = std::filesystem;
+    const fs::path dir = fs::temp_directory_path() / "wtrie_bench_engine_wal";
+    fs::remove_all(dir);
+    StrEngine::Options opt;
+    opt.num_shards = 4;
+    opt.dir = dir.string();
+    auto eng = StrEngine::Open(opt).value();
+    const auto t0 = clock_type::now();
+    if (!eng->AppendBatch(values).ok()) return false;
+    if (!eng->Flush().ok()) return false;
+    const auto t1 = clock_type::now();
+    out->ingest_wal_sps = double(n) / Seconds(t0, t1);
+    fs::remove_all(dir);
+  }
+
+  // ---- serving: engine (4 shards, flushed + compacted steady state).
+  StrEngine::Options opt;
+  opt.num_shards = 4;
+  auto eng = StrEngine::Open(opt).value();
+  if (!eng->AppendBatch(values).ok()) return false;
+  if (!eng->Flush().ok() || !eng->Compact().ok()) return false;
+  const auto snap = eng->GetSnapshot();
+  out->num_segments = snap.NumSegments();
+
+  const StrSequence oracle = StrSequence::FromEncoded([&] {
+    std::vector<wt::BitString> enc;
+    enc.reserve(n);
+    for (const auto& v : values) enc.push_back(wt::ByteCodec::Encode(v));
+    return enc;
+  }());
+
+  // Correctness: engine batches byte-identical to the oracle (all three
+  // operations).
+  {
+    const auto apos = MakePositions(n, q / 4, 17);
+    const RankSet rs = MakeRanks(values, q / 8, 18);
+    const SelectSet ss = MakeSelects(values, q / 16, 19);
+    const auto ea = snap.AccessBatch(apos).value();
+    const auto er = snap.RankBatch(rs.vals, rs.pos).value();
+    const auto es = snap.SelectBatch(ss.vals, ss.idx).value();
+    const auto oa =
+        oracle.AccessBatch({apos.begin(), apos.end()}).value();
+    const auto orr =
+        oracle.RankBatch(rs.vals, {rs.pos.begin(), rs.pos.end()}).value();
+    const auto os =
+        oracle.SelectBatch(ss.vals, {ss.idx.begin(), ss.idx.end()}).value();
+    for (size_t i = 0; i < ea.size(); ++i) {
+      out->identical = out->identical && ea[i] == oa[i];
+    }
+    for (size_t i = 0; i < er.size(); ++i) {
+      out->identical = out->identical && er[i] == orr[i];
+    }
+    for (size_t i = 0; i < es.size(); ++i) {
+      const bool same = es[i].has_value() == os[i].has_value() &&
+                        (!es[i].has_value() || *es[i] == *os[i]);
+      out->identical = out->identical && same;
+    }
+    if (!out->identical) return false;
+  }
+
+  // ---- baseline: one thread, per-query loop on the Sequence.
+  const auto positions = MakePositions(n, q, 29);
+  for (int trial = 0; trial < kTrials; ++trial) {
+    const std::vector<size_t> apos(positions.begin(), positions.end());
+    const auto t0 = clock_type::now();
+    size_t issued = 0;
+    for (size_t r = 0; r < rounds; ++r) {
+      for (const size_t p : apos) {
+        benchmark::DoNotOptimize(oracle.Access(p));
+      }
+      issued += apos.size();
+    }
+    out->baseline_loop_qps =
+        std::max(out->baseline_loop_qps,
+                 double(issued) / Seconds(t0, clock_type::now()));
+  }
+
+  // ---- baseline: one thread, batched Sequence API.
+  for (int trial = 0; trial < kTrials; ++trial) {
+    const std::vector<size_t> apos(positions.begin(), positions.end());
+    const auto t0 = clock_type::now();
+    size_t issued = 0;
+    for (size_t r = 0; r < rounds; ++r) {
+      benchmark::DoNotOptimize(oracle.AccessBatch(apos));
+      issued += apos.size();
+    }
+    out->baseline_batch_qps =
+        std::max(out->baseline_batch_qps,
+                 double(issued) / Seconds(t0, clock_type::now()));
+  }
+
+  // ---- engine: 4 reader threads over snapshots, same stream per thread.
+  for (int trial = 0; trial < kTrials; ++trial) {
+    constexpr size_t kReaders = 4;
+    std::vector<std::vector<uint64_t>> streams;
+    for (size_t t = 0; t < kReaders; ++t) {
+      streams.push_back(MakePositions(n, q, 100 + t));
+    }
+    std::atomic<size_t> issued{0};
+    const auto t0 = clock_type::now();
+    std::vector<std::thread> readers;
+    for (size_t t = 0; t < kReaders; ++t) {
+      readers.emplace_back([&, t] {
+        size_t mine = 0;
+        for (size_t r = 0; r < rounds; ++r) {
+          const auto s = eng->GetSnapshot();  // re-pin per round, like a server
+          benchmark::DoNotOptimize(s.AccessBatch(streams[t]));
+          mine += streams[t].size();
+        }
+        issued.fetch_add(mine, std::memory_order_relaxed);
+      });
+    }
+    for (auto& th : readers) th.join();
+    out->engine_qps = std::max(
+        out->engine_qps, double(issued.load()) / Seconds(t0, clock_type::now()));
+  }
+
+  // ---- rank and select, measured separately (see the file comment).
+  {
+    const RankSet rs = MakeRanks(values, q / 4, 37);
+    const std::vector<size_t> rpos(rs.pos.begin(), rs.pos.end());
+    auto t0 = clock_type::now();
+    benchmark::DoNotOptimize(snap.RankBatch(rs.vals, rs.pos));
+    auto t1 = clock_type::now();
+    out->rank_engine_ns = Seconds(t0, t1) / double(rs.vals.size()) * 1e9;
+    t0 = clock_type::now();
+    benchmark::DoNotOptimize(oracle.RankBatch(rs.vals, rpos));
+    t1 = clock_type::now();
+    out->rank_oracle_ns = Seconds(t0, t1) / double(rs.vals.size()) * 1e9;
+  }
+  {
+    const SelectSet ss = MakeSelects(values, q / 8, 38);
+    const std::vector<size_t> sidx(ss.idx.begin(), ss.idx.end());
+    auto t0 = clock_type::now();
+    benchmark::DoNotOptimize(snap.SelectBatch(ss.vals, ss.idx));
+    auto t1 = clock_type::now();
+    out->select_engine_ns = Seconds(t0, t1) / double(ss.vals.size()) * 1e9;
+    t0 = clock_type::now();
+    benchmark::DoNotOptimize(oracle.SelectBatch(ss.vals, sidx));
+    t1 = clock_type::now();
+    out->select_oracle_ns = Seconds(t0, t1) / double(ss.vals.size()) * 1e9;
+  }
+  return true;
+}
+
+bool WriteAcceptanceJson() {
+  const bool smoke = std::getenv("WT_BENCH_SMOKE") != nullptr;
+  const size_t n = smoke ? 50'000 : 1'000'000;
+  const size_t q = smoke ? 16'384 : 262'144;
+  const size_t rounds = smoke ? 1 : 2;
+
+  GateResult g;
+  const bool ran = RunGate(&g, n, q, rounds);
+  const double speedup_vs_loop =
+      g.baseline_loop_qps > 0 ? g.engine_qps / g.baseline_loop_qps : 0;
+  // The >=3x and >=10M/s gates are enforced on full (non-smoke) runs only:
+  // smoke runs exist to exercise the whole path quickly in CI, where n is
+  // too small for the amortizations the gates assume.
+  bool ok = ran && g.identical;
+  if (!smoke) {
+    ok = ok && speedup_vs_loop >= 3.0 && g.ingest_memtable_sps >= 10e6;
+  }
+
+  FILE* f = std::fopen("BENCH_engine.json", "w");
+  if (f == nullptr) return false;
+  std::fprintf(f, "{\n");
+  std::fprintf(f, "  \"workload\": \"url_log_zipf\", \"num_strings\": %zu,\n",
+               g.n);
+  std::fprintf(f,
+               "  \"engine\": {\"num_shards\": 4, \"reader_threads\": 4, "
+               "\"segments_after_compaction\": %zu},\n",
+               g.num_segments);
+  std::fprintf(f, "  \"hardware_threads\": %u,\n",
+               std::thread::hardware_concurrency());
+  std::fprintf(f, "  \"serving_stream\": \"point lookups (Access), %zu "
+               "queries per round, %zu rounds\",\n", q, rounds);
+  std::fprintf(f, "  \"query_throughput_qps\": {\n");
+  std::fprintf(f, "    \"sequence_static_single_thread_loop\": %.0f,\n",
+               g.baseline_loop_qps);
+  std::fprintf(f, "    \"sequence_static_single_thread_batched\": %.0f,\n",
+               g.baseline_batch_qps);
+  std::fprintf(f, "    \"engine_4_readers_batched\": %.0f,\n", g.engine_qps);
+  std::fprintf(f, "    \"engine_vs_single_thread_loop\": %.2f,\n",
+               speedup_vs_loop);
+  std::fprintf(f, "    \"engine_vs_single_thread_batched\": %.2f\n",
+               g.baseline_batch_qps > 0 ? g.engine_qps / g.baseline_batch_qps
+                                        : 0);
+  std::fprintf(f, "  },\n");
+  std::fprintf(f, "  \"rank_ns_per_query\": {\n");
+  std::fprintf(f, "    \"note\": \"a global rank sums one per-shard rank by "
+               "construction (~num_shards of per-shard work, partly amortized "
+               "by batching); tracked separately from the serving "
+               "aggregate\",\n");
+  std::fprintf(f, "    \"engine_batched\": %.0f,\n", g.rank_engine_ns);
+  std::fprintf(f, "    \"sequence_static_batched\": %.0f\n", g.rank_oracle_ns);
+  std::fprintf(f, "  },\n");
+  std::fprintf(f, "  \"select_ns_per_query\": {\n");
+  std::fprintf(f, "    \"note\": \"cross-shard positional select = lockstep "
+               "binary search, O(log n) batched cross-shard ranks\",\n");
+  std::fprintf(f, "    \"engine_batched\": %.0f,\n", g.select_engine_ns);
+  std::fprintf(f, "    \"sequence_static_batched\": %.0f\n",
+               g.select_oracle_ns);
+  std::fprintf(f, "  },\n");
+  std::fprintf(f, "  \"ingest_strings_per_s\": {\n");
+  std::fprintf(f, "    \"memtable_path_encoded\": %.0f,\n",
+               g.ingest_memtable_sps);
+  std::fprintf(f, "    \"end_to_end_with_freeze\": %.0f,\n", g.ingest_e2e_sps);
+  std::fprintf(f, "    \"end_to_end_wal_durable\": %.0f\n", g.ingest_wal_sps);
+  std::fprintf(f, "  },\n");
+  std::fprintf(f, "  \"gate\": {\n");
+  std::fprintf(f, "    \"smoke\": %s,\n", smoke ? "true" : "false");
+  std::fprintf(f, "    \"engine_identical_to_oracle\": %s,\n",
+               g.identical ? "true" : "false");
+  std::fprintf(f, "    \"query_speedup_vs_loop_required\": 3.0,\n");
+  std::fprintf(f, "    \"ingest_memtable_required\": 10000000,\n");
+  std::fprintf(f, "    \"pass\": %s\n", ok ? "true" : "false");
+  std::fprintf(f, "  }\n");
+  std::fprintf(f, "}\n");
+  std::fclose(f);
+  std::printf(
+      "BENCH_engine.json: engine %.2fM qps vs loop %.2fM (%.1fx) / batched "
+      "%.2fM; rank %.1f/%.1f us, select %.1f/%.1f us; ingest memtable "
+      "%.1fM/s, e2e %.1fM/s, wal %.1fM/s; identical=%s, pass=%s\n",
+      g.engine_qps / 1e6, g.baseline_loop_qps / 1e6, speedup_vs_loop,
+      g.baseline_batch_qps / 1e6, g.rank_engine_ns / 1e3,
+      g.rank_oracle_ns / 1e3, g.select_engine_ns / 1e3,
+      g.select_oracle_ns / 1e3, g.ingest_memtable_sps / 1e6,
+      g.ingest_e2e_sps / 1e6, g.ingest_wal_sps / 1e6,
+      g.identical ? "yes" : "no", ok ? "yes" : "no");
+  return ok;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return WriteAcceptanceJson() ? 0 : 1;
+}

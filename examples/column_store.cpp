@@ -3,51 +3,47 @@
 // each column is indexed, efficient operations on the relations are
 // possible").
 //
-// A table of orders with two string columns (city, status) stored as fully
-// dynamic Wavelet Tries (Theorem 4.4): row order is the sequence order, so
-// row i is column[i] across all columns. Inserting/deleting a row is an
-// Insert/Delete at the same position in every column — including values
-// never seen before, which is where the dynamic alphabet matters: "the set
-// of values of a column (or even its cardinality) is very rarely known in
-// advance".
+// A table of orders with two string columns (city, status), each a
+// `wtrie::Sequence<wtrie::Dynamic>` (Theorem 4.4) behind the unified API
+// facade: row order is the sequence order, so row i is column[i] across all
+// columns, and inserting/deleting a row is an Insert/Delete at the same
+// position in every column — including values never seen before, which is
+// where the dynamic alphabet matters: "the set of values of a column (or
+// even its cardinality) is very rarely known in advance".
 #include <cstdio>
 #include <string>
 #include <vector>
 
-#include "core/codec.hpp"
-#include "core/dynamic_wavelet_trie.hpp"
+#include "api/sequence.hpp"
 #include "util/zipf.hpp"
 
 namespace {
 
+using Column = wtrie::Sequence<wtrie::Dynamic>;
+
 struct OrdersTable {
-  wt::DynamicWaveletTrie city;
-  wt::DynamicWaveletTrie status;
+  Column city;
+  Column status;
 
   size_t rows() const { return city.size(); }
 
-  void InsertRow(size_t pos, const std::string& c, const std::string& s) {
-    city.Insert(wt::ByteCodec::Encode(c), pos);
-    status.Insert(wt::ByteCodec::Encode(s), pos);
+  bool InsertRow(size_t pos, const std::string& c, const std::string& s) {
+    return city.Insert(c, pos).ok() && status.Insert(s, pos).ok();
   }
-  void AppendRow(const std::string& c, const std::string& s) {
-    InsertRow(rows(), c, s);
+  bool AppendRow(const std::string& c, const std::string& s) {
+    return city.Append(c).ok() && status.Append(s).ok();
   }
-  void DeleteRow(size_t pos) {
-    city.Delete(pos);
-    status.Delete(pos);
+  bool DeleteRow(size_t pos) {
+    return city.Delete(pos).ok() && status.Delete(pos).ok();
   }
   std::pair<std::string, std::string> GetRow(size_t pos) const {
-    return {wt::ByteCodec::Decode(city.Access(pos).Span()),
-            wt::ByteCodec::Decode(status.Access(pos).Span())};
+    return {city.Access(pos).value(), status.Access(pos).value()};
   }
 };
 
 }  // namespace
 
 int main() {
-  using namespace wt;
-
   const std::vector<std::string> cities = {
       "amsterdam", "berlin", "barcelona", "boston", "bangalore",
       "paris",     "pisa",   "prague",    "porto",  "perth"};
@@ -55,16 +51,17 @@ int main() {
 
   OrdersTable table;
   std::mt19937_64 rng(99);
-  ZipfDistribution city_dist(cities.size(), 1.0);
+  wt::ZipfDistribution city_dist(cities.size(), 1.0);
   size_t raw_bits = 0;
   for (int i = 0; i < 50000; ++i) {
     const auto& c = cities[city_dist(rng)];
     const auto& s = statuses[rng() % (1 + rng() % statuses.size())];
     raw_bits += 8 * (c.size() + s.size());
-    table.AppendRow(c, s);
+    if (!table.AppendRow(c, s)) return 1;
   }
   std::printf("table: %zu rows, %zu distinct cities, %zu distinct statuses\n",
-              table.rows(), table.city.NumDistinct(), table.status.NumDistinct());
+              table.rows(), table.city.NumDistinct(),
+              table.status.NumDistinct());
   std::printf("columns: %.2f MB vs %.2f MB raw strings\n",
               (table.city.SizeInBits() + table.status.SizeInBits()) / 8e6,
               raw_bits / 8e6);
@@ -74,38 +71,42 @@ int main() {
   std::printf("row 12345 = (%s, %s)\n", c0.c_str(), s0.c_str());
 
   // Predicate counting: COUNT(*) WHERE city = 'pisa' — one Rank.
-  const BitString pisa = ByteCodec::Encode("pisa");
-  std::printf("orders from pisa: %zu\n", table.city.Count(pisa));
+  std::printf("orders from pisa: %zu\n", table.city.Count("pisa"));
 
   // Prefix predicate: COUNT(*) WHERE city LIKE 'b%' — one RankPrefix.
-  const BitString b = ByteCodec::EncodePrefix("b");
-  std::printf("orders from b* cities: %zu\n", table.city.CountPrefix(b));
+  std::printf("orders from b* cities: %zu\n", table.city.CountPrefix("b"));
 
   // Conjunctive query via Select iteration: the k-th pisa order's status.
   // (SELECT status WHERE city='pisa' LIMIT 3)
   std::printf("first three pisa orders:\n");
   for (size_t k = 0; k < 3; ++k) {
-    if (auto row = table.city.Select(pisa, k)) {
-      auto [c, s] = table.GetRow(*row);
-      std::printf("  row %-7zu status=%s\n", *row, s.c_str());
+    if (auto row = table.city.Select("pisa", k); row.ok()) {
+      std::printf("  row %-7zu status=%s\n", *row,
+                  table.status.Access(*row).value().c_str());
     }
   }
 
   // DML with unseen values: a brand-new city enters the alphabet...
-  table.InsertRow(0, "zanzibar", "pending");
+  if (!table.InsertRow(0, "zanzibar", "pending")) return 1;
   std::printf("after insert: distinct cities = %zu, row 0 = (%s, %s)\n",
               table.city.NumDistinct(), table.GetRow(0).first.c_str(),
               table.GetRow(0).second.c_str());
   // ...and leaves it again when its last row is deleted (no rebuild).
-  table.DeleteRow(0);
+  if (!table.DeleteRow(0)) return 1;
   std::printf("after delete: distinct cities = %zu, rows = %zu\n",
               table.city.NumDistinct(), table.rows());
 
   // Analytics over a row range (Section 5): status histogram for rows
-  // [10000, 20000).
+  // [10000, 20000), via the facade's distinct-values cursor.
   std::printf("status histogram for rows [10000, 20000):\n");
-  table.status.DistinctInRange(10000, 20000, [](const BitString& s, size_t c) {
-    std::printf("  %-10s %6zu\n", ByteCodec::Decode(s.Span()).c_str(), c);
-  });
+  auto hist = table.status.Distinct(10000, 20000).value();
+  while (hist.Next()) {
+    std::printf("  %-10s %6zu\n", hist.value().c_str(), hist.count());
+  }
+
+  // Out-of-range DML is a recoverable error at the API boundary, not an
+  // abort — the facade validates before the core structures see it.
+  const wtrie::Status bad = table.city.Delete(table.rows());
+  std::printf("delete past the end: %s\n", wtrie::ErrorCodeName(bad.code()));
   return 0;
 }

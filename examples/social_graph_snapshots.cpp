@@ -4,43 +4,44 @@
 // adjacency list of a given vertex in a given time frame, allowing us to
 // produce snapshots on the fly").
 //
-// Each edge event is the string "<src>#<dst>" appended chronologically; an
-// even occurrence count of an edge at time t means "absent", odd means
-// "present" (add/remove toggling). The adjacency list of v at time t is
-// recovered with prefix operations on "<src>#": SelectPrefix enumerates the
-// events, Rank counts per-edge parity — all on the append-only Wavelet Trie,
-// no per-time-version storage.
+// Each edge event is the string "<src>#<dst>" appended chronologically to a
+// `wtrie::Sequence<wtrie::AppendOnly>` (Theorem 4.3) behind the unified API
+// facade; an even occurrence count of an edge at time t means "absent", odd
+// means "present" (add/remove toggling). The adjacency list of v at time t
+// is recovered with prefix operations on "<src>#": DistinctWithPrefix
+// enumerates the edges with their event parities, SelectPrefix walks the
+// events of a time frame — all on one append-only Wavelet Trie, no
+// per-time-version storage.
 #include <cstdio>
 #include <map>
 #include <random>
 #include <string>
 #include <vector>
 
-#include "core/codec.hpp"
-#include "core/dynamic_wavelet_trie.hpp"
+#include "api/sequence.hpp"
 
 namespace {
 
 class TemporalGraph {
  public:
-  void AddOrRemoveEdge(const std::string& src, const std::string& dst) {
-    log_.Append(wt::ByteCodec::Encode(src + "#" + dst));
+  bool AddOrRemoveEdge(const std::string& src, const std::string& dst) {
+    return log_.Append(src + "#" + dst).ok();
   }
 
   size_t Now() const { return log_.size(); }
 
   /// Neighbours of `src` at time `t` (edge present iff its event count in
-  /// [0, t) is odd), via Section 5 distinct-values restricted to the prefix.
+  /// [0, t) is odd), via Section 5 distinct-values restricted to the
+  /// prefix — the traversal never leaves the "<src>#" subtree.
   std::vector<std::string> Neighbours(const std::string& src, size_t t) const {
-    const wt::BitString prefix = wt::ByteCodec::EncodePrefix(src + "#");
     std::vector<std::string> out;
-    log_.DistinctInRange(0, t, [&](const wt::BitString& s, size_t count) {
-      if (!prefix.Span().IsPrefixOf(s.Span())) return;
-      if (count % 2 == 1) {  // odd parity = currently present
-        const std::string edge = wt::ByteCodec::Decode(s.Span());
+    auto events = log_.DistinctWithPrefix(src + "#", 0, t).value();
+    while (events.Next()) {
+      if (events.count() % 2 == 1) {  // odd parity = currently present
+        const std::string& edge = events.value();
         out.push_back(edge.substr(edge.find('#') + 1));
       }
-    });
+    }
     return out;
   }
 
@@ -49,14 +50,14 @@ class TemporalGraph {
   std::vector<std::pair<size_t, std::string>> ChangesIn(const std::string& src,
                                                         size_t t0,
                                                         size_t t1) const {
-    const wt::BitString prefix = wt::ByteCodec::EncodePrefix(src + "#");
+    const std::string prefix = src + "#";
     std::vector<std::pair<size_t, std::string>> events;
-    const size_t before = log_.RankPrefix(prefix, t0);
-    const size_t until = log_.RankPrefix(prefix, t1);
+    const size_t before = log_.RankPrefix(prefix, t0).value();
+    const size_t until = log_.RankPrefix(prefix, t1).value();
     for (size_t k = before; k < until; ++k) {
-      const auto pos = log_.SelectPrefix(prefix, k);
-      const std::string edge = wt::ByteCodec::Decode(log_.Access(*pos).Span());
-      events.emplace_back(*pos, edge.substr(edge.find('#') + 1));
+      const size_t pos = log_.SelectPrefix(prefix, k).value();
+      const std::string edge = log_.Access(pos).value();
+      events.emplace_back(pos, edge.substr(edge.find('#') + 1));
     }
     return events;
   }
@@ -64,7 +65,7 @@ class TemporalGraph {
   size_t SizeInBits() const { return log_.SizeInBits(); }
 
  private:
-  wt::AppendOnlyWaveletTrie log_;
+  wtrie::Sequence<wtrie::AppendOnly> log_;
 };
 
 }  // namespace
@@ -81,7 +82,7 @@ int main() {
     const int a = static_cast<int>(rng() % users.size());
     int b = static_cast<int>(rng() % users.size());
     if (a == b) b = (b + 1) % static_cast<int>(users.size());
-    g.AddOrRemoveEdge(users[a], users[b]);
+    if (!g.AddOrRemoveEdge(users[a], users[b])) return 1;
     truth[{a, b}] = !truth[{a, b}];
     if (i == 9999 || i == 19999) ada_checkpoints.push_back(g.Now());
   }

@@ -28,6 +28,7 @@ enum class ErrorCode {
   kVersionMismatch,  // format version outside what this reader supports
   kTruncatedStream,  // stream ended inside the envelope
   kIoError,          // underlying stream write failure
+  kCapacityExceeded, // append would outgrow the 2^32-1-beta-bit static image
 };
 
 /// Human-readable name of an error code (static storage).
@@ -41,6 +42,7 @@ inline const char* ErrorCodeName(ErrorCode c) {
     case ErrorCode::kVersionMismatch: return "version mismatch";
     case ErrorCode::kTruncatedStream: return "truncated stream";
     case ErrorCode::kIoError: return "i/o error";
+    case ErrorCode::kCapacityExceeded: return "capacity exceeded";
   }
   return "unknown";
 }

@@ -98,6 +98,14 @@ constexpr bool kHasCodecState = requires(const C& c, std::ostream& o) {
   c.SaveState(o);
 };
 
+/// Overflow-safe test for "would appending `add` more encoded bits push the
+/// running total past `max`". Kept as a pure function so the boundary
+/// arithmetic is unit-testable without materializing 2^32 bits.
+constexpr bool CapacityWouldOverflow(uint64_t current, uint64_t add,
+                                     uint64_t max) {
+  return current > max || add > max - current;
+}
+
 }  // namespace internal
 
 // ----------------------------------------------------------------- Sequence
@@ -124,11 +132,28 @@ class Sequence {
   explicit Sequence(const std::vector<Value>& values, Codec codec = {})
       : codec_(std::move(codec)) {
     std::vector<wt::BitString> enc = EncodeAll(values);
+    encoded_bits_ = TotalBits(enc);
     if constexpr (kMutable) {
       trie_.AppendBatch(enc);
     } else {
       trie_ = Trie::BulkBuild(enc);
     }
+  }
+
+  /// Builds from strings already encoded by (an equal instantiation of)
+  /// `codec` — the engine layer's hook for WAL replay and segment
+  /// compaction, where values were encoded once at ingest and round-trip as
+  /// bits. The distinct set must be prefix-free, as with every codec here.
+  static Sequence FromEncoded(const std::vector<wt::BitString>& enc,
+                              Codec codec = {}) {
+    Sequence out(std::move(codec));
+    out.encoded_bits_ = TotalBits(enc);
+    if constexpr (kMutable) {
+      out.trie_.AppendBatch(enc);
+    } else {
+      out.trie_ = Trie::BulkBuild(enc);
+    }
+    return out;
   }
 
   // ------------------------------------------------------------- mutations
@@ -138,16 +163,53 @@ class Sequence {
   Status Append(const Value& v)
     requires kMutable
   {
-    trie_.Append(codec_.Encode(v));
+    wt::BitString enc = codec_.Encode(v);
+    if (const Status s = ReserveBits(enc.size()); !s.ok()) return s;
+    trie_.Append(enc);
     return Status::Ok();
   }
 
   /// Appends a whole batch in one word-parallel trie pass — observably
-  /// identical to Append on each value, in order.
+  /// identical to Append on each value, in order. All-or-nothing: a batch
+  /// that would overflow the capacity budget is rejected whole.
   Status AppendBatch(const std::vector<Value>& values)
     requires kMutable
   {
-    trie_.AppendBatch(EncodeAll(values));
+    return AppendEncodedBatch(EncodeAll(values));
+  }
+
+  /// AppendBatch over strings already encoded by (an equal instantiation
+  /// of) this sequence's codec — the engine layer's ingest hook: values are
+  /// encoded once, logged to the WAL as bits, and land here without a
+  /// second codec pass.
+  Status AppendEncodedBatch(const std::vector<wt::BitString>& enc)
+    requires kMutable
+  {
+    if (const Status s = ReserveBits(TotalBits(enc)); !s.ok()) return s;
+    trie_.AppendBatch(enc);
+    return Status::Ok();
+  }
+
+  /// Zero-copy variant: the spans must stay valid for the duration of the
+  /// call. The engine's ingest path splits one batch across shards as
+  /// spans over the caller's buffer, so nothing is moved or re-owned.
+  Status AppendEncodedSpans(std::span<const wt::BitSpan> enc)
+    requires kMutable
+  {
+    uint64_t bits = 0;
+    for (const wt::BitSpan& s : enc) bits += s.size();
+    return AppendEncodedSpans(enc, bits);
+  }
+
+  /// As above with the summed span bits precomputed by the caller (the
+  /// engine accumulates them while splitting a batch, saving a pass over
+  /// the spans). `total_bits` must equal the sum of the span lengths.
+  Status AppendEncodedSpans(std::span<const wt::BitSpan> enc,
+                            uint64_t total_bits)
+    requires kMutable
+  {
+    if (const Status s = ReserveBits(total_bits); !s.ok()) return s;
+    trie_.AppendBatch(enc);
     return Status::Ok();
   }
 
@@ -158,7 +220,9 @@ class Sequence {
     if (pos > size()) {
       return Status::Error(ErrorCode::kOutOfRange, "Insert: pos > size()");
     }
-    trie_.Insert(codec_.Encode(v), pos);
+    wt::BitString enc = codec_.Encode(v);
+    if (const Status s = ReserveBits(enc.size()); !s.ok()) return s;
+    trie_.Insert(enc, pos);
     return Status::Ok();
   }
 
@@ -417,6 +481,7 @@ class Sequence {
   /// sequential scan; construction uses the word-parallel BulkBuild.
   Sequence<Static, Codec> Freeze() const {
     Sequence<Static, Codec> out(codec_);
+    out.encoded_bits_ = encoded_bits_;
     if constexpr (kMutable) {
       out.trie_ = wt::WaveletTrie::BulkBuild(ExtractEncoded());
     } else {
@@ -434,7 +499,9 @@ class Sequence {
     requires(!kMutable && P2::kMutable)
   {
     Sequence<P2, Codec> out(codec_);
-    out.trie_.AppendBatch(ExtractEncoded());
+    std::vector<wt::BitString> enc = ExtractEncoded();
+    out.encoded_bits_ = TotalBits(enc);
+    out.trie_.AppendBatch(enc);
     return out;
   }
 
@@ -511,6 +578,7 @@ class Sequence {
                            [&](size_t, const wt::BitString& s) {
                              enc.push_back(s);
                            });
+      out.encoded_bits_ = TotalBits(enc);
       out.trie_.AppendBatch(enc);
     } else {
       out.trie_ = std::move(image);
@@ -525,6 +593,38 @@ class Sequence {
 
   const Trie& trie() const { return trie_; }
   const Codec& codec() const { return codec_; }
+
+  // ------------------------------------------------------------- capacity
+  //
+  // A static image (Freeze, Save, the Static constructor) stores all branch
+  // bitvectors in one RRR capped at 2^32-1 total beta bits (DESIGN.md #6).
+  // Each string contributes at most one beta bit per encoded bit, so the
+  // facade budgets *encoded* bits — a conservative, cheaply-maintained
+  // upper bound — and rejects mutations that could make the sequence
+  // unfreezable, as kCapacityExceeded at the boundary instead of the core
+  // loader's abort. Delete does not refund budget (the deleted length is
+  // not known without an extra Access); sequences that churn near the
+  // limit should shard through the engine layer instead.
+
+  /// Upper bound on the summed encoded length this sequence accepts.
+  static constexpr uint64_t kMaxEncodedBits = wt::WaveletTrie::kMaxBetaBits;
+
+  /// Encoded bits appended so far (the budget consumed against
+  /// kMaxEncodedBits). An upper bound on the static image's beta bits.
+  uint64_t EncodedBits() const { return encoded_bits_; }
+
+  /// The whole sequence as encoded strings, extracted with the Section 5
+  /// sequential scan (one Rank per trie node total, not per element). This
+  /// is the engine layer's segment-merge hook: segments are re-linearized
+  /// and rebuilt through FromEncoded without a decode/encode round trip.
+  std::vector<wt::BitString> ExtractEncoded() const {
+    std::vector<wt::BitString> enc;
+    enc.reserve(size());
+    trie_.ForEachInRange(0, size(), [&](size_t, const wt::BitString& s) {
+      enc.push_back(s);
+    });
+    return enc;
+  }
 
  private:
   template <typename P2, typename C2>
@@ -559,19 +659,29 @@ class Sequence {
     return spans;
   }
 
-  /// The whole sequence as encoded strings, extracted with the Section 5
-  /// sequential scan (one Rank per trie node total, not per element).
-  std::vector<wt::BitString> ExtractEncoded() const {
-    std::vector<wt::BitString> enc;
-    enc.reserve(size());
-    trie_.ForEachInRange(0, size(), [&](size_t, const wt::BitString& s) {
-      enc.push_back(s);
-    });
-    return enc;
+  static uint64_t TotalBits(const std::vector<wt::BitString>& enc) {
+    uint64_t bits = 0;
+    for (const auto& s : enc) bits += s.size();
+    return bits;
+  }
+
+  /// Charges `bits` against the capacity budget, or reports
+  /// kCapacityExceeded without mutating anything.
+  Status ReserveBits(uint64_t bits) {
+    if (internal::CapacityWouldOverflow(encoded_bits_, bits,
+                                        kMaxEncodedBits)) {
+      return Status::Error(
+          ErrorCode::kCapacityExceeded,
+          "append: sequence would exceed the 2^32-1-beta-bit static image "
+          "capacity; shard through the engine layer");
+    }
+    encoded_bits_ += bits;
+    return Status::Ok();
   }
 
   Codec codec_;
   Trie trie_;
+  uint64_t encoded_bits_ = 0;
 };
 
 }  // namespace wtrie

@@ -208,6 +208,12 @@ class Rrr {
   static constexpr size_t kBlockBits = rrr_internal::kBlockBits;
   static constexpr size_t kBlocksPerSuper = rrr_internal::kBlocksPerSuper;
   static constexpr size_t kSelectSample = 4096;
+  /// Hard capacity of a single Rrr: the interleaved 32+32 superblock
+  /// directory addresses ranks and offset positions with 32 bits each.
+  /// Construction beyond this is a clean always-on error (CheckCapacity),
+  /// checked before any input word is read; callers that can outgrow it
+  /// must shard (src/engine/ is the supported way to do that).
+  static constexpr uint64_t kMaxBits = (uint64_t(1) << 32) - 1;
 
   Rrr() = default;
 
@@ -391,7 +397,7 @@ class Rrr {
   }
 
   static void CheckCapacity(size_t n) {
-    WT_ASSERT_MSG(n < (uint64_t(1) << 32),
+    WT_ASSERT_MSG(n <= kMaxBits,
                   "Rrr: single vector capped at 2^32-1 bits (shard instead)");
   }
 

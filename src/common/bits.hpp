@@ -174,6 +174,18 @@ inline uint64_t ReverseBits(uint64_t x, size_t len) {
   return len == 0 ? 0 : ReverseBits(x) >> (64 - len);
 }
 
+/// Mirrors the bit order within *each byte* of x independently (the
+/// lane-wise form of ReverseBits(b, 8)): three shift-and-mask rounds swap
+/// adjacent bits, pairs, then nibbles of all eight lanes at once. The
+/// word-parallel codec decoders use it to flip a whole load of MSB-first
+/// byte groups into bytes in one step.
+inline uint64_t ReverseBitsInBytes(uint64_t v) {
+  v = ((v >> 1) & 0x5555555555555555ull) | ((v & 0x5555555555555555ull) << 1);
+  v = ((v >> 2) & 0x3333333333333333ull) | ((v & 0x3333333333333333ull) << 2);
+  v = ((v >> 4) & 0x0F0F0F0F0F0F0F0Full) | ((v & 0x0F0F0F0F0F0F0F0Full) << 4);
+  return v;
+}
+
 /// Read `len` (<= 64) bits starting at absolute bit `start` from `words`.
 /// Returned value has the first logical bit in its LSB.
 /// Precondition: the containing words exist (start+len within the backing

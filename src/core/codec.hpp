@@ -64,7 +64,39 @@ class ByteCodec {
 
   static std::string Decode(BitSpan bits) {
     std::string out;
+    out.reserve(bits.size() / 9);
     size_t i = 0;
+    // Word-parallel fast path: one 63-bit load covers seven 9-bit groups.
+    // Their flag bits sit at positions 0, 9, ..., 54 of the load; all-zero
+    // flags mean seven full data groups, otherwise the lowest set flag is
+    // the terminator (intermediate flags are 0 by construction) and only
+    // the groups below it carry data. The 56 data bits are extracted in one
+    // pext (or a short shift loop without BMI2) and un-mirrored lane-wise.
+    constexpr uint64_t kFlagMask = 0x0040201008040201ull;  // bits 9j, j<7
+    constexpr uint64_t kDataMask = 0x7FFFFFFFFFFFFFFFull & ~kFlagMask;
+    while (i + 63 <= bits.size()) {
+      const uint64_t w = bits.GetBits(i, 63);
+      const uint64_t flags = w & kFlagMask;
+      const size_t groups =
+          flags == 0 ? 7 : static_cast<size_t>(std::countr_zero(flags)) / 9;
+      if (groups > 0) {
+#if defined(__BMI2__)
+        uint64_t data = _pext_u64(w, kDataMask);
+#else
+        uint64_t data = 0;
+        for (size_t j = 0; j < groups; ++j) {
+          data |= ((w >> (9 * j + 1)) & 0xFF) << (8 * j);
+        }
+#endif
+        data = ReverseBitsInBytes(data);  // byte lane j = group j's byte
+        for (size_t j = 0; j < groups; ++j) {
+          out.push_back(static_cast<char>(data >> (8 * j)));
+        }
+        i += groups * 9;
+      }
+      if (flags != 0) return out;  // the terminator follows the last group
+    }
+    // Tail (and oddly-short strings): the per-group reference loop.
     for (;;) {
       WT_ASSERT_MSG(i < bits.size(), "ByteCodec: truncated encoding");
       if (bits.Get(i)) return out;  // terminator

@@ -58,6 +58,16 @@ namespace wt {
 
 class WaveletTrie {
  public:
+  /// Capacity of one static trie: the concatenated per-node branch
+  /// bitvectors share a single Rrr, whose 32+32 packed directory caps it at
+  /// 2^32-1 total beta bits (DESIGN.md #6). Each stored string contributes
+  /// one beta bit per internal node on its path, so total beta bits <= sum
+  /// of encoded string lengths — about 150M strings at trie height 30.
+  /// Both construction paths check this up front and abort with a clean
+  /// message; the engine layer (src/engine/) is the supported way to grow
+  /// past it (shard, then freeze per-shard segments).
+  static constexpr uint64_t kMaxBetaBits = Rrr::kMaxBits;
+
   WaveletTrie() = default;
 
   /// Builds from a sequence of binary strings whose distinct set must be
@@ -130,6 +140,10 @@ class WaveletTrie {
     shape_ = BinaryTreeShape(std::move(shape_bits));
     labels_.ShrinkToFit();
     label_ends_ = EliasFano(label_ends, labels_.size());
+    WT_ASSERT_MSG(beta_bits.size() <= kMaxBetaBits,
+                  "WaveletTrie: total beta bits exceed 2^32-1 (the packed RRR "
+                  "directory limit); split the sequence across tries "
+                  "(src/engine/) instead");
     beta_ = Rrr(beta_bits);
     beta_ends_ = EliasFano(beta_ends, beta_bits.size());
     BuildHeaders();
@@ -252,6 +266,10 @@ class WaveletTrie {
     out.shape_ = BinaryTreeShape(std::move(shape_bits));
     out.labels_.ShrinkToFit();
     out.label_ends_ = EliasFano(label_ends, out.labels_.size());
+    WT_ASSERT_MSG(beta_bits.size() <= kMaxBetaBits,
+                  "WaveletTrie: total beta bits exceed 2^32-1 (the packed RRR "
+                  "directory limit); split the sequence across tries "
+                  "(src/engine/) instead");
     out.beta_ = Rrr(beta_bits);
     out.beta_ends_ = EliasFano(beta_ends, beta_bits.size());
     out.BuildHeaders();
@@ -405,6 +423,17 @@ class WaveletTrie {
   /// out[i] == Rank(strings[i], positions[i]).
   std::vector<size_t> RankBatch(std::span<const BitSpan> strings,
                                 std::span<const size_t> positions) const {
+    return RankBatch(strings, positions, internal::DedupBatch(strings));
+  }
+
+  /// RankBatch with the dedup dictionary precomputed by the caller — it
+  /// must be exactly DedupBatch(strings). The engine layer computes it
+  /// once per cross-shard batch and reuses it for every shard, segment,
+  /// and select-search iteration instead of re-hashing the strings each
+  /// time (a dict copy is a fraction of a rehash).
+  std::vector<size_t> RankBatch(std::span<const BitSpan> strings,
+                                std::span<const size_t> positions,
+                                internal::BatchDict dict) const {
     WT_ASSERT(strings.size() == positions.size());
     const size_t m = strings.size();
     std::vector<size_t> out(m, 0);
@@ -414,7 +443,7 @@ class WaveletTrie {
       for (size_t i = 0; i < m; ++i) out[i] = Rank(strings[i], positions[i]);
       return out;
     }
-    StringBatch sb(m, internal::DedupBatch(strings));
+    StringBatch sb(m, std::move(dict));
     SortByPosition(positions, &sb.st);
     for (size_t i = 0; i < m; ++i) sb.did[i] = sb.dict.id_of[QidOf(sb.st.q[i])];
     Rrr::RankCursor cursor(&beta_);

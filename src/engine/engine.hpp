@@ -1,0 +1,753 @@
+// wtrie::Engine — the concurrent, segmented serving layer (DESIGN.md #7).
+//
+// The paper's structures are single-threaded; the engine turns them into a
+// write-heavy service following the mutable-front/compact-back split its
+// motivation describes (versioned stores, append-heavy logs): strings are
+// distributed round-robin across N shards, each an LSM-style pair of
+//
+//   * a memtable — `Sequence<AppendOnly>` (Theorem 4.3) absorbing batched
+//     appends through the word-parallel ingest path, and
+//   * a stack of frozen segments — `Sequence<Static>` (Theorem 3.7) built
+//     by background Freeze() when the memtable crosses a size threshold,
+//     with adjacent small segments merged by enumerate-and-BulkBuild
+//     compaction (size-tiered: a merge runs while the penultimate segment
+//     is at most `compaction_size_ratio` times the last, so stacks stay
+//     logarithmic in shard size).
+//
+// Reads never lock: GetSnapshot() pins the published immutable views
+// (engine/snapshot.hpp) and answers Access/Rank/Select, their batch forms,
+// and the Section 5 analytics over a consistent prefix of the append
+// history while ingest and freezing proceed. Snapshots do not see the
+// memtable; call Flush() for read-your-writes.
+//
+// Durability (optional, `Options::dir`): every batch is logged to per-shard
+// WALs before touching a memtable (engine/wal.hpp; complete-batches-only
+// replay makes batches crash-atomic), segments and the manifest are
+// persisted with tmp-file+rename, and WAL generations are deleted only
+// after the manifest records them as subsumed. Open() replays the WAL tail
+// into fresh memtables, so a crashed engine resumes exactly at its last
+// complete batch.
+//
+// Threading model (see also engine/shard.hpp):
+//   * any number of writer threads — serialized by one ingest mutex;
+//   * background work — a striped pool (engine/thread_pool.hpp) keyed by
+//     shard id: freezes/compactions of one shard run FIFO on one worker,
+//     different shards in parallel;
+//   * any number of reader threads — snapshot acquisition copies each
+//     shard's published view pointer (engine/shard.hpp, PublishedPtr: one
+//     micro critical section per shard); the queries themselves run on the
+//     pinned immutable views with no synchronization at all.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <filesystem>
+#include <fstream>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "api/result.hpp"
+#include "api/sequence.hpp"
+#include "engine/manifest.hpp"
+#include "engine/segment_stack.hpp"
+#include "engine/shard.hpp"
+#include "engine/snapshot.hpp"
+#include "engine/thread_pool.hpp"
+#include "engine/wal.hpp"
+
+namespace wtrie {
+
+template <typename Codec = wt::ByteCodec>
+class Engine {
+ public:
+  using Value = typename Codec::Value;
+  using SnapshotT = engine::Snapshot<Codec>;
+  using Memtable = Sequence<AppendOnly, Codec>;
+  using Segment = Sequence<Static, Codec>;
+
+  struct Options {
+    /// Shards strings are distributed over (round-robin by position). For
+    /// a durable directory the count is baked in at creation: reopening
+    /// adopts the on-disk value.
+    size_t num_shards = 4;
+    /// Strings a shard memtable absorbs before it is rotated out and
+    /// frozen in the background.
+    size_t memtable_limit = 1 << 16;
+    /// Merge the two newest segments while the older is at most this many
+    /// times the newer; keeps per-shard stacks logarithmic.
+    size_t compaction_size_ratio = 3;
+    /// Background workers (0 = one per shard, capped at hardware threads).
+    size_t background_threads = 0;
+    /// Durable directory; empty runs the engine in memory (no WAL, no
+    /// segment files — contents die with the object).
+    std::string dir;
+    /// fsync each WAL record (durability against OS crashes, not just
+    /// process crashes). Off by default: a research-bench default.
+    bool sync_wal = false;
+  };
+
+  struct ShardStats {
+    uint64_t memtable_count = 0;
+    uint64_t frozen_count = 0;
+    size_t num_segments = 0;
+  };
+
+  /// Creates or reopens an engine. With a durable directory, loads the
+  /// manifest's segments and replays the WAL tail (complete batches only)
+  /// into fresh memtables before returning.
+  static Result<std::unique_ptr<Engine>> Open(Options opt, Codec codec = {}) {
+    namespace fs = std::filesystem;
+    if (opt.num_shards == 0) {
+      return Status::Error(ErrorCode::kInvalidArgument,
+                           "Engine: num_shards must be >= 1");
+    }
+    engine::Manifest manifest;
+    bool have_manifest = false;
+    if (!opt.dir.empty()) {
+      std::error_code ec;
+      fs::create_directories(opt.dir, ec);
+      if (ec) {
+        return Status::Error(ErrorCode::kIoError,
+                             "Engine: cannot create directory");
+      }
+      Result<engine::Manifest> m = engine::ReadManifest(opt.dir);
+      if (m.ok()) {
+        manifest = std::move(m).value();
+        have_manifest = true;
+        opt.num_shards = manifest.num_shards;  // sharding is baked on disk
+      } else if (m.code() != ErrorCode::kNotFound) {
+        return m.status();
+      }
+    }
+    std::unique_ptr<Engine> eng(new Engine(std::move(opt), std::move(codec)));
+    if (Status st = eng->Recover(have_manifest ? &manifest : nullptr);
+        !st.ok()) {
+      return st;
+    }
+    return eng;
+  }
+
+  Engine(const Engine&) = delete;
+  Engine& operator=(const Engine&) = delete;
+
+  /// Finishes queued background work and stops. The memtables are NOT
+  /// flushed: a durable engine recovers them from the WAL on the next
+  /// Open; an in-memory engine loses them with everything else.
+  ~Engine() { pool_.reset(); }
+
+  // ---------------------------------------------------------------- ingest
+
+  Status Append(const Value& v) {
+    std::vector<wt::BitString> enc;
+    enc.push_back(codec_.Encode(v));
+    return AppendEncodedBatch(enc);
+  }
+
+  Status AppendBatch(const std::vector<Value>& values) {
+    std::vector<wt::BitString> enc;
+    enc.reserve(values.size());
+    for (const Value& v : values) enc.push_back(codec_.Encode(v));
+    return AppendEncodedBatch(enc);
+  }
+
+  /// The memtable path proper: strings already encoded by (an equal
+  /// instantiation of) this engine's codec. One WAL record and one
+  /// word-parallel AppendBatch per touched shard; the batch is atomic
+  /// under crashes (all visible after recovery, or none). The strings are
+  /// only borrowed — everything downstream works on spans over them.
+  Status AppendEncodedBatch(const std::vector<wt::BitString>& enc) {
+    if (enc.empty()) return Status::Ok();
+    std::lock_guard<std::mutex> lk(ingest_mu_);
+    const size_t n = shards_.size();
+    const uint64_t base = total_.load(std::memory_order_relaxed);
+    // Round-robin split as zero-copy spans over the caller's strings,
+    // summing each slice's bits on the way for the capacity pre-check.
+    std::vector<std::vector<wt::BitSpan>> slice(n);
+    std::vector<uint64_t> slice_bits(n, 0);
+    for (auto& v : slice) v.reserve(enc.size() / n + 1);
+    size_t cursor = base % n;
+    for (size_t i = 0; i < enc.size(); ++i) {
+      slice[cursor].push_back(enc[i].Span());
+      slice_bits[cursor] += enc[i].size();
+      cursor = cursor + 1 == n ? 0 : cursor + 1;  // no per-item division
+    }
+    // Capacity pre-check on every touched memtable before any state
+    // (durable or in-memory) changes, so a refusal cannot desync shards.
+    for (size_t s = 0; s < n; ++s) {
+      if (internal::CapacityWouldOverflow(shards_[s].memtable.EncodedBits(),
+                                          slice_bits[s],
+                                          Memtable::kMaxEncodedBits)) {
+        return Status::Error(
+            ErrorCode::kCapacityExceeded,
+            "Engine: batch would overflow a shard memtable; lower "
+            "memtable_limit or split the batch");
+      }
+    }
+    uint32_t touched = 0;
+    for (const auto& v : slice) touched += v.empty() ? 0 : 1;
+    const uint64_t batch_id =
+        next_batch_id_.fetch_add(1, std::memory_order_relaxed);
+    if (durable()) {
+      for (size_t s = 0; s < n; ++s) {
+        if (slice[s].empty()) continue;
+        if (Status st = shards_[s].wal.Append(batch_id, touched, slice[s]);
+            !st.ok()) {
+          // No memtable was touched yet; the partially-logged batch is
+          // incomplete on disk and recovery discards it whole. The failed
+          // generation may end in torn bytes, and recovery stops reading a
+          // file at its first corrupt record — so records appended after
+          // the tear would be silently unreachable. Abandon the
+          // generation: later batches go to a fresh file (separate files
+          // replay independently, in generation order).
+          AbandonWalGenerationLocked(s);
+          return st;
+        }
+      }
+    }
+    for (size_t sh = 0; sh < n; ++sh) {
+      if (slice[sh].empty()) continue;
+      const Status st =
+          shards_[sh].memtable.AppendEncodedSpans(slice[sh], slice_bits[sh]);
+      WT_ASSERT_MSG(st.ok(), "Engine: memtable append failed after pre-check");
+    }
+    total_.store(base + enc.size(), std::memory_order_relaxed);
+    for (size_t s = 0; s < n; ++s) {
+      if (shards_[s].memtable.size() >= opt_.memtable_limit) {
+        RotateShardLocked(s);
+      }
+    }
+    return Status::Ok();
+  }
+
+  // ----------------------------------------------------------------- reads
+
+  /// Pins a consistent immutable view: the largest global prefix every
+  /// shard has frozen. Wait-free with respect to writers and background
+  /// work; the snapshot stays valid (and pinned) for its whole lifetime.
+  SnapshotT GetSnapshot() const {
+    auto view = std::make_shared<engine::EngineView<Codec>>();
+    const size_t n = shards_.size();
+    view->codec = codec_;
+    view->shards.reserve(n);
+    for (const auto& sh : shards_) {
+      view->shards.push_back(sh.view.Load());
+    }
+    uint64_t g = view->shards[0]->total() * n;
+    for (size_t s = 1; s < n; ++s) {
+      g = std::min(g, view->shards[s]->total() * n + s);
+    }
+    view->visible = g;
+    return SnapshotT(std::move(view));
+  }
+
+  // ------------------------------------------------------------- lifecycle
+
+  /// Freezes every non-empty memtable and waits for all queued background
+  /// work (freezes and cascaded compactions) to finish — the
+  /// read-your-writes barrier: afterwards GetSnapshot() covers everything
+  /// appended before the call.
+  Status Flush() {
+    {
+      std::lock_guard<std::mutex> lk(ingest_mu_);
+      for (size_t s = 0; s < shards_.size(); ++s) RotateShardLocked(s);
+    }
+    pool_->Drain();
+    return BackgroundError();
+  }
+
+  /// Merges every shard's stack down to one segment (after finishing
+  /// pending freezes). Mostly a testing/maintenance hook — the size-tiered
+  /// policy already bounds stack depth during normal operation.
+  Status Compact() {
+    pool_->Drain();  // let queued freezes land first
+    for (size_t s = 0; s < shards_.size(); ++s) {
+      pool_->Submit(s, [this, s] {
+        size_t count;
+        {
+          std::lock_guard<std::mutex> lk(shards_[s].publish_mu);
+          count = shards_[s].entries.size();
+        }
+        if (count >= 2) MergeTail(s, count);
+      });
+    }
+    pool_->Drain();
+    return BackgroundError();
+  }
+
+  // ----------------------------------------------------------------- admin
+
+  /// Strings appended so far (including those not yet visible to
+  /// snapshots).
+  uint64_t size() const { return total_.load(std::memory_order_relaxed); }
+
+  /// Strings the current snapshot would observe.
+  uint64_t visible_size() const { return GetSnapshot().size(); }
+
+  /// First error any background job hit (freeze/compaction/persistence);
+  /// Ok when everything has succeeded so far.
+  Status BackgroundError() const {
+    std::lock_guard<std::mutex> lk(bg_error_mu_);
+    return bg_error_;
+  }
+
+  std::vector<ShardStats> Stats() const {
+    std::vector<ShardStats> out(shards_.size());
+    for (size_t s = 0; s < shards_.size(); ++s) {
+      auto view = shards_[s].view.Load();
+      out[s].frozen_count = view->total();
+      out[s].num_segments = view->segments.size();
+    }
+    {
+      std::lock_guard<std::mutex> lk(ingest_mu_);
+      for (size_t s = 0; s < shards_.size(); ++s) {
+        out[s].memtable_count = shards_[s].memtable.size();
+      }
+    }
+    return out;
+  }
+
+  const Options& options() const { return opt_; }
+  const Codec& codec() const { return codec_; }
+
+ private:
+  Engine(Options opt, Codec codec)
+      : opt_(std::move(opt)), codec_(std::move(codec)), shards_(opt_.num_shards) {
+    for (auto& sh : shards_) {
+      sh.memtable = Memtable(codec_);
+      std::lock_guard<std::mutex> lk(sh.publish_mu);
+      sh.PublishLocked();
+    }
+    size_t threads = opt_.background_threads;
+    if (threads == 0) {
+      const size_t hw = std::max(1u, std::thread::hardware_concurrency());
+      threads = std::min(opt_.num_shards, hw);
+    }
+    pool_ = std::make_unique<engine::ThreadPool>(threads);
+  }
+
+  bool durable() const { return !opt_.dir.empty(); }
+
+  std::filesystem::path PathOf(const std::string& name) const {
+    return std::filesystem::path(opt_.dir) / name;
+  }
+
+  // ------------------------------------------------------------- rotation
+
+  /// Switches a shard to a fresh WAL generation after an append failure
+  /// (caller holds ingest_mu_). The memtable keeps accumulating across the
+  /// switch — rotation's floor bookkeeping already covers every generation
+  /// the memtable drew from. If even the fresh file cannot be opened the
+  /// writer stays closed and subsequent appends fail with a clean Status.
+  void AbandonWalGenerationLocked(size_t s) {
+    engine::Shard<Codec>& sh = shards_[s];
+    sh.wal_gen += 1;
+    if (Status st = sh.wal.Open(
+            PathOf(engine::WalFileName(s, sh.wal_gen)).string(), opt_.sync_wal);
+        !st.ok()) {
+      RecordBackgroundError(st);
+    }
+  }
+
+  /// Moves the memtable out to a background freeze job and installs a
+  /// fresh one (plus a fresh WAL generation). Caller holds ingest_mu_.
+  void RotateShardLocked(size_t s) {
+    engine::Shard<Codec>& sh = shards_[s];
+    if (sh.memtable.size() == 0) return;
+    auto mem = std::make_shared<Memtable>(std::move(sh.memtable));
+    sh.memtable = Memtable(codec_);
+    uint64_t floor_after = sh.wal_gen;
+    if (durable()) {
+      sh.wal_gen += 1;
+      floor_after = sh.wal_gen;
+      if (Status st = sh.wal.Open(PathOf(engine::WalFileName(s, sh.wal_gen)).string(),
+                                  opt_.sync_wal);
+          !st.ok()) {
+        RecordBackgroundError(st);
+      }
+    }
+    pool_->Submit(s, [this, s, mem, floor_after] {
+      FreezeJob(s, mem, floor_after);
+    });
+  }
+
+  // ------------------------------------------------------ background jobs
+
+  /// Freezes one rotated-out memtable into a static segment, persists it,
+  /// publishes the new stack, advances the WAL floor, and lets the
+  /// size-tiered policy compact the tail. Jobs of one shard run FIFO on
+  /// one pool stripe, so stack mutations here need no cross-job ordering.
+  void FreezeJob(size_t s, std::shared_ptr<Memtable> mem, uint64_t floor_after) {
+    engine::Shard<Codec>& sh = shards_[s];
+    auto seg = std::make_shared<const Segment>(mem->Freeze());
+    uint64_t seq;
+    {
+      std::lock_guard<std::mutex> lk(sh.publish_mu);
+      seq = sh.next_seg_seq++;
+    }
+    bool saved = true;
+    if (durable()) {
+      if (Status st = SaveSegment(s, seq, *seg); !st.ok()) {
+        // Keep serving the segment from memory; the WAL floor stays put,
+        // so the data is still recoverable from the log.
+        RecordBackgroundError(st);
+        saved = false;
+      }
+    }
+    {
+      std::lock_guard<std::mutex> lk(sh.publish_mu);
+      sh.entries.push_back({seq, seg});
+      if (saved && floor_after > sh.wal_floor) sh.wal_floor = floor_after;
+      sh.PublishLocked();
+    }
+    if (durable() && saved) {
+      PersistManifest();
+      CleanWal(s);
+    }
+    // Size-tiered tail compaction: merge while the penultimate segment is
+    // within ratio of the last, so segment sizes decay geometrically.
+    for (;;) {
+      size_t n;
+      uint64_t prev, last;
+      {
+        std::lock_guard<std::mutex> lk(sh.publish_mu);
+        n = sh.entries.size();
+        if (n < 2) return;
+        prev = sh.entries[n - 2].segment->size();
+        last = sh.entries[n - 1].segment->size();
+      }
+      if (prev > last * opt_.compaction_size_ratio) return;
+      if (!MergeTail(s, 2)) return;
+    }
+  }
+
+  /// Merges the last `k` (>= 2) segments of shard s into one, preserving
+  /// order: enumerate each segment's encoded strings (one Rank per trie
+  /// node total), concatenate, BulkBuild. Runs on the shard's pool stripe;
+  /// the publish lock is held only to swap stacks, not during the build.
+  bool MergeTail(size_t s, size_t k) {
+    engine::Shard<Codec>& sh = shards_[s];
+    std::vector<typename engine::Shard<Codec>::Entry> victims;
+    {
+      std::lock_guard<std::mutex> lk(sh.publish_mu);
+      WT_ASSERT(k >= 2 && k <= sh.entries.size());
+      victims.assign(sh.entries.end() - static_cast<ptrdiff_t>(k),
+                     sh.entries.end());
+    }
+    std::vector<wt::BitString> enc;
+    for (const auto& v : victims) {
+      std::vector<wt::BitString> part = v.segment->ExtractEncoded();
+      enc.insert(enc.end(), std::make_move_iterator(part.begin()),
+                 std::make_move_iterator(part.end()));
+    }
+    auto merged =
+        std::make_shared<const Segment>(Segment::FromEncoded(enc, codec_));
+    uint64_t seq;
+    {
+      std::lock_guard<std::mutex> lk(sh.publish_mu);
+      seq = sh.next_seg_seq++;
+    }
+    if (durable()) {
+      if (Status st = SaveSegment(s, seq, *merged); !st.ok()) {
+        RecordBackgroundError(st);
+        return false;  // keep the unmerged stack; nothing was swapped
+      }
+    }
+    {
+      std::lock_guard<std::mutex> lk(sh.publish_mu);
+      sh.entries.resize(sh.entries.size() - k);
+      sh.entries.push_back({seq, merged});
+      sh.PublishLocked();
+    }
+    if (durable()) {
+      PersistManifest();
+      for (const auto& v : victims) {
+        std::error_code ec;
+        std::filesystem::remove(PathOf(engine::SegmentFileName(s, v.seq)), ec);
+      }
+    }
+    return true;
+  }
+
+  // ---------------------------------------------------------- persistence
+
+  Status SaveSegment(size_t s, uint64_t seq, const Segment& seg) {
+    namespace fs = std::filesystem;
+    const fs::path final_path = PathOf(engine::SegmentFileName(s, seq));
+    const fs::path tmp = final_path.string() + ".tmp";
+    {
+      std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+      if (!out.good()) {
+        return Status::Error(ErrorCode::kIoError, "segment: cannot open tmp");
+      }
+      if (Status st = seg.Save(out); !st.ok()) return st;
+      if (!out.good()) {
+        return Status::Error(ErrorCode::kIoError, "segment: write failed");
+      }
+    }
+    std::error_code ec;
+    fs::rename(tmp, final_path, ec);
+    if (ec) {
+      return Status::Error(ErrorCode::kIoError, "segment: rename failed");
+    }
+    return Status::Ok();
+  }
+
+  /// Snapshots every shard's publish-side state into a Manifest and
+  /// rewrites MANIFEST atomically. manifest_mu_ orders concurrent writers;
+  /// it is always taken before (never inside) a shard publish lock.
+  void PersistManifest() {
+    std::lock_guard<std::mutex> mlk(manifest_mu_);
+    engine::Manifest m;
+    m.num_shards = static_cast<uint32_t>(shards_.size());
+    m.next_batch_id = next_batch_id_.load(std::memory_order_relaxed);
+    m.shards.resize(shards_.size());
+    for (size_t s = 0; s < shards_.size(); ++s) {
+      engine::ShardMeta& sm = m.shards[s];
+      std::lock_guard<std::mutex> lk(shards_[s].publish_mu);
+      sm.wal_floor = shards_[s].wal_floor;
+      sm.next_seg_seq = shards_[s].next_seg_seq;
+      sm.segments.reserve(shards_[s].entries.size());
+      for (const auto& e : shards_[s].entries) {
+        sm.segments.push_back({e.seq, e.segment->size()});
+      }
+    }
+    if (Status st = engine::WriteManifest(opt_.dir, m); !st.ok()) {
+      RecordBackgroundError(st);
+    }
+  }
+
+  /// Deletes WAL generations below the shard's floor (their contents are
+  /// in durably-saved segments the manifest already lists). `wal_cleaned`
+  /// remembers how far previous passes got, so each freeze deletes only
+  /// the newly-subsumed generations instead of re-scanning from zero.
+  void CleanWal(size_t s) {
+    namespace fs = std::filesystem;
+    uint64_t from, to;
+    {
+      std::lock_guard<std::mutex> lk(shards_[s].publish_mu);
+      from = shards_[s].wal_cleaned;
+      to = shards_[s].wal_floor;
+    }
+    for (uint64_t gen = from; gen < to; ++gen) {
+      std::error_code ec;
+      fs::remove(PathOf(engine::WalFileName(s, gen)), ec);
+    }
+    if (to > from) {
+      std::lock_guard<std::mutex> lk(shards_[s].publish_mu);
+      shards_[s].wal_cleaned = std::max(shards_[s].wal_cleaned, to);
+    }
+  }
+
+  // -------------------------------------------------------------- recovery
+
+  Status Recover(const engine::Manifest* manifest) {
+    if (!durable()) return Status::Ok();
+    namespace fs = std::filesystem;
+    const size_t n = shards_.size();
+
+    // 1. Load the manifest's segments, in stack order.
+    if (manifest != nullptr) {
+      next_batch_id_.store(manifest->next_batch_id, std::memory_order_relaxed);
+      for (size_t s = 0; s < n; ++s) {
+        const engine::ShardMeta& sm = manifest->shards[s];
+        engine::Shard<Codec>& sh = shards_[s];
+        sh.wal_floor = sm.wal_floor;
+        sh.wal_cleaned = sm.wal_floor;  // the scan below deletes the rest
+        sh.next_seg_seq = sm.next_seg_seq;
+        sh.wal_gen = sm.wal_floor;
+        for (const engine::SegmentMeta& seg : sm.segments) {
+          std::ifstream in(PathOf(engine::SegmentFileName(s, seg.seq)),
+                           std::ios::binary);
+          if (!in.good()) {
+            return Status::Error(ErrorCode::kCorruptStream,
+                                 "Engine: manifest references missing segment");
+          }
+          Result<Segment> loaded = Segment::Load(in);
+          if (!loaded.ok()) return loaded.status();
+          if (loaded->size() != seg.count) {
+            return Status::Error(ErrorCode::kCorruptStream,
+                                 "Engine: segment size disagrees with manifest");
+          }
+          sh.entries.push_back(
+              {seg.seq,
+               std::make_shared<const Segment>(std::move(loaded).value())});
+        }
+      }
+    }
+
+    // 2. Scan the directory: delete orphans (segments the manifest does not
+    // reference, WAL generations below the floor, stale tmp files), and
+    // catalog live WAL files per shard in generation order.
+    std::vector<std::map<uint64_t, fs::path>> wal_files(n);
+    for (const auto& entry : fs::directory_iterator(opt_.dir)) {
+      const std::string name = entry.path().filename().string();
+      size_t shard = 0;
+      uint64_t num = 0;
+      if (ParseFileName(name, "seg-", ".wt", &shard, &num) && shard < n) {
+        bool live = false;
+        for (const auto& e : shards_[shard].entries) live |= (e.seq == num);
+        if (!live) fs::remove(entry.path());
+      } else if (ParseFileName(name, "wal-", ".log", &shard, &num) &&
+                 shard < n) {
+        if (num < shards_[shard].wal_floor) {
+          fs::remove(entry.path());
+        } else {
+          wal_files[shard][num] = entry.path();
+        }
+      } else if (name != "MANIFEST") {
+        fs::remove(entry.path());  // MANIFEST.tmp and other leftovers
+      }
+    }
+
+    // 3. Read the WAL tails and determine which batches are complete: a
+    // batch is replayable iff every one of its `batch_shards` slices
+    // survived. Torn tails and zombie slices of previously-discarded
+    // batches stay incomplete forever (batch ids are never reused), so
+    // this one rule covers first and repeated crashes alike.
+    std::vector<std::vector<engine::WalRecord>> records(n);
+    std::vector<uint64_t> max_gen(n, 0);
+    for (size_t s = 0; s < n; ++s) {
+      for (const auto& [gen, path] : wal_files[s]) {
+        std::vector<engine::WalRecord> recs = engine::ReadWalFile(path.string());
+        for (auto& r : recs) records[s].push_back(std::move(r));
+        max_gen[s] = std::max(max_gen[s], gen);
+      }
+    }
+    std::map<uint64_t, std::pair<uint32_t, uint32_t>> batches;  // id -> (want, have)
+    uint64_t max_seen_id = 0;
+    bool any_record = false;
+    for (size_t s = 0; s < n; ++s) {
+      for (const auto& r : records[s]) {
+        auto& b = batches[r.batch_id];
+        if (b.first != 0 && b.first != r.batch_shards) {
+          b.first = UINT32_MAX;  // inconsistent slices: never complete
+        } else if (b.first != UINT32_MAX) {
+          b.first = r.batch_shards;
+        }
+        b.second += 1;
+        max_seen_id = std::max(max_seen_id, r.batch_id);
+        any_record = true;
+      }
+    }
+
+    // 4. Replay complete batches, per shard, in log order.
+    for (size_t s = 0; s < n; ++s) {
+      std::vector<wt::BitString> replay;
+      for (auto& r : records[s]) {
+        const auto& b = batches[r.batch_id];
+        if (b.first == UINT32_MAX || b.second != b.first) continue;
+        for (auto& str : r.strings) replay.push_back(std::move(str));
+      }
+      if (!replay.empty()) {
+        if (Status st = shards_[s].memtable.AppendEncodedBatch(replay);
+            !st.ok()) {
+          return st;
+        }
+      }
+    }
+
+    // 5. Totals, and the round-robin invariant: shard s must hold exactly
+    // the strings of prefix T that map to it. A violation means the files
+    // were tampered with or mixed across engines.
+    uint64_t total = 0;
+    for (size_t s = 0; s < n; ++s) {
+      uint64_t frozen = 0;
+      for (const auto& e : shards_[s].entries) frozen += e.segment->size();
+      total += frozen + shards_[s].memtable.size();
+    }
+    for (size_t s = 0; s < n; ++s) {
+      uint64_t frozen = 0;
+      for (const auto& e : shards_[s].entries) frozen += e.segment->size();
+      if (frozen + shards_[s].memtable.size() !=
+          engine::RoundRobinCount(total, s, n)) {
+        return Status::Error(ErrorCode::kCorruptStream,
+                             "Engine: shard counts break the round-robin "
+                             "placement invariant");
+      }
+    }
+    total_.store(total, std::memory_order_relaxed);
+    if (any_record) {
+      next_batch_id_.store(
+          std::max(next_batch_id_.load(std::memory_order_relaxed),
+                   max_seen_id + 1),
+          std::memory_order_relaxed);
+    }
+
+    // 6. Open a fresh WAL generation per shard (never append to a possibly
+    // torn file) and publish the recovered views.
+    for (size_t s = 0; s < n; ++s) {
+      engine::Shard<Codec>& sh = shards_[s];
+      sh.wal_gen = std::max(
+          sh.wal_floor, max_gen[s] + (wal_files[s].empty() ? 0 : 1));
+      if (Status st = sh.wal.Open(
+              PathOf(engine::WalFileName(s, sh.wal_gen)).string(),
+              opt_.sync_wal);
+          !st.ok()) {
+        return st;
+      }
+      std::lock_guard<std::mutex> lk(sh.publish_mu);
+      sh.PublishLocked();
+    }
+
+    // 7. Oversized recovered memtables go straight to the freeze queue.
+    {
+      std::lock_guard<std::mutex> lk(ingest_mu_);
+      for (size_t s = 0; s < n; ++s) {
+        if (shards_[s].memtable.size() >= opt_.memtable_limit) {
+          RotateShardLocked(s);
+        }
+      }
+    }
+    return Status::Ok();
+  }
+
+  /// Parses "<prefix><shard>-<num><suffix>"; returns false on any mismatch.
+  static bool ParseFileName(const std::string& name, const std::string& prefix,
+                            const std::string& suffix, size_t* shard,
+                            uint64_t* num) {
+    if (name.size() <= prefix.size() + suffix.size()) return false;
+    if (name.compare(0, prefix.size(), prefix) != 0) return false;
+    if (name.compare(name.size() - suffix.size(), suffix.size(), suffix) != 0) {
+      return false;
+    }
+    const std::string body =
+        name.substr(prefix.size(), name.size() - prefix.size() - suffix.size());
+    const size_t dash = body.find('-');
+    if (dash == std::string::npos || dash == 0 || dash + 1 >= body.size()) {
+      return false;
+    }
+    try {
+      *shard = std::stoull(body.substr(0, dash));
+      *num = std::stoull(body.substr(dash + 1));
+    } catch (...) {
+      return false;
+    }
+    return true;
+  }
+
+  void RecordBackgroundError(const Status& st) {
+    std::lock_guard<std::mutex> lk(bg_error_mu_);
+    if (bg_error_.ok()) bg_error_ = st;
+  }
+
+  Options opt_;
+  Codec codec_;
+  mutable std::mutex ingest_mu_;  // Stats() reads memtable sizes under it
+  std::atomic<uint64_t> total_{0};
+  std::atomic<uint64_t> next_batch_id_{0};
+  std::vector<engine::Shard<Codec>> shards_;
+  std::mutex manifest_mu_;
+  mutable std::mutex bg_error_mu_;
+  Status bg_error_;
+  // Destroyed first (declared last): drains queued jobs, which may touch
+  // every member above.
+  std::unique_ptr<engine::ThreadPool> pool_;
+};
+
+}  // namespace wtrie

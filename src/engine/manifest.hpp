@@ -1,0 +1,145 @@
+// Engine manifest: the authoritative record of which files constitute a
+// durable engine directory (DESIGN.md #7).
+//
+// One file, `MANIFEST`, wrapped in the library's versioned checksummed
+// envelope (common/serialize.hpp) and replaced atomically (write
+// `MANIFEST.tmp`, then rename): a crash while rewriting leaves the previous
+// manifest intact. Everything else in the directory is derived state:
+//
+//   * segment files `seg-<shard>-<seq>.wt`  — listed per shard, in stack
+//     order (seq numbers only name files; order comes from the list);
+//   * WAL files `wal-<shard>-<gen>.log`     — NOT listed; recovery replays
+//     every generation >= the shard's `wal_floor` and deletes the rest.
+//
+// Files present on disk but not reachable from the manifest (a crash
+// between writing a segment and publishing it, or between publishing a
+// compaction and deleting its inputs) are garbage; recovery removes them.
+#pragma once
+
+#include <cstdint>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "api/result.hpp"
+#include "common/serialize.hpp"
+
+namespace wtrie::engine {
+
+struct SegmentMeta {
+  uint64_t seq = 0;    // file name component, unique per shard
+  uint64_t count = 0;  // strings stored in the segment
+};
+
+struct ShardMeta {
+  uint64_t wal_floor = 0;     // lowest WAL generation not yet frozen+saved
+  uint64_t next_seg_seq = 0;  // never reused, so orphan files cannot collide
+  std::vector<SegmentMeta> segments;  // stack order: oldest first
+};
+
+struct Manifest {
+  static constexpr uint64_t kMagic = 0x5754454E47494E31ull;  // "WTENGIN1"
+  static constexpr uint32_t kVersion = 1;
+
+  uint32_t num_shards = 0;
+  uint64_t next_batch_id = 0;  // ids below this may have had their WAL deleted
+  std::vector<ShardMeta> shards;
+};
+
+inline std::string SegmentFileName(size_t shard, uint64_t seq) {
+  return "seg-" + std::to_string(shard) + "-" + std::to_string(seq) + ".wt";
+}
+
+inline std::string WalFileName(size_t shard, uint64_t gen) {
+  return "wal-" + std::to_string(shard) + "-" + std::to_string(gen) + ".log";
+}
+
+inline Status WriteManifest(const std::string& dir, const Manifest& m) {
+  namespace fs = std::filesystem;
+  std::ostringstream payload;
+  wt::WritePod<uint32_t>(payload, m.num_shards);
+  wt::WritePod<uint64_t>(payload, m.next_batch_id);
+  for (const ShardMeta& sh : m.shards) {
+    wt::WritePod<uint64_t>(payload, sh.wal_floor);
+    wt::WritePod<uint64_t>(payload, sh.next_seg_seq);
+    wt::WritePod<uint64_t>(payload, sh.segments.size());
+    for (const SegmentMeta& seg : sh.segments) {
+      wt::WritePod<uint64_t>(payload, seg.seq);
+      wt::WritePod<uint64_t>(payload, seg.count);
+    }
+  }
+  const fs::path tmp = fs::path(dir) / "MANIFEST.tmp";
+  const fs::path final_path = fs::path(dir) / "MANIFEST";
+  {
+    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+    if (!out.good()) {
+      return Status::Error(ErrorCode::kIoError, "manifest: cannot open tmp");
+    }
+    wt::VersionedEnvelope::Write(out, Manifest::kMagic, Manifest::kVersion, 0,
+                                 std::move(payload).str());
+    if (!out.good()) {
+      return Status::Error(ErrorCode::kIoError, "manifest: write failed");
+    }
+  }
+  std::error_code ec;
+  fs::rename(tmp, final_path, ec);
+  if (ec) {
+    return Status::Error(ErrorCode::kIoError, "manifest: rename failed");
+  }
+  return Status::Ok();
+}
+
+/// Loads the manifest; kNotFound when the directory has none (a fresh
+/// engine directory), other errors for corrupt/unreadable manifests.
+inline Result<Manifest> ReadManifest(const std::string& dir) {
+  namespace fs = std::filesystem;
+  const fs::path path = fs::path(dir) / "MANIFEST";
+  if (!fs::exists(path)) {
+    return Status::Error(ErrorCode::kNotFound, "manifest: none present");
+  }
+  std::ifstream in(path, std::ios::binary);
+  if (!in.good()) {
+    return Status::Error(ErrorCode::kIoError, "manifest: cannot open");
+  }
+  uint32_t tag = 0;
+  std::string payload;
+  const Status env = StatusFromEnvelopeError(wt::VersionedEnvelope::Read(
+      in, Manifest::kMagic, Manifest::kVersion, &tag, &payload));
+  if (!env.ok()) return env;
+
+  std::istringstream body(payload);
+  Manifest m;
+  uint64_t num_segments = 0;
+  if (!wt::TryReadPod(body, &m.num_shards) ||
+      !wt::TryReadPod(body, &m.next_batch_id)) {
+    return Status::Error(ErrorCode::kCorruptStream, "manifest: truncated body");
+  }
+  // A checksummed-but-absurd shard count is still rejected before the
+  // resize below can balloon.
+  if (m.num_shards == 0 || m.num_shards > (1u << 16)) {
+    return Status::Error(ErrorCode::kCorruptStream,
+                         "manifest: implausible shard count");
+  }
+  m.shards.resize(m.num_shards);
+  for (ShardMeta& sh : m.shards) {
+    if (!wt::TryReadPod(body, &sh.wal_floor) ||
+        !wt::TryReadPod(body, &sh.next_seg_seq) ||
+        !wt::TryReadPod(body, &num_segments)) {
+      return Status::Error(ErrorCode::kCorruptStream,
+                           "manifest: truncated shard");
+    }
+    for (uint64_t i = 0; i < num_segments; ++i) {
+      SegmentMeta seg;
+      if (!wt::TryReadPod(body, &seg.seq) || !wt::TryReadPod(body, &seg.count)) {
+        return Status::Error(ErrorCode::kCorruptStream,
+                             "manifest: truncated segment list");
+      }
+      sh.segments.push_back(seg);
+    }
+  }
+  return m;
+}
+
+}  // namespace wtrie::engine

@@ -1,0 +1,97 @@
+// One engine shard: a mutable memtable absorbing appends plus the
+// published stack of frozen segments (DESIGN.md #7).
+//
+// Concurrency contract (enforced by Engine, documented here):
+//
+//   * ingest side — `memtable`, `wal`, `wal_gen`: touched only while the
+//     engine's ingest mutex is held. Rotation moves the memtable out
+//     (handing exclusive ownership to the freeze job via shared_ptr) and
+//     installs a fresh one, so background freezing never shares a mutable
+//     structure with ingest.
+//   * publish side — `entries`, `wal_floor`, `next_seg_seq`: guarded by
+//     `publish_mu`. Only this shard's pool stripe mutates them (freeze and
+//     compaction jobs for one shard are serialized by the striped pool);
+//     the manifest writer on other stripes takes the lock to read.
+//   * `view`: the read-side publication point — a PublishedPtr to an
+//     immutable ShardView rebuilt after every stack change. Snapshot
+//     acquisition copies the shared_ptr under a micro critical section;
+//     the queries themselves then run on the pinned immutable view with no
+//     synchronization at all.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <utility>
+#include <vector>
+
+#include "api/sequence.hpp"
+#include "engine/segment_stack.hpp"
+#include "engine/wal.hpp"
+
+namespace wtrie::engine {
+
+/// Publication cell for an immutable view: a shared_ptr slot whose load and
+/// store are a mutex-guarded pointer copy. std::atomic<shared_ptr> would be
+/// the obvious tool, but libstdc++ 12's implementation releases its
+/// spinlock for readers with a relaxed RMW, leaving the embedded raw
+/// pointer without a formal happens-before edge — ThreadSanitizer reports
+/// it (correctly, per the C++ memory model). A plain mutex held for one
+/// refcount bump costs a few nanoseconds at snapshot *acquisition* only —
+/// queries never touch it — and verifies cleanly.
+template <typename T>
+class PublishedPtr {
+ public:
+  std::shared_ptr<T> Load() const {
+    std::lock_guard<std::mutex> lk(mu_);
+    return ptr_;
+  }
+
+  void Store(std::shared_ptr<T> p) {
+    std::lock_guard<std::mutex> lk(mu_);
+    ptr_.swap(p);
+    // `p` (the previous view) is released after the lock, so a cascade of
+    // segment destructions never runs inside the critical section.
+  }
+
+ private:
+  mutable std::mutex mu_;
+  std::shared_ptr<T> ptr_;
+};
+
+template <typename Codec>
+struct Shard {
+  using Memtable = Sequence<AppendOnly, Codec>;
+  using Segment = Sequence<Static, Codec>;
+
+  struct Entry {
+    uint64_t seq = 0;  // segment file name component
+    std::shared_ptr<const Segment> segment;
+  };
+
+  // --- ingest side (engine ingest mutex) ---------------------------------
+  Memtable memtable;
+  WalWriter wal;
+  uint64_t wal_gen = 0;
+
+  // --- publish side (publish_mu) -----------------------------------------
+  std::mutex publish_mu;
+  std::vector<Entry> entries;  // stack order: oldest first
+  uint64_t wal_floor = 0;
+  uint64_t wal_cleaned = 0;  // generations below this are already deleted
+  uint64_t next_seg_seq = 0;
+
+  // --- read side ----------------------------------------------------------
+  PublishedPtr<const ShardView<Codec>> view;
+
+  /// Rebuilds and publishes the ShardView from `entries`. Caller holds
+  /// publish_mu.
+  void PublishLocked() {
+    std::vector<std::shared_ptr<const Segment>> segs;
+    segs.reserve(entries.size());
+    for (const Entry& e : entries) segs.push_back(e.segment);
+    view.Store(std::make_shared<const ShardView<Codec>>(std::move(segs)));
+  }
+};
+
+}  // namespace wtrie::engine

@@ -1,0 +1,107 @@
+// Striped thread pool: the engine's one background-execution primitive.
+//
+// A fixed set of workers, each owning a FIFO queue; Submit(stripe, fn)
+// routes by `stripe % num_threads`, so jobs with equal stripes run on the
+// same worker in submission order. The engine keys stripes by shard id,
+// which serializes every freeze and compaction of one shard *by
+// construction* — no per-shard job locking — while different shards
+// proceed in parallel on different workers.
+#pragma once
+
+#include <algorithm>
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "common/assert.hpp"
+
+namespace wtrie::engine {
+
+class ThreadPool {
+ public:
+  explicit ThreadPool(size_t num_threads)
+      : workers_(std::max<size_t>(1, num_threads)) {
+    for (Worker& w : workers_) {
+      w.thread = std::thread([&w] { Run(w); });
+    }
+  }
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Runs every job already queued, then joins the workers.
+  ~ThreadPool() {
+    for (Worker& w : workers_) {
+      {
+        std::lock_guard<std::mutex> lk(w.mu);
+        w.stop = true;
+      }
+      w.cv.notify_all();
+    }
+    for (Worker& w : workers_) w.thread.join();
+  }
+
+  /// Enqueues fn on the stripe's worker. Jobs with equal stripe keys run
+  /// FIFO on one thread; jobs with different keys may run concurrently.
+  void Submit(size_t stripe, std::function<void()> fn) {
+    Worker& w = workers_[stripe % workers_.size()];
+    {
+      std::lock_guard<std::mutex> lk(w.mu);
+      WT_ASSERT_MSG(!w.stop, "ThreadPool: Submit after shutdown began");
+      w.queue.push_back(std::move(fn));
+    }
+    w.cv.notify_one();
+  }
+
+  /// Blocks until every job submitted before the call has finished. Jobs
+  /// submitted concurrently with Drain may or may not be waited for.
+  void Drain() {
+    for (Worker& w : workers_) {
+      std::unique_lock<std::mutex> lk(w.mu);
+      w.idle_cv.wait(lk, [&w] { return w.queue.empty() && !w.running; });
+    }
+  }
+
+  size_t num_threads() const { return workers_.size(); }
+
+ private:
+  struct Worker {
+    std::mutex mu;
+    std::condition_variable cv;       // work arrived / stop requested
+    std::condition_variable idle_cv;  // queue drained and job finished
+    std::deque<std::function<void()>> queue;
+    bool running = false;
+    bool stop = false;
+    std::thread thread;
+  };
+
+  static void Run(Worker& w) {
+    for (;;) {
+      std::function<void()> job;
+      {
+        std::unique_lock<std::mutex> lk(w.mu);
+        w.cv.wait(lk, [&w] { return w.stop || !w.queue.empty(); });
+        if (w.queue.empty()) return;  // stop requested and nothing pending
+        job = std::move(w.queue.front());
+        w.queue.pop_front();
+        w.running = true;
+      }
+      job();
+      {
+        std::lock_guard<std::mutex> lk(w.mu);
+        w.running = false;
+        if (w.queue.empty()) w.idle_cv.notify_all();
+      }
+    }
+  }
+
+  // Workers are constructed in place and never relocated (mutexes are not
+  // movable); the vector's size is fixed for the pool's lifetime.
+  std::vector<Worker> workers_;
+};
+
+}  // namespace wtrie::engine

@@ -1,0 +1,182 @@
+// Per-shard write-ahead log (DESIGN.md #7).
+//
+// Durability for the engine's memtables: every ingest batch is split
+// round-robin across shards, and each shard's slice is appended to that
+// shard's current WAL file as one length-prefixed, FNV-1a-checksummed
+// record *before* the slice reaches the memtable. WAL files are
+// generational: each memtable rotation opens a fresh `wal-<shard>-<gen>.log`,
+// and a generation is deleted once the memtable it fed has been frozen into
+// a durably-saved segment (the manifest's `wal_floor` advances first, so a
+// crash between the two steps only leaves a stale file that recovery
+// ignores and deletes).
+//
+// Record framing (little-endian):
+//
+//   u64 batch_id | u32 batch_shards | u32 string_count |
+//   u64 payload_len | u64 fnv1a(payload) | payload
+//
+// payload: per string, u64 bit length + ceil(len/64) raw words (the
+// *encoded* string — values are binarized once at ingest and round-trip
+// through the log as bits, so replay needs no codec pass).
+//
+// `batch_id`/`batch_shards` make an engine batch crash-atomic: recovery
+// counts the slices it can read per batch id across all shard logs and
+// replays only batches whose every slice survived — a torn tail (the crash
+// happened mid-batch, some shard logs written, others not) is discarded
+// whole, on every shard. Reading stops at the first record that is
+// truncated or fails its checksum; everything before it is intact because
+// records are appended and flushed in order.
+#pragma once
+
+#include <cstdint>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#ifdef __unix__
+#include <unistd.h>
+#endif
+
+#include "api/result.hpp"
+#include "common/bit_string.hpp"
+#include "common/serialize.hpp"
+
+namespace wtrie::engine {
+
+/// One decoded WAL record: the slice of one engine batch routed to one
+/// shard, in batch order.
+struct WalRecord {
+  uint64_t batch_id = 0;
+  uint32_t batch_shards = 0;  // shards the whole batch touched
+  std::vector<wt::BitString> strings;
+};
+
+/// Appender for one shard's current WAL generation. Not thread-safe: the
+/// engine writes it only under its ingest lock.
+class WalWriter {
+ public:
+  WalWriter() = default;
+  ~WalWriter() { Close(); }
+  WalWriter(const WalWriter&) = delete;
+  WalWriter& operator=(const WalWriter&) = delete;
+
+  Status Open(const std::string& path, bool sync) {
+    Close();
+    file_ = std::fopen(path.c_str(), "ab");
+    if (file_ == nullptr) {
+      return Status::Error(ErrorCode::kIoError, "wal: cannot open log file");
+    }
+    sync_ = sync;
+    return Status::Ok();
+  }
+
+  bool is_open() const { return file_ != nullptr; }
+
+  void Close() {
+    if (file_ != nullptr) {
+      std::fclose(file_);
+      file_ = nullptr;
+    }
+  }
+
+  /// Appends one record and flushes it to the OS (plus fsync when the
+  /// engine was opened with sync_wal). The record is on disk before the
+  /// caller touches the memtable. Spans must be word-aligned (start bit 0)
+  /// — the engine always logs whole encoded strings. A closed writer (a
+  /// previous Open or Append failed) reports an error rather than
+  /// aborting: I/O trouble must surface as Status on the ingest path.
+  Status Append(uint64_t batch_id, uint32_t batch_shards,
+                const std::vector<wt::BitSpan>& strings) {
+    if (file_ == nullptr) {
+      return Status::Error(ErrorCode::kIoError, "wal: writer is not open");
+    }
+    std::ostringstream payload;
+    for (const wt::BitSpan& s : strings) {
+      WT_DASSERT(s.start_bit() == 0);
+      wt::WritePod<uint64_t>(payload, s.size());
+      const size_t words = (s.size() + 63) / 64;
+      payload.write(reinterpret_cast<const char*>(s.words()),
+                    static_cast<std::streamsize>(words * sizeof(uint64_t)));
+    }
+    const std::string body = std::move(payload).str();
+
+    std::ostringstream header;
+    wt::WritePod<uint64_t>(header, batch_id);
+    wt::WritePod<uint32_t>(header, batch_shards);
+    wt::WritePod<uint32_t>(header, static_cast<uint32_t>(strings.size()));
+    wt::WritePod<uint64_t>(header, body.size());
+    wt::WritePod<uint64_t>(header, wt::Fnv1a(body.data(), body.size()));
+    const std::string head = std::move(header).str();
+
+    if (std::fwrite(head.data(), 1, head.size(), file_) != head.size() ||
+        std::fwrite(body.data(), 1, body.size(), file_) != body.size() ||
+        std::fflush(file_) != 0) {
+      return Status::Error(ErrorCode::kIoError, "wal: append failed");
+    }
+#ifdef __unix__
+    if (sync_ && ::fsync(fileno(file_)) != 0) {
+      return Status::Error(ErrorCode::kIoError, "wal: fsync failed");
+    }
+#endif
+    return Status::Ok();
+  }
+
+ private:
+  std::FILE* file_ = nullptr;
+  bool sync_ = false;
+};
+
+/// Reads every intact record of one WAL file, stopping (without error) at
+/// the first truncated or corrupt one — by construction that is the crash
+/// tail, and every complete record precedes it.
+inline std::vector<WalRecord> ReadWalFile(const std::string& path) {
+  std::vector<WalRecord> out;
+  std::ifstream in(path, std::ios::binary);
+  if (!in.good()) return out;
+  for (;;) {
+    WalRecord rec;
+    uint32_t count = 0;
+    uint64_t len = 0, sum = 0;
+    if (!wt::TryReadPod(in, &rec.batch_id) ||
+        !wt::TryReadPod(in, &rec.batch_shards) ||
+        !wt::TryReadPod(in, &count) || !wt::TryReadPod(in, &len) ||
+        !wt::TryReadPod(in, &sum)) {
+      return out;
+    }
+    // The length field is untrusted until the checksum matches: read in
+    // bounded chunks so a torn header cannot trigger a giant allocation.
+    constexpr uint64_t kChunk = 1 << 20;
+    std::string body;
+    while (body.size() < len) {
+      const uint64_t want = std::min<uint64_t>(kChunk, len - body.size());
+      const size_t old_size = body.size();
+      body.resize(old_size + want);
+      in.read(body.data() + old_size, static_cast<std::streamsize>(want));
+      if (in.gcount() != static_cast<std::streamsize>(want)) return out;
+    }
+    if (wt::Fnv1a(body.data(), body.size()) != sum) return out;
+
+    std::istringstream bs(std::move(body));
+    rec.strings.reserve(count);
+    std::vector<uint64_t> words;
+    for (uint32_t i = 0; i < count; ++i) {
+      uint64_t bits = 0;
+      if (!wt::TryReadPod(bs, &bits)) return out;
+      words.assign((bits + 63) / 64, 0);
+      bs.read(reinterpret_cast<char*>(words.data()),
+              static_cast<std::streamsize>(words.size() * sizeof(uint64_t)));
+      if (bs.gcount() !=
+          static_cast<std::streamsize>(words.size() * sizeof(uint64_t))) {
+        return out;
+      }
+      wt::BitString s;
+      if (bits > 0) s.Append(wt::BitSpan(words.data(), 0, bits));
+      rec.strings.push_back(std::move(s));
+    }
+    out.push_back(std::move(rec));
+  }
+}
+
+}  // namespace wtrie::engine
