@@ -581,6 +581,15 @@ class Sequence {
       out.encoded_bits_ = TotalBits(enc);
       out.trie_.AppendBatch(enc);
     } else {
+      // Restore the consumed budget too: capacity accounting downstream
+      // (e.g. the engine's compaction guard) relies on EncodedBits() being
+      // faithful for loaded segments, not just freshly built ones. The
+      // distinct walk gives the identical sum in O(alphabet), not O(n).
+      uint64_t bits = 0;
+      image.ForEachDistinct([&](const wt::BitString& s, size_t count) {
+        bits += static_cast<uint64_t>(s.size()) * count;
+      });
+      out.encoded_bits_ = bits;
       out.trie_ = std::move(image);
     }
     return out;

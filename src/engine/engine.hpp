@@ -24,9 +24,16 @@
 // WALs before touching a memtable (engine/wal.hpp; complete-batches-only
 // replay makes batches crash-atomic), segments and the manifest are
 // persisted with tmp-file+rename, and WAL generations are deleted only
-// after the manifest records them as subsumed. Open() replays the WAL tail
-// into fresh memtables, so a crashed engine resumes exactly at its last
-// complete batch.
+// after a successful manifest write records them as subsumed. A segment
+// whose save fails is served from memory but never referenced by the
+// manifest (nor is anything stacked after it), and the WAL floor stays
+// below its generations until a later freeze retries the save or a
+// compaction subsumes it — the log remains the durable copy throughout.
+// Open() replays the WAL tail into fresh memtables, so a crashed engine
+// resumes exactly at its last complete batch; if out-of-order page
+// persistence (possible with sync_wal=false) left a mid-history batch
+// incomplete, recovery degrades to the longest consistent prefix instead
+// of refusing to open.
 //
 // Threading model (see also engine/shard.hpp):
 //   * any number of writer threads — serialized by one ingest mutex;
@@ -384,6 +391,7 @@ class Engine {
   /// one pool stripe, so stack mutations here need no cross-job ordering.
   void FreezeJob(size_t s, std::shared_ptr<Memtable> mem, uint64_t floor_after) {
     engine::Shard<Codec>& sh = shards_[s];
+    if (durable()) RetryUnsavedSegments(s);
     auto seg = std::make_shared<const Segment>(mem->Freeze());
     uint64_t seq;
     {
@@ -393,22 +401,23 @@ class Engine {
     bool saved = true;
     if (durable()) {
       if (Status st = SaveSegment(s, seq, *seg); !st.ok()) {
-        // Keep serving the segment from memory; the WAL floor stays put,
-        // so the data is still recoverable from the log.
+        // Keep serving the segment from memory, but remember it is not on
+        // disk: the manifest lists only the all-saved prefix of the stack
+        // and RecomputeWalFloorLocked keeps the floor below this
+        // segment's generations, so the data stays recoverable from the
+        // log until a later freeze retries the save or a compaction
+        // durably subsumes it.
         RecordBackgroundError(st);
         saved = false;
       }
     }
     {
       std::lock_guard<std::mutex> lk(sh.publish_mu);
-      sh.entries.push_back({seq, seg});
-      if (saved && floor_after > sh.wal_floor) sh.wal_floor = floor_after;
+      sh.entries.push_back({seq, seg, saved, floor_after});
+      sh.RecomputeWalFloorLocked();
       sh.PublishLocked();
     }
-    if (durable() && saved) {
-      PersistManifest();
-      CleanWal(s);
-    }
+    if (durable() && PersistManifest().ok()) CleanWal(s);
     // Size-tiered tail compaction: merge while the penultimate segment is
     // within ratio of the last, so segment sizes decay geometrically.
     for (;;) {
@@ -426,6 +435,34 @@ class Engine {
     }
   }
 
+  /// Re-attempts SaveSegment for stack entries whose earlier save failed.
+  /// Runs on the shard's pool stripe — the only mutator of the stack — so
+  /// the entries copied here cannot be removed between the unlocked I/O
+  /// and the marking; matching by seq keeps it robust regardless.
+  void RetryUnsavedSegments(size_t s) {
+    engine::Shard<Codec>& sh = shards_[s];
+    std::vector<typename engine::Shard<Codec>::Entry> pending;
+    {
+      std::lock_guard<std::mutex> lk(sh.publish_mu);
+      for (const auto& e : sh.entries) {
+        if (!e.saved) pending.push_back(e);
+      }
+    }
+    if (pending.empty()) return;
+    std::vector<uint64_t> now_saved;
+    for (const auto& e : pending) {
+      if (SaveSegment(s, e.seq, *e.segment).ok()) now_saved.push_back(e.seq);
+    }
+    if (now_saved.empty()) return;
+    std::lock_guard<std::mutex> lk(sh.publish_mu);
+    for (auto& e : sh.entries) {
+      for (uint64_t seq : now_saved) {
+        if (e.seq == seq) e.saved = true;
+      }
+    }
+    sh.RecomputeWalFloorLocked();
+  }
+
   /// Merges the last `k` (>= 2) segments of shard s into one, preserving
   /// order: enumerate each segment's encoded strings (one Rank per trie
   /// node total), concatenate, BulkBuild. Runs on the shard's pool stripe;
@@ -438,6 +475,19 @@ class Engine {
       WT_ASSERT(k >= 2 && k <= sh.entries.size());
       victims.assign(sh.entries.end() - static_cast<ptrdiff_t>(k),
                      sh.entries.end());
+    }
+    // One static image caps at kMaxEncodedBits: a merge that would exceed
+    // it is skipped (the stack just stays deeper) rather than hitting the
+    // core builder's abort on a background thread. Not an error — serving
+    // is unaffected.
+    uint64_t merged_bits = 0;
+    for (const auto& v : victims) {
+      if (internal::CapacityWouldOverflow(merged_bits,
+                                          v.segment->EncodedBits(),
+                                          Segment::kMaxEncodedBits)) {
+        return false;
+      }
+      merged_bits += v.segment->EncodedBits();
     }
     std::vector<wt::BitString> enc;
     for (const auto& v : victims) {
@@ -461,15 +511,23 @@ class Engine {
     {
       std::lock_guard<std::mutex> lk(sh.publish_mu);
       sh.entries.resize(sh.entries.size() - k);
-      sh.entries.push_back({seq, merged});
+      // The merged segment durably subsumes its victims — including any
+      // whose own save had failed — so it carries the newest victim's
+      // floor and may unblock a clamped WAL floor.
+      sh.entries.push_back({seq, merged, true, victims.back().floor_after});
+      sh.RecomputeWalFloorLocked();
       sh.PublishLocked();
     }
-    if (durable()) {
-      PersistManifest();
+    if (durable() && PersistManifest().ok()) {
+      // Victim files (and newly-subsumed WAL generations) are deleted
+      // only once the manifest no longer references the victims; a crash
+      // before the rename replays from the previous manifest, which still
+      // has every file it needs.
       for (const auto& v : victims) {
         std::error_code ec;
         std::filesystem::remove(PathOf(engine::SegmentFileName(s, v.seq)), ec);
       }
+      CleanWal(s);
     }
     return true;
   }
@@ -500,8 +558,11 @@ class Engine {
 
   /// Snapshots every shard's publish-side state into a Manifest and
   /// rewrites MANIFEST atomically. manifest_mu_ orders concurrent writers;
-  /// it is always taken before (never inside) a shard publish lock.
-  void PersistManifest() {
+  /// it is always taken before (never inside) a shard publish lock. The
+  /// returned Status gates cleanup: callers may delete files the new
+  /// manifest no longer needs only when the write succeeded — on failure
+  /// the previous manifest stays authoritative and still references them.
+  Status PersistManifest() {
     std::lock_guard<std::mutex> mlk(manifest_mu_);
     engine::Manifest m;
     m.num_shards = static_cast<uint32_t>(shards_.size());
@@ -514,12 +575,18 @@ class Engine {
       sm.next_seg_seq = shards_[s].next_seg_seq;
       sm.segments.reserve(shards_[s].entries.size());
       for (const auto& e : shards_[s].entries) {
+        // Only the all-saved prefix of the stack: an unsaved segment has
+        // no file, and entries stacked after it must stay out too so the
+        // listed segments remain a contiguous prefix of the shard's
+        // history — recovery re-reads everything past the prefix from the
+        // WAL, whose floor RecomputeWalFloorLocked clamps below it.
+        if (!e.saved) break;
         sm.segments.push_back({e.seq, e.segment->size()});
       }
     }
-    if (Status st = engine::WriteManifest(opt_.dir, m); !st.ok()) {
-      RecordBackgroundError(st);
-    }
+    Status st = engine::WriteManifest(opt_.dir, m);
+    if (!st.ok()) RecordBackgroundError(st);
+    return st;
   }
 
   /// Deletes WAL generations below the shard's floor (their contents are
@@ -589,19 +656,23 @@ class Engine {
       const std::string name = entry.path().filename().string();
       size_t shard = 0;
       uint64_t num = 0;
+      // Deletions best-effort (error_code overload): an undeletable
+      // orphan must not abort recovery — seg seqs and WAL generations are
+      // never reused, so a leftover cannot collide with future files.
+      std::error_code ec;
       if (ParseFileName(name, "seg-", ".wt", &shard, &num) && shard < n) {
         bool live = false;
         for (const auto& e : shards_[shard].entries) live |= (e.seq == num);
-        if (!live) fs::remove(entry.path());
+        if (!live) fs::remove(entry.path(), ec);
       } else if (ParseFileName(name, "wal-", ".log", &shard, &num) &&
                  shard < n) {
         if (num < shards_[shard].wal_floor) {
-          fs::remove(entry.path());
+          fs::remove(entry.path(), ec);
         } else {
           wal_files[shard][num] = entry.path();
         }
       } else if (name != "MANIFEST") {
-        fs::remove(entry.path());  // MANIFEST.tmp and other leftovers
+        fs::remove(entry.path(), ec);  // MANIFEST.tmp and other leftovers
       }
     }
 
@@ -636,42 +707,94 @@ class Engine {
       }
     }
 
-    // 4. Replay complete batches, per shard, in log order.
-    for (size_t s = 0; s < n; ++s) {
-      std::vector<wt::BitString> replay;
-      for (auto& r : records[s]) {
-        const auto& b = batches[r.batch_id];
-        if (b.first == UINT32_MAX || b.second != b.first) continue;
-        for (auto& str : r.strings) replay.push_back(std::move(str));
+    // 4. Decide which batches to replay. A batch is replayable iff all
+    // `batch_shards` of its slices survived; normally every complete
+    // batch replays. With sync_wal=false an OS crash can persist WAL
+    // pages out of order across shard files, leaving a mid-history batch
+    // incomplete — or wholly absent, visible only as a gap in the id
+    // sequence — while *later* batches are complete; replaying those
+    // later batches breaks the round-robin placement. Rather than
+    // refusing to open forever, salvage the longest consistent prefix:
+    // the placement check needs only per-shard counts (no memtable), so
+    // candidate cuts are cheap to evaluate — full history first, then
+    // each suspicious id (incomplete batch, or the first id a gap
+    // swallowed), largest first so the most data survives. Data past the
+    // chosen cut is lost — the documented sync_wal=false tradeoff;
+    // genuinely foreign or tampered files still fail because no prefix
+    // lines up. Gaps below the smallest surviving id are normal (cleaned
+    // generations subsumed by segments), so only inner gaps count.
+    const auto is_complete = [&batches](uint64_t id) {
+      const auto& b = batches.at(id);
+      return b.first != UINT32_MAX && b.second == b.first;
+    };
+    // Returns the recovered total when replaying complete batches with
+    // id < limit would satisfy the placement invariant: shard s must hold
+    // exactly the strings of prefix T that map to it.
+    const auto counts_total = [&](uint64_t limit) -> std::optional<uint64_t> {
+      std::vector<uint64_t> count(n, 0);
+      uint64_t total = 0;
+      for (size_t s = 0; s < n; ++s) {
+        for (const auto& e : shards_[s].entries) {
+          count[s] += e.segment->size();
+        }
+        for (const auto& r : records[s]) {
+          if (r.batch_id < limit && is_complete(r.batch_id)) {
+            count[s] += r.strings.size();
+          }
+        }
+        total += count[s];
       }
-      if (!replay.empty()) {
-        if (Status st = shards_[s].memtable.AppendEncodedBatch(replay);
-            !st.ok()) {
-          return st;
+      for (size_t s = 0; s < n; ++s) {
+        if (count[s] != engine::RoundRobinCount(total, s, n)) {
+          return std::nullopt;
         }
       }
-    }
-
-    // 5. Totals, and the round-robin invariant: shard s must hold exactly
-    // the strings of prefix T that map to it. A violation means the files
-    // were tampered with or mixed across engines.
-    uint64_t total = 0;
-    for (size_t s = 0; s < n; ++s) {
-      uint64_t frozen = 0;
-      for (const auto& e : shards_[s].entries) frozen += e.segment->size();
-      total += frozen + shards_[s].memtable.size();
-    }
-    for (size_t s = 0; s < n; ++s) {
-      uint64_t frozen = 0;
-      for (const auto& e : shards_[s].entries) frozen += e.segment->size();
-      if (frozen + shards_[s].memtable.size() !=
-          engine::RoundRobinCount(total, s, n)) {
+      return total;
+    };
+    uint64_t cut = UINT64_MAX;
+    std::optional<uint64_t> total = counts_total(cut);
+    if (!total.has_value()) {
+      std::vector<uint64_t> suspicious;  // ascending by construction
+      uint64_t prev = 0;
+      bool have_prev = false;
+      for (const auto& [id, b] : batches) {  // map: ascending ids
+        (void)b;
+        if (have_prev && id > prev + 1) suspicious.push_back(prev + 1);
+        if (!is_complete(id)) suspicious.push_back(id);
+        prev = id;
+        have_prev = true;
+      }
+      for (auto it = suspicious.rbegin();
+           it != suspicious.rend() && !total.has_value(); ++it) {
+        if (auto t = counts_total(*it); t.has_value()) {
+          cut = *it;
+          total = t;
+        }
+      }
+      if (!total.has_value()) {
         return Status::Error(ErrorCode::kCorruptStream,
                              "Engine: shard counts break the round-robin "
                              "placement invariant");
       }
     }
-    total_.store(total, std::memory_order_relaxed);
+    const bool salvaged = cut != UINT64_MAX;
+
+    // 5. Replay once, per shard, in log order (batch ids are assigned and
+    // logged monotonically, so "id below the cut" is a per-shard log
+    // prefix), moving the strings out of the decoded records.
+    for (size_t s = 0; s < n; ++s) {
+      std::vector<wt::BitString> replay;
+      for (auto& r : records[s]) {
+        if (r.batch_id >= cut || !is_complete(r.batch_id)) continue;
+        for (auto& str : r.strings) replay.push_back(std::move(str));
+      }
+      if (replay.empty()) continue;
+      if (Status st = shards_[s].memtable.AppendEncodedBatch(replay);
+          !st.ok()) {
+        return st;
+      }
+    }
+    total_.store(*total, std::memory_order_relaxed);
     if (any_record) {
       next_batch_id_.store(
           std::max(next_batch_id_.load(std::memory_order_relaxed),
@@ -696,11 +819,30 @@ class Engine {
     }
 
     // 7. Oversized recovered memtables go straight to the freeze queue.
+    // A salvaged replay instead settles synchronously before Open
+    // returns: every non-empty memtable is frozen (the floor advance
+    // cleans the generations it drew from), then every generation read
+    // above is deleted on every shard — on shards with nothing salvaged
+    // the files hold only dropped batches, since their surviving data is
+    // already in segments. Were a dropped batch left behind, it would
+    // resurface complete on the next recovery and shadow — or render
+    // unsalvageable — batches acknowledged after this open.
     {
       std::lock_guard<std::mutex> lk(ingest_mu_);
+      const uint64_t rotate_at = salvaged ? 1 : opt_.memtable_limit;
       for (size_t s = 0; s < n; ++s) {
-        if (shards_[s].memtable.size() >= opt_.memtable_limit) {
+        if (shards_[s].memtable.size() >= rotate_at) {
           RotateShardLocked(s);
+        }
+      }
+    }
+    if (salvaged) {
+      pool_->Drain();
+      if (Status st = BackgroundError(); !st.ok()) return st;
+      for (size_t s = 0; s < n; ++s) {
+        for (const auto& [gen, path] : wal_files[s]) {
+          std::error_code ec;
+          fs::remove(path, ec);
         }
       }
     }

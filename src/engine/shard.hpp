@@ -19,6 +19,7 @@
 //     synchronization at all.
 #pragma once
 
+#include <algorithm>
 #include <cstdint>
 #include <memory>
 #include <mutex>
@@ -67,6 +68,12 @@ struct Shard {
   struct Entry {
     uint64_t seq = 0;  // segment file name component
     std::shared_ptr<const Segment> segment;
+    // Durability bookkeeping: `saved` goes false when SaveSegment failed
+    // (the segment is served from memory and its data is durable only in
+    // the WAL); `floor_after` is the WAL floor a durable save of this
+    // entry would justify. In-memory engines leave both at the defaults.
+    bool saved = true;
+    uint64_t floor_after = 0;
   };
 
   // --- ingest side (engine ingest mutex) ---------------------------------
@@ -83,6 +90,21 @@ struct Shard {
 
   // --- read side ----------------------------------------------------------
   PublishedPtr<const ShardView<Codec>> view;
+
+  /// Re-derives the WAL floor from the stack: the floor may advance to an
+  /// entry's `floor_after` only when that entry and every older one are
+  /// durably saved. The generations feeding the oldest unsaved segment —
+  /// and everything after it, since replay must preserve append order —
+  /// hold the only durable copy of that data and must survive until a
+  /// retry or a compaction saves it. Caller holds publish_mu.
+  void RecomputeWalFloorLocked() {
+    uint64_t f = wal_floor;
+    for (const Entry& e : entries) {
+      if (!e.saved) break;
+      f = std::max(f, e.floor_after);
+    }
+    wal_floor = f;
+  }
 
   /// Rebuilds and publishes the ShardView from `entries`. Caller holds
   /// publish_mu.

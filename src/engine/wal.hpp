@@ -28,14 +28,16 @@
 // records are appended and flushed in order.
 #pragma once
 
+#include <algorithm>
 #include <cstdint>
 #include <cstdio>
+#include <cstring>
 #include <fstream>
 #include <sstream>
 #include <string>
 #include <vector>
 
-#ifdef __unix__
+#if defined(__unix__) || defined(__APPLE__)
 #include <unistd.h>
 #endif
 
@@ -115,7 +117,9 @@ class WalWriter {
         std::fflush(file_) != 0) {
       return Status::Error(ErrorCode::kIoError, "wal: append failed");
     }
-#ifdef __unix__
+#if defined(__unix__) || defined(__APPLE__)
+    // Darwin defines __APPLE__ but not __unix__ — without the second test
+    // sync_wal would silently compile to a no-op there.
     if (sync_ && ::fsync(fileno(file_)) != 0) {
       return Status::Error(ErrorCode::kIoError, "wal: fsync failed");
     }
@@ -158,19 +162,30 @@ inline std::vector<WalRecord> ReadWalFile(const std::string& path) {
     }
     if (wt::Fnv1a(body.data(), body.size()) != sum) return out;
 
-    std::istringstream bs(std::move(body));
+    // The payload's inner fields are untrusted even after the checksum
+    // matches (FNV-1a is not collision-resistant): bound each per-string
+    // bit length by the bytes actually left in the payload *before*
+    // computing the word count, so a huge `bits` can neither wrap
+    // (bits+63)/64 into an undersized buffer read out of bounds nor
+    // balloon the allocation.
+    const char* p = body.data();
+    uint64_t remaining = body.size();
     rec.strings.reserve(count);
     std::vector<uint64_t> words;
     for (uint32_t i = 0; i < count; ++i) {
       uint64_t bits = 0;
-      if (!wt::TryReadPod(bs, &bits)) return out;
-      words.assign((bits + 63) / 64, 0);
-      bs.read(reinterpret_cast<char*>(words.data()),
-              static_cast<std::streamsize>(words.size() * sizeof(uint64_t)));
-      if (bs.gcount() !=
-          static_cast<std::streamsize>(words.size() * sizeof(uint64_t))) {
-        return out;
-      }
+      if (remaining < sizeof(bits)) return out;
+      std::memcpy(&bits, p, sizeof(bits));
+      p += sizeof(bits);
+      remaining -= sizeof(bits);
+      if (bits > remaining * 8) return out;  // also rules out bits+63 wrap
+      const uint64_t nwords = (bits + 63) / 64;
+      const uint64_t nbytes = nwords * sizeof(uint64_t);
+      if (nbytes > remaining) return out;  // bits fit, but not whole words
+      words.assign(nwords, 0);
+      std::memcpy(words.data(), p, nbytes);
+      p += nbytes;
+      remaining -= nbytes;
       wt::BitString s;
       if (bits > 0) s.Append(wt::BitSpan(words.data(), 0, bits));
       rec.strings.push_back(std::move(s));

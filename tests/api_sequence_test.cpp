@@ -155,6 +155,10 @@ TYPED_TEST(ApiSequenceTest, SaveLoadRoundTripIsQueryIdentical) {
   ASSERT_TRUE(loaded.ok());
   ASSERT_EQ(loaded->size(), seq.size());
   ASSERT_EQ(loaded->NumDistinct(), seq.NumDistinct());
+  // The capacity budget must survive the round trip for every policy:
+  // downstream accounting (the engine's compaction guard) trusts it.
+  ASSERT_EQ(loaded->EncodedBits(), seq.EncodedBits());
+  ASSERT_GT(loaded->EncodedBits(), 0u);
   CheckAgainstNaive(*loaded, NaiveOf(values), values, 22);
   // The canonical static image makes re-save byte-identical.
   std::stringstream again;

@@ -22,6 +22,7 @@
 #include <map>
 #include <optional>
 #include <random>
+#include <sstream>
 #include <string>
 #include <thread>
 #include <vector>
@@ -451,6 +452,230 @@ TEST(EngineRecovery, RepeatedCrashAndRecoverCycles) {
   EXPECT_EQ(eng->size(), values.size());
   ASSERT_TRUE(eng->Flush().ok());
   ExpectMatchesOracle(eng->GetSnapshot(), values, 99);
+}
+
+TEST(EngineRecovery, UnsavedSegmentStaysOutOfManifestAndWalFloor) {
+  TempDir dir("unsaved");
+  StrEngine::Options opt;
+  opt.num_shards = 1;
+  opt.memtable_limit = 1 << 20;  // rotate only via Flush, so sizes are ours
+  opt.dir = dir.path.string();
+  const auto values = UrlWorkload(1000, 81);
+  {
+    auto eng = StrEngine::Open(opt).value();
+    // Block the first segment file (after Open — recovery's orphan scan
+    // would remove it): SaveSegment's rename onto an existing directory
+    // fails, so the frozen segment stays memory-only while its data lives
+    // solely in the WAL.
+    fs::create_directories(dir.path / "seg-0-0.wt");
+    ASSERT_TRUE(eng->AppendBatch({values.begin(), values.begin() + 900}).ok());
+    EXPECT_FALSE(eng->Flush().ok());  // the freeze ran, its save failed
+    // A later, smaller freeze saves fine (and is too small for the
+    // size-tiered policy to merge the blocked segment away: 900 > 3*100).
+    ASSERT_TRUE(
+        eng->AppendBatch({values.begin() + 900, values.begin() + 1000}).ok());
+    EXPECT_FALSE(eng->Flush().ok());  // the background error is sticky;
+                                      // the freeze itself succeeds
+    EXPECT_EQ(eng->size(), 1000u);
+    // The WAL generations feeding the unsaved segment must have survived
+    // the second (successful) freeze's floor advance and cleaning pass.
+    EXPECT_TRUE(fs::exists(dir.path / "wal-0-0.log"));
+  }
+  // The manifest must reference neither the unsaved segment nor anything
+  // stacked after it, so reopening recovers every string from the log
+  // instead of failing on a missing segment file.
+  auto reopened = StrEngine::Open(opt);
+  ASSERT_TRUE(reopened.ok()) << reopened.status().message();
+  auto eng = std::move(reopened).value();
+  EXPECT_EQ(eng->size(), 1000u);
+  ASSERT_TRUE(eng->Flush().ok());
+  ExpectMatchesOracle(eng->GetSnapshot(), values, 101);
+}
+
+TEST(EngineRecovery, FailedSegmentSaveIsRetriedByLaterFreezes) {
+  TempDir dir("retry");
+  StrEngine::Options opt;
+  opt.num_shards = 1;
+  opt.memtable_limit = 1 << 20;
+  opt.dir = dir.path.string();
+  const auto values = UrlWorkload(1000, 83);
+  auto eng = StrEngine::Open(opt).value();
+  fs::create_directories(dir.path / "seg-0-0.wt");  // block the first save
+  ASSERT_TRUE(eng->AppendBatch({values.begin(), values.begin() + 900}).ok());
+  EXPECT_FALSE(eng->Flush().ok());
+  // Clear the blocker: the next freeze retries the failed save, after
+  // which the manifest covers both segments and the floor advance lets
+  // the subsumed WAL generations be cleaned.
+  fs::remove(dir.path / "seg-0-0.wt");
+  ASSERT_TRUE(
+      eng->AppendBatch({values.begin() + 900, values.begin() + 1000}).ok());
+  // The first failure is sticky in BackgroundError, so assert the retry's
+  // success through the filesystem instead of the Flush status.
+  EXPECT_FALSE(eng->Flush().ok());
+  EXPECT_TRUE(fs::exists(dir.path / "seg-0-0.wt"));
+  EXPECT_FALSE(fs::exists(dir.path / "wal-0-0.log"));
+  EXPECT_FALSE(fs::exists(dir.path / "wal-0-1.log"));
+  eng.reset();
+  // With the WAL gone the segments are the only copy: reopening from them
+  // proves the retried save (and the manifest entry) is real.
+  eng = StrEngine::Open(opt).value();
+  EXPECT_EQ(eng->size(), 1000u);
+  ASSERT_TRUE(eng->Flush().ok());
+  ExpectMatchesOracle(eng->GetSnapshot(), values, 103);
+}
+
+TEST(WalRobustness, OversizedBitLengthFieldIsRejected) {
+  TempDir dir("walbits");
+  const fs::path path = dir.path / "wal-0-0.log";
+  // A record whose checksum matches but whose per-string bit length lies:
+  // near UINT64_MAX the word count (bits+63)/64 would wrap to a tiny
+  // buffer read far out of bounds; merely-huge values would balloon the
+  // allocation. Both must drop the record cleanly.
+  for (const uint64_t bits :
+       {UINT64_MAX, UINT64_MAX - 63, uint64_t(1) << 40}) {
+    std::ostringstream p;
+    wt::WritePod<uint64_t>(p, bits);
+    const std::string payload = std::move(p).str();
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    wt::WritePod<uint64_t>(out, /*batch_id=*/0);
+    wt::WritePod<uint32_t>(out, /*batch_shards=*/1);
+    wt::WritePod<uint32_t>(out, /*string_count=*/1);
+    wt::WritePod<uint64_t>(out, payload.size());
+    wt::WritePod<uint64_t>(out, wt::Fnv1a(payload.data(), payload.size()));
+    out.write(payload.data(),
+              static_cast<std::streamsize>(payload.size()));
+    out.close();
+    EXPECT_TRUE(engine::ReadWalFile(path.string()).empty()) << bits;
+  }
+}
+
+TEST(EngineRecovery, IncompleteMiddleBatchSalvagesLongestPrefix) {
+  TempDir dir("salvage");
+  // Hand-craft the sync_wal=false crash shape the replay rule alone cannot
+  // absorb: the OS persisted WAL pages out of order, so batch 1 lost its
+  // shard-1 slice while the *later* batch 2 is complete. Dropping batch 1
+  // whole leaves batch 2's placement inconsistent with the round-robin
+  // cursor; recovery must degrade to the longest consistent prefix
+  // (batch 0) instead of refusing to open.
+  const wt::ByteCodec codec;
+  const auto values = UrlWorkload(6, 91);
+  std::vector<wt::BitString> encs;
+  for (const std::string& v : values) encs.push_back(codec.Encode(v));
+  {
+    engine::WalWriter w0, w1;
+    ASSERT_TRUE(w0.Open((dir.path / "wal-0-0.log").string(), false).ok());
+    ASSERT_TRUE(w1.Open((dir.path / "wal-1-0.log").string(), false).ok());
+    // batch 0: strings 0,1 from cursor 0 -> shard0 {0}, shard1 {1}.
+    ASSERT_TRUE(w0.Append(0, 2, {encs[0].Span()}).ok());
+    ASSERT_TRUE(w1.Append(0, 2, {encs[1].Span()}).ok());
+    // batch 1: strings 2,3,4 from cursor 0 -> shard0 {2,4}, shard1 {3};
+    // shard 1's slice is the one the crash lost (never written here).
+    ASSERT_TRUE(w0.Append(1, 2, {encs[2].Span(), encs[4].Span()}).ok());
+    // batch 2: string 5 from cursor 1 -> shard1 only, and complete.
+    ASSERT_TRUE(w1.Append(2, 1, {encs[5].Span()}).ok());
+  }
+  StrEngine::Options opt;
+  opt.num_shards = 2;
+  opt.dir = dir.path.string();
+  auto opened = StrEngine::Open(opt);
+  ASSERT_TRUE(opened.ok()) << opened.status().message();
+  auto eng = std::move(opened).value();
+  EXPECT_EQ(eng->size(), 2u);  // batch 0 survives; batches 1 and 2 do not
+  ASSERT_TRUE(eng->Flush().ok());
+  const auto snap = eng->GetSnapshot();
+  ASSERT_EQ(snap.size(), 2u);
+  EXPECT_EQ(snap.Access(0).value(), values[0]);
+  EXPECT_EQ(snap.Access(1).value(), values[1]);
+  // The salvage freezes the recovered memtables right away, so the
+  // damaged generation is retired and cannot shadow later writes on the
+  // next recovery.
+  EXPECT_FALSE(fs::exists(dir.path / "wal-0-0.log"));
+  EXPECT_FALSE(fs::exists(dir.path / "wal-1-0.log"));
+  ASSERT_TRUE(eng->AppendBatch({values.begin() + 2, values.end()}).ok());
+  ASSERT_TRUE(eng->Flush().ok());
+  ExpectMatchesOracle(eng->GetSnapshot(), values, 105);
+}
+
+TEST(EngineRecovery, WhollyLostMiddleBatchSalvagesViaIdGap) {
+  TempDir dir("gap");
+  // A middle batch can lose ALL of its slices to out-of-order page
+  // persistence; it then never appears in the decoded records and is
+  // visible only as a gap in the batch-id sequence. The cut search must
+  // consider that gap, not just incomplete ids.
+  const wt::ByteCodec codec;
+  const auto values = UrlWorkload(4, 93);
+  std::vector<wt::BitString> encs;
+  for (const std::string& v : values) encs.push_back(codec.Encode(v));
+  {
+    engine::WalWriter w0, w1;
+    ASSERT_TRUE(w0.Open((dir.path / "wal-0-0.log").string(), false).ok());
+    ASSERT_TRUE(w1.Open((dir.path / "wal-1-0.log").string(), false).ok());
+    // batch 0: strings 0,1 from cursor 0 -> shard0 {0}, shard1 {1}.
+    ASSERT_TRUE(w0.Append(0, 2, {encs[0].Span()}).ok());
+    ASSERT_TRUE(w1.Append(0, 2, {encs[1].Span()}).ok());
+    // batch 1 (string 2 -> shard0 only) was wholly lost — nothing logged.
+    // batch 2: string 3 from cursor 1 -> shard1 only, complete.
+    ASSERT_TRUE(w1.Append(2, 1, {encs[3].Span()}).ok());
+  }
+  StrEngine::Options opt;
+  opt.num_shards = 2;
+  opt.dir = dir.path.string();
+  auto opened = StrEngine::Open(opt);
+  ASSERT_TRUE(opened.ok()) << opened.status().message();
+  auto eng = std::move(opened).value();
+  EXPECT_EQ(eng->size(), 2u);  // batch 0 survives, the gap cuts the rest
+  ASSERT_TRUE(eng->Flush().ok());
+  const auto snap = eng->GetSnapshot();
+  ASSERT_EQ(snap.size(), 2u);
+  EXPECT_EQ(snap.Access(0).value(), values[0]);
+  EXPECT_EQ(snap.Access(1).value(), values[1]);
+}
+
+TEST(EngineRecovery, SalvageRetiresDamagedGenerationsOnEveryShard) {
+  TempDir dir("retire");
+  // After a salvage, a shard whose memtable came back empty still held a
+  // WAL file with a dropped-but-complete batch; left behind, that batch
+  // would resurface on the next recovery and shadow — or render
+  // unsalvageable — batches acknowledged after this open.
+  const wt::ByteCodec codec;
+  const auto values = UrlWorkload(9, 95);
+  std::vector<wt::BitString> encs;
+  for (const std::string& v : values) encs.push_back(codec.Encode(v));
+  {
+    engine::WalWriter w0, w1, w2;
+    ASSERT_TRUE(w0.Open((dir.path / "wal-0-0.log").string(), false).ok());
+    ASSERT_TRUE(w1.Open((dir.path / "wal-1-0.log").string(), false).ok());
+    ASSERT_TRUE(w2.Open((dir.path / "wal-2-0.log").string(), false).ok());
+    // batch 0: strings 0,1 from cursor 0 -> shard0 {0}, shard1 {1}.
+    ASSERT_TRUE(w0.Append(0, 2, {encs[0].Span()}).ok());
+    ASSERT_TRUE(w1.Append(0, 2, {encs[1].Span()}).ok());
+    // batch 1: strings 2,3 from cursor 2 -> shard2 {2} (slice lost),
+    // shard0 {3} — incomplete.
+    ASSERT_TRUE(w0.Append(1, 2, {encs[3].Span()}).ok());
+    // batches 2 and 3: singletons beyond the damage, both complete.
+    ASSERT_TRUE(w1.Append(2, 1, {encs[4].Span()}).ok());
+    ASSERT_TRUE(w2.Append(3, 1, {encs[5].Span()}).ok());
+  }
+  StrEngine::Options opt;
+  opt.num_shards = 3;
+  opt.dir = dir.path.string();
+  auto opened = StrEngine::Open(opt);
+  ASSERT_TRUE(opened.ok()) << opened.status().message();
+  auto eng = std::move(opened).value();
+  EXPECT_EQ(eng->size(), 2u);  // batch 0 only
+  // The salvage settles before Open returns: shard 2 salvaged nothing,
+  // yet its generation (holding only the dropped batch 3) must be gone
+  // along with everyone else's.
+  EXPECT_FALSE(fs::exists(dir.path / "wal-0-0.log"));
+  EXPECT_FALSE(fs::exists(dir.path / "wal-1-0.log"));
+  EXPECT_FALSE(fs::exists(dir.path / "wal-2-0.log"));
+  // Writes acknowledged after the salvage survive the next crash+reopen.
+  ASSERT_TRUE(eng->AppendBatch({values.begin() + 2, values.end()}).ok());
+  eng.reset();
+  eng = StrEngine::Open(opt).value();
+  EXPECT_EQ(eng->size(), values.size());
+  ASSERT_TRUE(eng->Flush().ok());
+  ExpectMatchesOracle(eng->GetSnapshot(), values, 107);
 }
 
 // ---------------------------------------------------------------- capacity
