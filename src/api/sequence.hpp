@@ -47,6 +47,8 @@
 #include "core/codec.hpp"
 #include "core/dynamic_wavelet_trie.hpp"
 #include "core/wavelet_trie.hpp"
+#include "storage/image.hpp"
+#include "storage/pager.hpp"
 
 namespace wtrie {
 
@@ -485,7 +487,8 @@ class Sequence {
     if constexpr (kMutable) {
       out.trie_ = wt::WaveletTrie::BulkBuild(ExtractEncoded());
     } else {
-      out.trie_ = trie_;  // already static: plain copy
+      out.trie_ = trie_;      // already static: plain copy
+      out.storage_ = storage_;  // a borrowed trie needs its blob alive
     }
     return out;
   }
@@ -509,11 +512,15 @@ class Sequence {
 
   static constexpr uint64_t kMagic = 0x5754534551415031ull;  // "WTSEQAP1"
   // v2: the embedded WaveletTrie image switched to the directory-free RRR
-  // payload (trie stream version 3). Bumped in lockstep — and passed to the
-  // envelope reader as the *minimum* accepted version too — so files
-  // written by the previous format fail the envelope version check with a
-  // clean Load error instead of tripping the core loader's aborting assert.
-  static constexpr uint32_t kFormatVersion = 2;
+  // payload (trie stream version 3); v1 files fail the envelope version
+  // check with a clean Load error instead of tripping the core loader's
+  // aborting assert. v3: the consumed encoded-bits budget is persisted in
+  // the payload, so static Load no longer reconstructs it with the
+  // O(alphabet) distinct walk — that walk survives only as the v2 compat
+  // path (kMinFormatVersion stays at 2; both payloads embed the same trie
+  // stream).
+  static constexpr uint32_t kFormatVersion = 3;
+  static constexpr uint32_t kMinFormatVersion = 2;
 
   /// Serializes the whole structure: versioned, checksummed envelope around
   /// [codec state][canonical static image]. Mutable policies are frozen into
@@ -528,6 +535,7 @@ class Sequence {
     if constexpr (internal::kHasCodecState<Codec>) {
       codec_.SaveState(payload);
     }
+    wt::WritePod<uint64_t>(payload, encoded_bits_);  // v3 payload field
     if constexpr (kMutable) {
       wt::WaveletTrie::BulkBuild(ExtractEncoded()).Save(payload);
     } else {
@@ -550,10 +558,12 @@ class Sequence {
   /// a matching checksum can still trip the core loaders' asserts.
   static Result<Sequence> Load(std::istream& in) {
     uint32_t tag = 0;
+    uint32_t version = 0;
     std::string payload;
     const Status env = StatusFromEnvelopeError(
         wt::VersionedEnvelope::Read(in, kMagic, kFormatVersion, &tag, &payload,
-                                    /*min_version=*/kFormatVersion));
+                                    /*min_version=*/kMinFormatVersion,
+                                    &version));
     if (!env.ok()) return env;
     // The saved codec id must match the loading instantiation's. Custom
     // codecs without kCodecId all share id 0 — two *different* custom
@@ -569,6 +579,16 @@ class Sequence {
     if constexpr (internal::kHasCodecState<Codec>) {
       out.codec_.LoadState(body);
     }
+    uint64_t saved_bits = 0;
+    bool have_saved_bits = false;
+    if (version >= 3) {
+      // v3 payloads persist the consumed budget outright.
+      if (!wt::TryReadPod(body, &saved_bits)) {
+        return Status::Error(ErrorCode::kTruncatedStream,
+                             "Load: payload ended before encoded-bits field");
+      }
+      have_saved_bits = true;
+    }
     wt::WaveletTrie image;
     image.Load(body);
     if constexpr (kMutable) {
@@ -581,18 +601,114 @@ class Sequence {
       out.encoded_bits_ = TotalBits(enc);
       out.trie_.AppendBatch(enc);
     } else {
-      // Restore the consumed budget too: capacity accounting downstream
-      // (e.g. the engine's compaction guard) relies on EncodedBits() being
-      // faithful for loaded segments, not just freshly built ones. The
-      // distinct walk gives the identical sum in O(alphabet), not O(n).
-      uint64_t bits = 0;
-      image.ForEachDistinct([&](const wt::BitString& s, size_t count) {
-        bits += static_cast<uint64_t>(s.size()) * count;
-      });
-      out.encoded_bits_ = bits;
+      // Capacity accounting downstream (e.g. the engine's compaction
+      // guard) relies on EncodedBits() being faithful for loaded segments,
+      // not just freshly built ones. v2 compat path: reconstruct the sum
+      // with the O(alphabet) distinct walk the pre-v3 loader used.
+      if (!have_saved_bits) {
+        image.ForEachDistinct([&](const wt::BitString& s, size_t count) {
+          saved_bits += static_cast<uint64_t>(s.size()) * count;
+        });
+      }
+      out.encoded_bits_ = saved_bits;
       out.trie_ = std::move(image);
     }
     return out;
+  }
+
+  // --------------------------------------------------- v4 flat image
+  // (DESIGN.md #8). Where Save/Load stream the minimal payload and rebuild
+  // directories on load, the image persists ALL derived state at aligned,
+  // offset-addressed positions: loading borrows straight into the blob —
+  // no per-element work — and the blob can be a mapped file, so the
+  // engine's restart is O(#segments), not O(data).
+
+  /// The image bytes of this static sequence (codec state + trie with all
+  /// directories + the encoded-bits budget). Write them to a file
+  /// verbatim; they load from any 8-aligned copy.
+  std::string SerializeImage() const
+    requires(!kMutable)
+  {
+    wt::storage::ImageWriter w;
+    if constexpr (internal::kHasCodecState<Codec>) {
+      std::ostringstream st;
+      codec_.SaveState(st);
+      const std::string bytes = std::move(st).str();
+      w.BeginSection(wt::storage::kSecCodecState);
+      w.Pod<uint64_t>(bytes.size());
+      w.Array(reinterpret_cast<const uint8_t*>(bytes.data()), bytes.size());
+      w.EndSection();
+    }
+    trie_.SaveImage(w);
+    return w.Finish(internal::CodecIdOf<Codec>(), size(), encoded_bits_);
+  }
+
+  /// Borrows a static sequence out of a v4 image blob (mapped or heap) —
+  /// zero-copy, no rebuild; the sequence pins the blob for its lifetime.
+  /// VerifyMode::kFull (default) hashes the whole image first, so corrupt
+  /// or truncated blobs fail with a clean Status; kNone skips that pass
+  /// (trusted storage / datasets larger than RAM) while still
+  /// bounds-checking the layout.
+  static Result<Sequence> LoadImage(
+      std::shared_ptr<const wt::storage::Blob> blob, Codec codec = {},
+      wt::storage::VerifyMode verify = wt::storage::VerifyMode::kFull)
+    requires(!kMutable)
+  {
+    namespace stor = wt::storage;
+    if (blob == nullptr) {
+      return Status::Error(ErrorCode::kInvalidArgument, "LoadImage: null blob");
+    }
+    stor::ImageReader r;
+    switch (stor::ImageReader::Parse(blob->data(), blob->size(), verify, &r)) {
+      case stor::ImageError::kOk:
+        break;
+      case stor::ImageError::kBadMagic:
+        return Status::Error(ErrorCode::kCorruptStream,
+                             "LoadImage: not a v4 image");
+      case stor::ImageError::kBadVersion:
+        return Status::Error(ErrorCode::kVersionMismatch,
+                             "LoadImage: image version not supported");
+      case stor::ImageError::kTruncated:
+        return Status::Error(ErrorCode::kTruncatedStream,
+                             "LoadImage: image truncated");
+      case stor::ImageError::kBadLayout:
+        return Status::Error(ErrorCode::kCorruptStream,
+                             "LoadImage: section table out of bounds");
+      case stor::ImageError::kChecksumMismatch:
+        return Status::Error(ErrorCode::kCorruptStream,
+                             "LoadImage: image checksum mismatch");
+    }
+    if ((r.header().codec_id & 0xFF) != internal::CodecIdOf<Codec>()) {
+      return Status::Error(ErrorCode::kInvalidArgument,
+                           "LoadImage: image was saved with a different codec");
+    }
+    Sequence out(std::move(codec));
+    if constexpr (internal::kHasCodecState<Codec>) {
+      uint64_t len = 0;
+      const uint8_t* bytes = nullptr;
+      if (!r.OpenSection(stor::kSecCodecState) || !r.Pod(&len) ||
+          !r.Array(&bytes, len)) {
+        return Status::Error(ErrorCode::kCorruptStream,
+                             "LoadImage: bad codec-state section");
+      }
+      std::istringstream ss(
+          std::string(reinterpret_cast<const char*>(bytes), len));
+      out.codec_.LoadState(ss);
+    }
+    if (!out.trie_.LoadImage(r) || out.trie_.size() != r.header().n) {
+      return Status::Error(ErrorCode::kCorruptStream,
+                           "LoadImage: inconsistent trie sections");
+    }
+    out.encoded_bits_ = r.header().encoded_bits;
+    out.storage_ = std::move(blob);
+    return out;
+  }
+
+  /// The blob this sequence borrows from (null when heap-owned). Exposed
+  /// for lifetime observability: engine snapshots pin segments, segments
+  /// pin blobs, so a mapping unmaps exactly when the last snapshot drops.
+  const std::shared_ptr<const wt::storage::Blob>& storage() const {
+    return storage_;
   }
 
   // ------------------------------------------------------------------ admin
@@ -691,6 +807,10 @@ class Sequence {
   Codec codec_;
   Trie trie_;
   uint64_t encoded_bits_ = 0;
+  // Pins the mapped/heap image blob a borrowed static trie points into;
+  // null for heap-owned structures (set only by LoadImage, carried by
+  // copies and Freeze).
+  std::shared_ptr<const wt::storage::Blob> storage_;
 };
 
 }  // namespace wtrie

@@ -19,6 +19,8 @@
 #include "common/assert.hpp"
 #include "common/bit_array.hpp"
 #include "common/bits.hpp"
+#include "storage/image.hpp"
+#include "storage/vec.hpp"
 
 namespace wt {
 
@@ -118,12 +120,57 @@ class BitVector {
     Build();
   }
 
+  /// v4 flat image: persists the rank9 directory and the select samples
+  /// alongside the bits, so Load borrows everything and rebuilds nothing.
+  /// Array lengths are a function of (size, num_ones) — the reader derives
+  /// them rather than trusting length fields.
+  void SaveImage(storage::ImageWriter& w) const {
+    bits_.SaveImage(w);
+    w.Pod<uint64_t>(num_ones_);
+    WT_DASSERT(super_.size() == bits_.size() / kSuperBits + 2);
+    WT_DASSERT(block_.size() == bits_.size() / kSuperBits + 2);
+    WT_DASSERT(select1_samples_.size() == SampleCount(num_ones_));
+    WT_DASSERT(select0_samples_.size() == SampleCount(num_zeros()));
+    w.Array(super_.data(), super_.size());
+    w.Array(block_.data(), block_.size());
+    w.Array(select1_samples_.data(), select1_samples_.size());
+    w.Array(select0_samples_.data(), select0_samples_.size());
+  }
+  bool LoadImage(storage::ImageReader& r) {
+    if (!bits_.LoadImage(r)) return false;
+    uint64_t ones = 0;
+    if (!r.Pod(&ones) || ones > bits_.size()) return false;
+    num_ones_ = ones;
+    const size_t dir_entries = bits_.size() / kSuperBits + 2;
+    const uint64_t* super = nullptr;
+    const uint64_t* block = nullptr;
+    const uint32_t* s1 = nullptr;
+    const uint32_t* s0 = nullptr;
+    const size_t n1 = SampleCount(num_ones_);
+    const size_t n0 = SampleCount(bits_.size() - num_ones_);
+    if (!r.Array(&super, dir_entries) || !r.Array(&block, dir_entries) ||
+        !r.Array(&s1, n1) || !r.Array(&s0, n0)) {
+      return false;
+    }
+    super_ = storage::Vec<uint64_t>::Borrow(super, dir_entries);
+    block_ = storage::Vec<uint64_t>::Borrow(block, dir_entries);
+    select1_samples_ = storage::Vec<uint32_t>::Borrow(s1, n1);
+    select0_samples_ = storage::Vec<uint32_t>::Borrow(s0, n0);
+    return true;
+  }
+
   size_t SizeInBits() const {
     return bits_.SizeInBits() + 64 * (super_.capacity() + block_.capacity()) +
            32 * (select1_samples_.capacity() + select0_samples_.capacity());
   }
 
  private:
+  /// Entries BuildSelectSamples emits for k target bits: one per started
+  /// kSelectSample group, with a single 0 entry when there are none.
+  static size_t SampleCount(size_t k) {
+    return k == 0 ? 1 : (k + kSelectSample - 1) / kSelectSample;
+  }
+
   void Build() {
     const size_t n = bits_.size();
     const size_t num_super = n / kSuperBits + 1;
@@ -172,13 +219,17 @@ class BitVector {
     block_.shrink_to_fit();
     select1_samples_.shrink_to_fit();
     select0_samples_.shrink_to_fit();
+    // The moved-in bits may carry append-growth slack; dropping it makes a
+    // built BitVector byte-for-byte the same footprint as a reloaded one
+    // (the storage differential tests assert SizeInBits equality).
+    bits_.ShrinkToFit();
   }
 
   BitArray bits_;
-  std::vector<uint64_t> super_;  // absolute rank per superblock (+ sentinel)
-  std::vector<uint64_t> block_;  // 7 packed 9-bit per-word cumulative counts
-  std::vector<uint32_t> select1_samples_;
-  std::vector<uint32_t> select0_samples_;
+  storage::Vec<uint64_t> super_;  // absolute rank per superblock (+ sentinel)
+  storage::Vec<uint64_t> block_;  // 7 packed 9-bit per-word cumulative counts
+  storage::Vec<uint32_t> select1_samples_;
+  storage::Vec<uint32_t> select0_samples_;
   size_t num_ones_ = 0;
 };
 

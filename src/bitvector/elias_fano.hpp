@@ -27,23 +27,29 @@ class EliasFano {
   EliasFano(const std::vector<uint64_t>& values, uint64_t universe) {
     n_ = values.size();
     universe_ = universe;
-    if (n_ == 0) return;
-    WT_ASSERT_MSG(values.back() <= universe, "EliasFano: universe too small");
-    low_bits_ = (universe / n_ >= 2) ? CeilLog2(universe / n_) : 0;
+    // An empty sequence still builds its (empty) high bitvector, so a
+    // constructed EliasFano is indistinguishable from a reloaded one in
+    // every mode — the flat image format relies on the directory arrays
+    // always having their built-for-n shapes (DESIGN.md #8).
     BitArray high;
-    uint64_t prev = 0;
-    uint64_t prev_high = 0;
-    for (size_t i = 0; i < n_; ++i) {
-      const uint64_t v = values[i];
-      WT_ASSERT_MSG(v >= prev, "EliasFano: sequence not monotone");
-      prev = v;
-      if (low_bits_ > 0) low_.AppendBits(v & LowMask(low_bits_), low_bits_);
-      const uint64_t h = v >> low_bits_;
-      high.AppendRun(false, h - prev_high);
-      high.PushBack(true);
-      prev_high = h;
+    if (n_ > 0) {
+      WT_ASSERT_MSG(values.back() <= universe, "EliasFano: universe too small");
+      low_bits_ = (universe / n_ >= 2) ? CeilLog2(universe / n_) : 0;
+      uint64_t prev = 0;
+      uint64_t prev_high = 0;
+      for (size_t i = 0; i < n_; ++i) {
+        const uint64_t v = values[i];
+        WT_ASSERT_MSG(v >= prev, "EliasFano: sequence not monotone");
+        prev = v;
+        if (low_bits_ > 0) low_.AppendBits(v & LowMask(low_bits_), low_bits_);
+        const uint64_t h = v >> low_bits_;
+        high.AppendRun(false, h - prev_high);
+        high.PushBack(true);
+        prev_high = h;
+      }
     }
     high_ = BitVector(std::move(high));
+    low_.ShrinkToFit();  // footprint parity with a reloaded instance
   }
 
   /// The i-th value (0-based).
@@ -77,6 +83,31 @@ class EliasFano {
     low_bits_ = ReadPod<uint32_t>(in);
     high_.Load(in);
     low_.Load(in);
+  }
+
+  /// v4 flat image (DESIGN.md #8): both component bitvectors persist their
+  /// directories, so nothing is rebuilt on load.
+  void SaveImage(storage::ImageWriter& w) const {
+    w.Pod<uint64_t>(n_);
+    w.Pod<uint64_t>(universe_);
+    w.Pod<uint32_t>(low_bits_);
+    high_.SaveImage(w);
+    low_.SaveImage(w);
+  }
+  bool LoadImage(storage::ImageReader& r) {
+    uint64_t n = 0, universe = 0;
+    uint32_t low_bits = 0;
+    if (!r.Pod(&n) || !r.Pod(&universe) || !r.Pod(&low_bits)) return false;
+    if (low_bits > 64) return false;
+    if (!high_.LoadImage(r) || !low_.LoadImage(r)) return false;
+    // Access(i) selects the i-th high one and reads i*low_bits low bits.
+    if (high_.num_ones() != n || low_.size() != n * uint64_t(low_bits)) {
+      return false;
+    }
+    n_ = n;
+    universe_ = universe;
+    low_bits_ = low_bits;
+    return true;
   }
 
   size_t SizeInBits() const {

@@ -37,6 +37,8 @@
 #include "common/bit_array.hpp"
 #include "common/bits.hpp"
 #include "common/serialize.hpp"
+#include "storage/image.hpp"
+#include "storage/vec.hpp"
 
 namespace wt {
 
@@ -351,6 +353,50 @@ class Rrr {
     RebuildDirectory();
   }
 
+  /// v4 flat image: the interleaved superblock directory and both select
+  /// sample arrays are persisted with the payload, so LoadImage borrows
+  /// everything — no class-stream scan, no sample rebuild. Array lengths
+  /// are derived from (n, num_ones, num_blocks), never read from the blob.
+  void SaveImage(storage::ImageWriter& w) const {
+    w.Pod<uint64_t>(n_);
+    w.Pod<uint64_t>(num_ones_);
+    w.Pod<uint64_t>(num_blocks_);
+    classes_.SaveImage(w);
+    offsets_.SaveImage(w);
+    WT_DASSERT(sb_.size() == SuperCount(num_blocks_));
+    WT_DASSERT(select1_samples_.size() == SampleCount(num_ones_));
+    WT_DASSERT(select0_samples_.size() == SampleCount(n_ - num_ones_));
+    w.Array(sb_.data(), sb_.size());
+    w.Array(select1_samples_.data(), select1_samples_.size());
+    w.Array(select0_samples_.data(), select0_samples_.size());
+  }
+  bool LoadImage(storage::ImageReader& r) {
+    uint64_t n = 0, ones = 0, blocks = 0;
+    if (!r.Pod(&n) || !r.Pod(&ones) || !r.Pod(&blocks)) return false;
+    if (n > kMaxBits || ones > n ||
+        blocks != (n + kBlockBits - 1) / kBlockBits) {
+      return false;
+    }
+    if (!classes_.LoadImage(r) || !offsets_.LoadImage(r)) return false;
+    if (classes_.size() != blocks * kClassFieldBits) return false;
+    const uint64_t* sb = nullptr;
+    const uint32_t* s1 = nullptr;
+    const uint32_t* s0 = nullptr;
+    const size_t nsb = SuperCount(blocks);
+    const size_t n1 = SampleCount(ones);
+    const size_t n0 = SampleCount(n - ones);
+    if (!r.Array(&sb, nsb) || !r.Array(&s1, n1) || !r.Array(&s0, n0)) {
+      return false;
+    }
+    n_ = n;
+    num_ones_ = ones;
+    num_blocks_ = blocks;
+    sb_ = storage::Vec<uint64_t>::Borrow(sb, nsb);
+    select1_samples_ = storage::Vec<uint32_t>::Borrow(s1, n1);
+    select0_samples_ = storage::Vec<uint32_t>::Borrow(s0, n0);
+    return true;
+  }
+
   size_t SizeInBits() const {
     return offsets_.SizeInBits() + classes_.SizeInBits() + 64 * sb_.capacity() +
            32 * (select1_samples_.capacity() + select0_samples_.capacity());
@@ -399,6 +445,16 @@ class Rrr {
   static void CheckCapacity(size_t n) {
     WT_ASSERT_MSG(n <= kMaxBits,
                   "Rrr: single vector capped at 2^32-1 bits (shard instead)");
+  }
+
+  /// Directory entries construction pushes for `blocks` blocks: one per
+  /// started superblock plus the final sentinel (a lone sentinel when
+  /// empty).
+  static size_t SuperCount(size_t blocks) {
+    return blocks == 0 ? 1 : (blocks - 1) / kBlocksPerSuper + 2;
+  }
+  static size_t SampleCount(size_t k) {
+    return k == 0 ? 1 : (k + kSelectSample - 1) / kSelectSample;
   }
 
   size_t SbRank(size_t sb) const { return static_cast<uint32_t>(sb_[sb]); }
@@ -573,9 +629,9 @@ class Rrr {
   BitArray offsets_;  // variable-width combinadic offsets
   // Interleaved superblock directory (+ final sentinel): low 32 bits = ones
   // before the superblock, high 32 bits = offset-stream bit position.
-  std::vector<uint64_t> sb_;
-  std::vector<uint32_t> select1_samples_;
-  std::vector<uint32_t> select0_samples_;
+  storage::Vec<uint64_t> sb_;
+  storage::Vec<uint32_t> select1_samples_;
+  storage::Vec<uint32_t> select0_samples_;
 };
 
 class Rrr::Builder {

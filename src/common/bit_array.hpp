@@ -2,7 +2,9 @@
 //
 // This is the raw storage type every bitvector in the library is built from.
 // It deliberately has no rank/select support; see bitvector/ for indexed
-// structures.
+// structures. The word storage goes through storage::Vec, so a BitArray can
+// borrow its words straight out of a mapped v4 image (DESIGN.md #8);
+// borrowed arrays are read-only.
 #pragma once
 
 #include <algorithm>
@@ -12,6 +14,8 @@
 #include "common/assert.hpp"
 #include "common/bits.hpp"
 #include "common/serialize.hpp"
+#include "storage/image.hpp"
+#include "storage/vec.hpp"
 
 namespace wt {
 
@@ -20,7 +24,8 @@ class BitArray {
   BitArray() = default;
 
   /// Constructs an array of `n` copies of `bit`.
-  BitArray(size_t n, bool bit) : words_(WordsFor(n), bit ? ~uint64_t(0) : 0), size_(n) {
+  BitArray(size_t n, bool bit) : size_(n) {
+    words_.assign(WordsFor(n), bit ? ~uint64_t(0) : 0);
     TrimLastWord();
   }
 
@@ -36,7 +41,7 @@ class BitArray {
   void AppendBits(uint64_t value, size_t len) {
     WT_DASSERT(len <= 64);
     Reserve(size_ + len);
-    StoreBits(words_.data(), size_, len, value);
+    StoreBits(words_.mutable_data(), size_, len, value);
     size_ += len;
   }
 
@@ -48,7 +53,7 @@ class BitArray {
     Reserve(size_ + len);
     if ((size_ & 63) == 0 && (start & 63) == 0) {
       const uint64_t* from = src + (start >> 6);
-      std::copy(from, from + WordsFor(len), words_.begin() + (size_ >> 6));
+      std::copy(from, from + WordsFor(len), words_.mutable_data() + (size_ >> 6));
       size_ += len;
       TrimLastWord();
       return;
@@ -56,7 +61,7 @@ class BitArray {
     size_t i = 0;
     while (i < len) {
       const size_t chunk = std::min<size_t>(64, len - i);
-      StoreBits(words_.data(), size_ + i, chunk, LoadBits(src, start + i, chunk));
+      StoreBits(words_.mutable_data(), size_ + i, chunk, LoadBits(src, start + i, chunk));
       i += chunk;
     }
     size_ += len;
@@ -75,7 +80,7 @@ class BitArray {
     size_t i = 0;
     while (i < n) {
       const size_t chunk = std::min<size_t>(64, n - i);
-      StoreBits(words_.data(), size_ + i, chunk, fill);
+      StoreBits(words_.mutable_data(), size_ + i, chunk, fill);
       i += chunk;
     }
     size_ += n;
@@ -127,14 +132,43 @@ class BitArray {
   /// Releases slack capacity; call once a structure becomes static.
   void ShrinkToFit() { words_.shrink_to_fit(); }
 
+  /// v3 stream format (byte-identical to the pre-storage-layer WriteVec
+  /// layout: u64 bit size, u64 word count, raw words).
   void Save(std::ostream& out) const {
     WritePod<uint64_t>(out, size_);
-    WriteVec(out, words_);
+    WritePod<uint64_t>(out, words_.size());
+    out.write(reinterpret_cast<const char*>(words_.data()),
+              static_cast<std::streamsize>(words_.size() * sizeof(uint64_t)));
   }
   void Load(std::istream& in) {
     size_ = ReadPod<uint64_t>(in);
-    words_ = ReadVec<uint64_t>(in);
+    const uint64_t n = ReadPod<uint64_t>(in);
+    words_.clear();
+    words_.resize(n);
+    in.read(reinterpret_cast<char*>(words_.mutable_data()),
+            static_cast<std::streamsize>(n * sizeof(uint64_t)));
+    WT_ASSERT_MSG(in.good() || n == 0, "serialize: truncated stream");
     WT_ASSERT_MSG(words_.size() == WordsFor(size_), "BitArray: corrupt stream");
+  }
+
+  /// v4 flat image: the words are persisted verbatim and borrowed back on
+  /// load — zero copies, no rebuild (DESIGN.md #8).
+  void SaveImage(storage::ImageWriter& w) const {
+    w.Pod<uint64_t>(size_);
+    w.Array(words_.data(), words_.size());
+  }
+  bool LoadImage(storage::ImageReader& r) {
+    uint64_t n = 0;
+    if (!r.Pod(&n)) return false;
+    // Reject bit counts whose word count would wrap WordsFor's +63 (a
+    // forged n near 2^64 must not alias an empty array) — the Array
+    // bounds check below then caps n at 64x the section size.
+    if (n > UINT64_MAX - 63) return false;
+    const uint64_t* words = nullptr;
+    if (!r.Array(&words, WordsFor(n))) return false;
+    size_ = n;
+    words_ = storage::Vec<uint64_t>::Borrow(words, WordsFor(n));
+    return true;
   }
 
   friend bool operator==(const BitArray& a, const BitArray& b) {
@@ -160,7 +194,7 @@ class BitArray {
     if (tail != 0 && !words_.empty()) words_.back() &= LowMask(tail);
   }
 
-  std::vector<uint64_t> words_;
+  storage::Vec<uint64_t> words_;
   size_t size_ = 0;
 };
 

@@ -119,10 +119,14 @@ struct VersionedEnvelope {
   /// `max_version` rejects formats newer than the reader understands;
   /// `min_version` rejects older formats whose payload the caller can no
   /// longer parse (so a stale file is a clean error, not a downstream
-  /// parser abort).
+  /// parser abort). `version_out`, when given, receives the version read,
+  /// so callers that accept a version *range* can parse the payload
+  /// accordingly (the Sequence envelope does: v2 payloads lack the
+  /// persisted encoded-bits field v3 added).
   static ReadError Read(std::istream& in, uint64_t magic, uint32_t max_version,
                         uint32_t* tag, std::string* payload,
-                        uint32_t min_version = 1) {
+                        uint32_t min_version = 1,
+                        uint32_t* version_out = nullptr) {
     uint64_t m = 0;
     if (!TryReadPod(in, &m)) return ReadError::kTruncated;
     if (m != magic) return ReadError::kBadMagic;
@@ -131,6 +135,7 @@ struct VersionedEnvelope {
     if (version == 0 || version < min_version || version > max_version) {
       return ReadError::kBadVersion;
     }
+    if (version_out != nullptr) *version_out = version;
     uint32_t t = 0;
     uint64_t len = 0, sum = 0;
     if (!TryReadPod(in, &t) || !TryReadPod(in, &len) || !TryReadPod(in, &sum)) {

@@ -45,6 +45,8 @@
 #include "common/assert.hpp"
 #include "common/bit_string.hpp"
 #include "core/batch_dedup.hpp"
+#include "storage/image.hpp"
+#include "storage/vec.hpp"
 #include "succinct/binary_tree_shape.hpp"
 
 namespace wt {
@@ -659,6 +661,85 @@ class WaveletTrie {
     BuildHeaders();
   }
 
+  /// v4 flat image (DESIGN.md #8): one section per component, every
+  /// derived directory *and the flat node headers* persisted, so LoadImage
+  /// borrows the whole trie out of the blob with no rebuild pass — the
+  /// structure is query-ready the moment the bytes are visible.
+  void SaveImage(storage::ImageWriter& w) const {
+    w.BeginSection(storage::kSecTrie);
+    w.Pod<uint64_t>(n_);
+    w.EndSection();
+    if (n_ == 0) return;
+    w.BeginSection(storage::kSecShape);
+    shape_.SaveImage(w);
+    w.EndSection();
+    w.BeginSection(storage::kSecLabels);
+    labels_.SaveImage(w);
+    w.EndSection();
+    w.BeginSection(storage::kSecLabelEnds);
+    label_ends_.SaveImage(w);
+    w.EndSection();
+    w.BeginSection(storage::kSecBeta);
+    beta_.SaveImage(w);
+    w.EndSection();
+    w.BeginSection(storage::kSecBetaEnds);
+    beta_ends_.SaveImage(w);
+    w.EndSection();
+    w.BeginSection(storage::kSecHeaders);
+    w.Pod<uint64_t>(headers_.size());
+    w.Array(headers_.data(), headers_.size());
+    w.EndSection();
+  }
+
+  /// Borrows a trie out of a parsed image. Never aborts: every bounds or
+  /// consistency failure returns false (the caller translates it into a
+  /// clean Status). The blob must stay alive as long as the trie.
+  bool LoadImage(storage::ImageReader& r) {
+    if (!r.OpenSection(storage::kSecTrie)) return false;
+    uint64_t n = 0;
+    if (!r.Pod(&n)) return false;
+    if (n == 0) {
+      *this = WaveletTrie();
+      return true;
+    }
+    WaveletTrie out;
+    out.n_ = n;
+    if (!r.OpenSection(storage::kSecShape) || !out.shape_.LoadImage(r)) {
+      return false;
+    }
+    if (!r.OpenSection(storage::kSecLabels) || !out.labels_.LoadImage(r)) {
+      return false;
+    }
+    if (!r.OpenSection(storage::kSecLabelEnds) ||
+        !out.label_ends_.LoadImage(r)) {
+      return false;
+    }
+    if (!r.OpenSection(storage::kSecBeta) || !out.beta_.LoadImage(r)) {
+      return false;
+    }
+    if (!r.OpenSection(storage::kSecBetaEnds) || !out.beta_ends_.LoadImage(r)) {
+      return false;
+    }
+    // Cross-component shape checks: a full binary tree with one delimiter
+    // per node (labels) and per internal node (betas).
+    const size_t nodes = out.shape_.NumNodes();
+    if (nodes == 0 || nodes != 2 * out.shape_.NumInternal() + 1 ||
+        out.label_ends_.size() != nodes ||
+        out.beta_ends_.size() != out.shape_.NumInternal()) {
+      return false;
+    }
+    if (!r.OpenSection(storage::kSecHeaders)) return false;
+    uint64_t num_headers = 0;
+    if (!r.Pod(&num_headers)) return false;
+    // Headers are either complete or absent (the >= 2^32 fallback).
+    if (num_headers != 0 && num_headers != nodes) return false;
+    const NodeHeader* headers = nullptr;
+    if (!r.Array(&headers, num_headers)) return false;
+    out.headers_ = storage::Vec<NodeHeader>::Borrow(headers, num_headers);
+    *this = std::move(out);
+    return true;
+  }
+
   size_t SizeInBits() const {
     return labels_.SizeInBits() + label_ends_.SizeInBits() + beta_.SizeInBits() +
            beta_ends_.SizeInBits() + shape_.SizeInBits() +
@@ -1188,7 +1269,8 @@ class WaveletTrie {
   EliasFano label_ends_;  // cumulative label lengths per node
   Rrr beta_;              // concatenated internal-node bitvectors, preorder
   EliasFano beta_ends_;   // cumulative beta lengths per internal node
-  std::vector<NodeHeader> headers_;  // derived query fast path (not saved)
+  // Derived query fast path: rebuilt on v3 Load, persisted+borrowed by v4.
+  storage::Vec<NodeHeader> headers_;
 };
 
 }  // namespace wt

@@ -1,0 +1,222 @@
+// Pager: memory-mapped (or heap-buffered) blobs with a per-engine cache
+// (DESIGN.md #8).
+//
+// A Blob is an immutable byte range with shared ownership. Two concrete
+// kinds:
+//
+//   * MappedBlob — POSIX mmap(PROT_READ, MAP_PRIVATE) with optional
+//     madvise residency hints; pages fault in on demand, the OS page cache
+//     is the buffer pool, and the dataset may exceed RAM;
+//   * HeapBlob — the file read into an 8-aligned heap buffer; the
+//     portability fallback (and the "heap-loaded twin" the differential
+//     tests compare the mapped path against).
+//
+// Lifetime/pinning: blobs are handed out as shared_ptr. A borrowed segment
+// (api/sequence.hpp) keeps its blob alive; engine snapshots keep segments
+// alive; so a mapping is pinned for the lifetime of every snapshot that
+// can reach it, and unmapped exactly when the last reference drops. On
+// POSIX an unlinked-but-mapped file stays readable, so compaction may
+// delete a victim segment's file while old snapshots still serve from it —
+// the Pager's cache holds weak_ptrs precisely so it never extends that
+// lifetime itself.
+#pragma once
+
+#include <cstdint>
+#include <fstream>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <utility>
+
+#include "common/assert.hpp"
+
+#if defined(__unix__) || defined(__APPLE__)
+#define WT_STORAGE_HAS_MMAP 1
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+#endif
+
+namespace wt::storage {
+
+class Blob {
+ public:
+  virtual ~Blob() = default;
+  const uint8_t* data() const { return data_; }
+  size_t size() const { return size_; }
+  bool mapped() const { return mapped_; }
+
+ protected:
+  const uint8_t* data_ = nullptr;
+  size_t size_ = 0;
+  bool mapped_ = false;
+};
+
+/// Residency hint applied when a file is mapped.
+enum class Advise {
+  kNormal,    // default kernel readahead
+  kRandom,    // point-query serving: don't over-read around faults
+  kWillNeed,  // prefetch the whole file (verification passes do this anyway)
+};
+
+class HeapBlob final : public Blob {
+ public:
+  explicit HeapBlob(size_t size)  // for_overwrite: the caller fills it —
+      : words_(std::make_unique_for_overwrite<uint64_t[]>((size + 7) / 8)) {
+    data_ = reinterpret_cast<const uint8_t*>(words_.get());
+    size_ = size;
+  }
+  uint8_t* mutable_data() {
+    return reinterpret_cast<uint8_t*>(words_.get());
+  }
+
+ private:
+  // uint64_t backing guarantees the 8-byte alignment borrowed arrays need.
+  std::unique_ptr<uint64_t[]> words_;
+};
+
+/// Reads a whole file into a HeapBlob; null + *err on failure.
+inline std::shared_ptr<const Blob> ReadFileBlob(const std::string& path,
+                                                std::string* err) {
+  std::ifstream in(path, std::ios::binary | std::ios::ate);
+  if (!in.good()) {
+    if (err != nullptr) *err = "cannot open " + path;
+    return nullptr;
+  }
+  const std::streamoff size = in.tellg();
+  in.seekg(0);
+  auto blob = std::make_shared<HeapBlob>(static_cast<size_t>(size));
+  in.read(reinterpret_cast<char*>(blob->mutable_data()), size);
+  if (in.gcount() != size) {
+    if (err != nullptr) *err = "short read on " + path;
+    return nullptr;
+  }
+  return blob;
+}
+
+#if WT_STORAGE_HAS_MMAP
+class MappedBlob final : public Blob {
+ public:
+  ~MappedBlob() override {
+    if (addr_ != nullptr && len_ != 0) ::munmap(addr_, len_);
+  }
+
+  static std::shared_ptr<const Blob> Map(const std::string& path, Advise adv,
+                                         std::string* err) {
+    const int fd = ::open(path.c_str(), O_RDONLY);
+    if (fd < 0) {
+      if (err != nullptr) *err = "cannot open " + path;
+      return nullptr;
+    }
+    struct stat st{};
+    if (::fstat(fd, &st) != 0) {
+      ::close(fd);
+      if (err != nullptr) *err = "cannot stat " + path;
+      return nullptr;
+    }
+    const size_t len = static_cast<size_t>(st.st_size);
+    auto blob = std::make_shared<MappedBlob>();
+    if (len > 0) {
+      void* addr = ::mmap(nullptr, len, PROT_READ, MAP_PRIVATE, fd, 0);
+      if (addr == MAP_FAILED) {
+        ::close(fd);
+        if (err != nullptr) *err = "mmap failed on " + path;
+        return nullptr;
+      }
+      blob->addr_ = addr;
+      blob->len_ = len;
+      blob->data_ = static_cast<const uint8_t*>(addr);
+      blob->size_ = len;
+      blob->mapped_ = true;
+      switch (adv) {
+        case Advise::kNormal:
+          break;
+        case Advise::kRandom:
+          ::madvise(addr, len, MADV_RANDOM);
+          break;
+        case Advise::kWillNeed:
+          ::madvise(addr, len, MADV_WILLNEED);
+          break;
+      }
+    }
+    ::close(fd);  // the mapping outlives the descriptor
+    return blob;
+  }
+
+ private:
+  void* addr_ = nullptr;
+  size_t len_ = 0;
+};
+#endif  // WT_STORAGE_HAS_MMAP
+
+/// Maps a file (heap-reads where mmap is unavailable or declined).
+inline std::shared_ptr<const Blob> MapFileBlob(const std::string& path,
+                                               bool prefer_mmap, Advise adv,
+                                               std::string* err) {
+#if WT_STORAGE_HAS_MMAP
+  if (prefer_mmap) return MappedBlob::Map(path, adv, err);
+#else
+  (void)prefer_mmap;
+  (void)adv;
+#endif
+  return ReadFileBlob(path, err);
+}
+
+/// Per-engine blob cache: path -> live mapping. Map() returns the existing
+/// mapping when one is still pinned somewhere (so N snapshots of one
+/// segment share one mapping), otherwise maps afresh. Weak entries mean
+/// the cache itself never delays an unmap; Drop() is bookkeeping hygiene
+/// after a file is deleted (seg seqs are never reused, so a stale entry
+/// could never be *wrong*, just dead weight).
+class Pager {
+ public:
+  struct Options {
+    bool prefer_mmap = true;
+    Advise advise = Advise::kNormal;
+  };
+
+  Pager() = default;
+  explicit Pager(Options opt) : opt_(opt) {}
+
+  std::shared_ptr<const Blob> Map(const std::string& path, std::string* err) {
+    {
+      std::lock_guard<std::mutex> lk(mu_);
+      auto it = cache_.find(path);
+      if (it != cache_.end()) {
+        if (std::shared_ptr<const Blob> live = it->second.lock()) return live;
+        cache_.erase(it);
+      }
+    }
+    std::shared_ptr<const Blob> blob =
+        MapFileBlob(path, opt_.prefer_mmap, opt_.advise, err);
+    if (blob != nullptr) {
+      std::lock_guard<std::mutex> lk(mu_);
+      cache_[path] = blob;
+    }
+    return blob;
+  }
+
+  void Drop(const std::string& path) {
+    std::lock_guard<std::mutex> lk(mu_);
+    cache_.erase(path);
+  }
+
+  /// Cache entries whose mapping is still alive (observability/tests).
+  size_t LiveMappings() const {
+    std::lock_guard<std::mutex> lk(mu_);
+    size_t live = 0;
+    for (const auto& [path, weak] : cache_) {
+      live += weak.expired() ? 0 : 1;
+    }
+    return live;
+  }
+
+ private:
+  Options opt_;
+  mutable std::mutex mu_;
+  std::unordered_map<std::string, std::weak_ptr<const Blob>> cache_;
+};
+
+}  // namespace wt::storage

@@ -26,6 +26,8 @@
 #include "common/assert.hpp"
 #include "common/bit_array.hpp"
 #include "common/bits.hpp"
+#include "storage/image.hpp"
+#include "storage/vec.hpp"
 
 namespace wt {
 
@@ -101,6 +103,31 @@ class BinaryTreeShape {
     seg_tot_.clear();
     seg_min_.clear();
     BuildDirectory();
+  }
+
+  /// v4 flat image: the preorder bitmap (with its rank directory) and the
+  /// excess segment tree are persisted; load borrows both.
+  void SaveImage(storage::ImageWriter& w) const {
+    bits_.SaveImage(w);
+    WT_DASSERT(seg_tot_.size() == 2 * seg_leaves_ &&
+               seg_min_.size() == 2 * seg_leaves_);
+    w.Array(seg_tot_.data(), seg_tot_.size());
+    w.Array(seg_min_.data(), seg_min_.size());
+  }
+  bool LoadImage(storage::ImageReader& r) {
+    if (!bits_.LoadImage(r)) return false;
+    const size_t n = bits_.size();
+    const size_t blocks = (n + kBlockBits - 1) / kBlockBits;
+    const size_t leaves =
+        blocks == 0 ? 0 : size_t(1) << CeilLog2(std::max<size_t>(blocks, 1));
+    const int32_t* tot = nullptr;
+    const int32_t* mn = nullptr;
+    if (!r.Array(&tot, 2 * leaves) || !r.Array(&mn, 2 * leaves)) return false;
+    num_blocks_ = blocks;
+    seg_leaves_ = leaves;
+    seg_tot_ = storage::Vec<int32_t>::Borrow(tot, 2 * leaves);
+    seg_min_ = storage::Vec<int32_t>::Borrow(mn, 2 * leaves);
+    return true;
   }
 
   size_t SizeInBits() const {
@@ -252,8 +279,8 @@ class BinaryTreeShape {
   BitVector bits_;
   size_t num_blocks_ = 0;
   size_t seg_leaves_ = 0;
-  std::vector<int32_t> seg_tot_;
-  std::vector<int32_t> seg_min_;
+  storage::Vec<int32_t> seg_tot_;
+  storage::Vec<int32_t> seg_min_;
 };
 
 }  // namespace wt
