@@ -62,11 +62,13 @@
 #include "api/result.hpp"
 #include "api/sequence.hpp"
 #include "engine/manifest.hpp"
+#include "engine/recovery_invariants.hpp"
 #include "engine/segment_stack.hpp"
 #include "engine/shard.hpp"
 #include "engine/snapshot.hpp"
 #include "engine/thread_pool.hpp"
 #include "engine/wal.hpp"
+#include "io/vfs.hpp"
 #include "storage/image.hpp"
 #include "storage/pager.hpp"
 
@@ -115,6 +117,10 @@ class Engine {
     /// suspected. Loading images from *untrusted* sources goes through
     /// Sequence::LoadImage, whose default stays VerifyMode::kFull.
     bool verify_segment_checksums = false;
+    /// Filesystem seam every durability path goes through (io/vfs.hpp).
+    /// Null uses the real filesystem; tests inject a FaultVfs to script
+    /// I/O errors, torn writes, and power loss deterministically.
+    std::shared_ptr<wt::io::Vfs> vfs;
   };
 
   struct ShardStats {
@@ -127,21 +133,20 @@ class Engine {
   /// manifest's segments and replays the WAL tail (complete batches only)
   /// into fresh memtables before returning.
   static Result<std::unique_ptr<Engine>> Open(Options opt, Codec codec = {}) {
-    namespace fs = std::filesystem;
     if (opt.num_shards == 0) {
       return Status::Error(ErrorCode::kInvalidArgument,
                            "Engine: num_shards must be >= 1");
     }
+    wt::io::Vfs& vfs =
+        opt.vfs != nullptr ? *opt.vfs : wt::io::RealVfs::Instance();
     engine::Manifest manifest;
     bool have_manifest = false;
     if (!opt.dir.empty()) {
-      std::error_code ec;
-      fs::create_directories(opt.dir, ec);
-      if (ec) {
+      if (Status st = vfs.CreateDirs(opt.dir); !st.ok()) {
         return Status::Error(ErrorCode::kIoError,
                              "Engine: cannot create directory");
       }
-      Result<engine::Manifest> m = engine::ReadManifest(opt.dir);
+      Result<engine::Manifest> m = engine::ReadManifest(opt.dir, vfs);
       if (m.ok()) {
         manifest = std::move(m).value();
         have_manifest = true;
@@ -221,6 +226,11 @@ class Engine {
     if (durable()) {
       for (size_t s = 0; s < n; ++s) {
         if (slice[s].empty()) continue;
+        // A previous failure may have left this writer closed (even
+        // opening the replacement generation failed). One transient error
+        // must not wedge the shard until reopen: try a fresh generation
+        // before giving up on the batch.
+        if (!shards_[s].wal.is_open()) AbandonWalGenerationLocked(s);
         if (Status st = shards_[s].wal.Append(batch_id, touched, slice[s]);
             !st.ok()) {
           // No memtable was touched yet; the partially-logged batch is
@@ -231,6 +241,13 @@ class Engine {
           // generation: later batches go to a fresh file (separate files
           // replay independently, in generation order).
           AbandonWalGenerationLocked(s);
+          // The failed slice may nonetheless be durable and complete — a
+          // write that landed whose *fsync* failed. Without a revocation,
+          // recovery would replay this dropped batch; stacked after later
+          // acknowledged batches it breaks round-robin placement and can
+          // cost them their salvage. Log the revocation so the batch can
+          // never be complete.
+          RevokeBatchLocked(s, batch_id);
           return st;
         }
       }
@@ -341,8 +358,19 @@ class Engine {
   const Codec& codec() const { return codec_; }
 
  private:
+  static wt::storage::Pager::Options PagerOptionsFor(const Options& opt) {
+    wt::storage::Pager::Options po;
+    // An injected VFS intercepts segment opens too (it implements
+    // BlobSource); the default pager maps straight from the filesystem.
+    po.source = opt.vfs.get();
+    return po;
+  }
+
   Engine(Options opt, Codec codec)
-      : opt_(std::move(opt)), codec_(std::move(codec)), shards_(opt_.num_shards) {
+      : opt_(std::move(opt)),
+        codec_(std::move(codec)),
+        pager_(PagerOptionsFor(opt_)),
+        shards_(opt_.num_shards) {
     for (auto& sh : shards_) {
       sh.memtable = Memtable(codec_);
       std::lock_guard<std::mutex> lk(sh.publish_mu);
@@ -358,6 +386,10 @@ class Engine {
 
   bool durable() const { return !opt_.dir.empty(); }
 
+  wt::io::Vfs& vfs() const {
+    return opt_.vfs != nullptr ? *opt_.vfs : wt::io::RealVfs::Instance();
+  }
+
   std::filesystem::path PathOf(const std::string& name) const {
     return std::filesystem::path(opt_.dir) / name;
   }
@@ -371,11 +403,35 @@ class Engine {
   /// writer stays closed and subsequent appends fail with a clean Status.
   void AbandonWalGenerationLocked(size_t s) {
     engine::Shard<Codec>& sh = shards_[s];
+    // The closing generation's intact records may be the durable complement
+    // of another shard's segments once a manifest publishes a watermark
+    // over them (frozen_through forgiveness) — fsync before walking away.
+    // Best-effort: this path already runs under an I/O failure.
+    (void)sh.wal.SyncFile();
     sh.wal_gen += 1;
-    if (Status st = sh.wal.Open(
-            PathOf(engine::WalFileName(s, sh.wal_gen)).string(), opt_.sync_wal);
+    if (Status st =
+            sh.wal.Open(vfs(), PathOf(engine::WalFileName(s, sh.wal_gen)).string(),
+                        opt_.sync_wal);
         !st.ok()) {
       RecordBackgroundError(st);
+    }
+  }
+
+  /// Marks a batch undead in the log: an empty record with the
+  /// kRevokedBatchShards marker makes its slice counts permanently
+  /// disagree, so recovery can never consider the batch complete even if
+  /// the slice whose append failed actually reached the disk. Best effort
+  /// on the freshly opened generation; if even the revocation write fails
+  /// the generation is abandoned again (its tear must not hide later
+  /// records) and the residual risk — the dropped batch resurfacing on a
+  /// disk that kept the failed slice — is accepted: nothing can be logged
+  /// on a device that fails every write. Caller holds ingest_mu_.
+  void RevokeBatchLocked(size_t s, uint64_t batch_id) {
+    if (!shards_[s].wal.is_open()) return;
+    if (Status st =
+            shards_[s].wal.Append(batch_id, engine::kRevokedBatchShards, {});
+        !st.ok()) {
+      AbandonWalGenerationLocked(s);
     }
   }
 
@@ -387,17 +443,33 @@ class Engine {
     auto mem = std::make_shared<Memtable>(std::move(sh.memtable));
     sh.memtable = Memtable(codec_);
     uint64_t floor_after = sh.wal_gen;
+    uint64_t frozen_upto = 0;
     if (durable()) {
+      // Everything this shard holds of batches below the current id is in
+      // the departing memtable or older entries; once this entry is
+      // durably saved, the manifest may publish the bound as
+      // `frozen_through` and recovery may lean on it (see shard.hpp).
+      frozen_upto = next_batch_id_.load(std::memory_order_relaxed);
+      // The generation being closed feeds that same forgiveness on sibling
+      // shards: its records must be durable before any manifest publishes
+      // a watermark over them. Sync failure is recorded, not fatal —
+      // the manifest writer re-syncs the current generation and vetoes on
+      // failure, and this closed file's records are additionally covered
+      // by sync_wal when the caller asked for OS-crash durability.
+      if (Status st = sh.wal.SyncFile(); !st.ok()) {
+        RecordBackgroundError(st);
+      }
       sh.wal_gen += 1;
       floor_after = sh.wal_gen;
-      if (Status st = sh.wal.Open(PathOf(engine::WalFileName(s, sh.wal_gen)).string(),
-                                  opt_.sync_wal);
+      if (Status st =
+              sh.wal.Open(vfs(), PathOf(engine::WalFileName(s, sh.wal_gen)).string(),
+                          opt_.sync_wal);
           !st.ok()) {
         RecordBackgroundError(st);
       }
     }
-    pool_->Submit(s, [this, s, mem, floor_after] {
-      FreezeJob(s, mem, floor_after);
+    pool_->Submit(s, [this, s, mem, floor_after, frozen_upto] {
+      FreezeJob(s, mem, floor_after, frozen_upto);
     });
   }
 
@@ -407,7 +479,8 @@ class Engine {
   /// publishes the new stack, advances the WAL floor, and lets the
   /// size-tiered policy compact the tail. Jobs of one shard run FIFO on
   /// one pool stripe, so stack mutations here need no cross-job ordering.
-  void FreezeJob(size_t s, std::shared_ptr<Memtable> mem, uint64_t floor_after) {
+  void FreezeJob(size_t s, std::shared_ptr<Memtable> mem, uint64_t floor_after,
+                 uint64_t frozen_upto) {
     engine::Shard<Codec>& sh = shards_[s];
     if (durable()) RetryUnsavedSegments(s);
     auto seg = std::make_shared<const Segment>(mem->Freeze());
@@ -435,7 +508,7 @@ class Engine {
     }
     {
       std::lock_guard<std::mutex> lk(sh.publish_mu);
-      sh.entries.push_back({seq, seg, saved, floor_after});
+      sh.entries.push_back({seq, seg, saved, floor_after, frozen_upto});
       sh.RecomputeWalFloorLocked();
       sh.PublishLocked();
     }
@@ -539,7 +612,10 @@ class Engine {
       // The merged segment durably subsumes its victims — including any
       // whose own save had failed — so it carries the newest victim's
       // floor and may unblock a clamped WAL floor.
-      sh.entries.push_back({seq, merged, true, victims.back().floor_after});
+      // (`frozen_upto` is monotone along the stack, so the newest victim's
+      // bound covers them all.)
+      sh.entries.push_back({seq, merged, true, victims.back().floor_after,
+                            victims.back().frozen_upto});
       sh.RecomputeWalFloorLocked();
       sh.PublishLocked();
     }
@@ -549,14 +625,12 @@ class Engine {
       // before the rename replays from the previous manifest, which still
       // has every file it needs.
       for (const auto& v : victims) {
-        const std::filesystem::path p =
-            PathOf(engine::SegmentFileName(s, v.seq));
-        std::error_code ec;
-        std::filesystem::remove(p, ec);
+        const std::string p = PathOf(engine::SegmentFileName(s, v.seq)).string();
+        (void)vfs().Remove(p);  // best-effort: an orphan is re-deleted later
         // Snapshots still holding the victim keep its mapping alive (an
         // unlinked mapped file stays readable); the pager just forgets
         // the dead path.
-        pager_.Drop(p.string());
+        pager_.Drop(p);
       }
       CleanWal(s);
     }
@@ -565,34 +639,22 @@ class Engine {
 
   // ---------------------------------------------------------- persistence
 
-  /// Writes the segment as a v4 flat image (tmp + rename). The image
-  /// persists all derived state, so the next Open maps it and serves
-  /// without any per-element deserialization (DESIGN.md #8). Known
+  /// Writes the segment as a v4 flat image, durably: tmp write, file
+  /// fsync, rename, directory fsync — a power cut at any step leaves
+  /// either no segment (recovery replays the WAL) or a complete one;
+  /// without the fsyncs a journaling filesystem could commit the rename
+  /// before the bytes, leaving the manifest naming an empty or torn file.
+  /// The image persists all derived state, so the next Open maps it and
+  /// serves without any per-element deserialization (DESIGN.md #8). Known
   /// limitation (shared with the v3 path's ostringstream payload): the
   /// image is materialized in memory before the write — a transient of
   /// roughly the segment's footprint, bounded by the 2^32-bit segment
   /// cap that MergeTail already enforces.
   Status SaveSegment(size_t s, uint64_t seq, const Segment& seg) {
-    namespace fs = std::filesystem;
-    const fs::path final_path = PathOf(engine::SegmentFileName(s, seq));
-    const fs::path tmp = final_path.string() + ".tmp";
-    const std::string image = seg.SerializeImage();
-    {
-      std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
-      if (!out.good()) {
-        return Status::Error(ErrorCode::kIoError, "segment: cannot open tmp");
-      }
-      out.write(image.data(), static_cast<std::streamsize>(image.size()));
-      if (!out.good()) {
-        return Status::Error(ErrorCode::kIoError, "segment: write failed");
-      }
-    }
-    std::error_code ec;
-    fs::rename(tmp, final_path, ec);
-    if (ec) {
-      return Status::Error(ErrorCode::kIoError, "segment: rename failed");
-    }
-    return Status::Ok();
+    const std::string final_path =
+        PathOf(engine::SegmentFileName(s, seq)).string();
+    return wt::io::AtomicWriteFileDurable(vfs(), final_path + ".tmp",
+                                          final_path, seg.SerializeImage());
   }
 
   /// Loads a segment file: v4 images are borrowed from a mapped (or heap)
@@ -601,41 +663,33 @@ class Engine {
   /// both.
   Result<Segment> LoadSegmentFile(const std::string& path) {
     namespace stor = wt::storage;
-    // Sniff the leading magic through a plain stream first, so a v3
-    // compat file is read exactly once (no slurp-then-reread) and a v4
-    // file is never parsed as a stream.
-    std::ifstream in(path, std::ios::binary);
-    uint64_t magic = 0;
-    in.read(reinterpret_cast<char*>(&magic), sizeof(magic));
-    const bool is_image =
-        in.gcount() == sizeof(magic) && magic == stor::kImageMagic;
-    if (!in.good() && !is_image) {
-      if (in.gcount() == 0 && !in.is_open()) {
+    // Map (or read) the whole file once through the VFS-aware pager, then
+    // sniff the magic on the blob's bytes: a v4 image is borrowed in
+    // place, a v3 compat stream is deserialized from the same bytes.
+    std::string err;
+    std::shared_ptr<const stor::Blob> blob =
+        opt_.map_segments
+            ? pager_.Map(path, &err)
+            : vfs().MapOrRead(path, /*prefer_mmap=*/false,
+                              stor::Advise::kNormal, &err);
+    if (blob == nullptr) {
+      if (!vfs().Exists(path)) {
         return Status::Error(ErrorCode::kCorruptStream,
                              "Engine: manifest references missing segment");
       }
-      // Short file: fall through to the stream loader for its clean error.
-      in.clear();
+      // The file exists: this is a map/read resource failure (EMFILE,
+      // ENOMEM, EACCES...), not a missing segment — report it as such.
+      return Status::Error(ErrorCode::kIoError,
+                           "Engine: cannot map/read segment image");
     }
-    if (is_image) {
-      in.close();
-      std::string err;
-      std::shared_ptr<const stor::Blob> blob =
-          opt_.map_segments ? pager_.Map(path, &err)
-                            : stor::ReadFileBlob(path, &err);
-      if (blob == nullptr) {
-        // The file existed a moment ago (the sniff read it): this is a
-        // map/read resource failure (EMFILE, ENOMEM, EACCES...), not a
-        // missing segment — report it as such.
-        return Status::Error(ErrorCode::kIoError,
-                             "Engine: cannot map/read segment image");
-      }
+    if (stor::LooksLikeImage(blob->data(), blob->size())) {
       return Segment::LoadImage(std::move(blob), codec_,
                                 opt_.verify_segment_checksums
                                     ? stor::VerifyMode::kFull
                                     : stor::VerifyMode::kNone);
     }
-    in.seekg(0);
+    std::istringstream in(std::string(
+        reinterpret_cast<const char*>(blob->data()), blob->size()));
     return Segment::Load(in);
   }
 
@@ -679,12 +733,32 @@ class Engine {
         // no file, and entries stacked after it must stay out too so the
         // listed segments remain a contiguous prefix of the shard's
         // history — recovery re-reads everything past the prefix from the
-        // WAL, whose floor RecomputeWalFloorLocked clamps below it.
+        // WAL, whose floor RecomputeWalFloorLocked clamps below it. The
+        // shard's frozen_through watermark covers exactly that prefix.
         if (!e.saved) break;
         sm.segments.push_back({e.seq, e.segment->size()});
+        sm.frozen_through = std::max(sm.frozen_through, e.frozen_upto);
       }
     }
-    Status st = engine::WriteManifest(opt_.dir, m);
+    // The watermarks just snapshotted let recovery treat sibling shards'
+    // surviving WAL records as the only copy of a staggered-freeze batch
+    // (frozen_through forgiveness) — so those records must be durable
+    // before this manifest can legally name the watermarks. Fsync every
+    // current writer; closed generations were synced at rotation/abandon.
+    // The order matters: any record a snapshotted watermark depends on was
+    // appended before that entry's rotation, hence before the snapshot
+    // above, hence before this sync. A failed sync vetoes the manifest —
+    // the previous one stays authoritative and promises nothing new.
+    {
+      std::lock_guard<std::mutex> ilk(ingest_mu_);
+      for (auto& sh : shards_) {
+        if (Status st = sh.wal.SyncFile(); !st.ok()) {
+          RecordBackgroundError(st);
+          return st;
+        }
+      }
+    }
+    Status st = engine::WriteManifest(opt_.dir, m, vfs());
     if (!st.ok()) RecordBackgroundError(st);
     return st;
   }
@@ -694,7 +768,6 @@ class Engine {
   /// remembers how far previous passes got, so each freeze deletes only
   /// the newly-subsumed generations instead of re-scanning from zero.
   void CleanWal(size_t s) {
-    namespace fs = std::filesystem;
     uint64_t from, to;
     {
       std::lock_guard<std::mutex> lk(shards_[s].publish_mu);
@@ -702,8 +775,10 @@ class Engine {
       to = shards_[s].wal_floor;
     }
     for (uint64_t gen = from; gen < to; ++gen) {
-      std::error_code ec;
-      fs::remove(PathOf(engine::WalFileName(s, gen)), ec);
+      // Best-effort, no directory fsync: a deletion that un-happens after
+      // a crash only leaves a stale generation below the floor, which
+      // recovery ignores and re-deletes.
+      (void)vfs().Remove(PathOf(engine::WalFileName(s, gen)).string());
     }
     if (to > from) {
       std::lock_guard<std::mutex> lk(shards_[s].publish_mu);
@@ -715,7 +790,6 @@ class Engine {
 
   Status Recover(const engine::Manifest* manifest) {
     if (!durable()) return Status::Ok();
-    namespace fs = std::filesystem;
     const size_t n = shards_.size();
 
     // 1. Load the manifest's segments, in stack order.
@@ -739,143 +813,102 @@ class Engine {
             return Status::Error(ErrorCode::kCorruptStream,
                                  "Engine: segment size disagrees with manifest");
           }
+          // Loaded entries inherit the shard watermark, so the next
+          // manifest this process writes never regresses frozen_through.
           sh.entries.push_back(
               {seg.seq,
-               std::make_shared<const Segment>(std::move(loaded).value())});
+               std::make_shared<const Segment>(std::move(loaded).value()),
+               /*saved=*/true, /*floor_after=*/0,
+               /*frozen_upto=*/sm.frozen_through});
         }
       }
     }
 
     // 2. Scan the directory: delete orphans (segments the manifest does not
     // reference, WAL generations below the floor, stale tmp files), and
-    // catalog live WAL files per shard in generation order.
-    std::vector<std::map<uint64_t, fs::path>> wal_files(n);
-    for (const auto& entry : fs::directory_iterator(opt_.dir)) {
-      const std::string name = entry.path().filename().string();
+    // catalog live WAL files per shard in generation order. All through
+    // the VFS, so the torture harness sees (and can fault) every step.
+    std::vector<std::map<uint64_t, std::string>> wal_files(n);
+    Result<std::vector<std::string>> listing = vfs().ListDir(opt_.dir);
+    if (!listing.ok()) return listing.status();
+    for (const std::string& name : *listing) {
+      const std::string path = PathOf(name).string();
       size_t shard = 0;
       uint64_t num = 0;
-      // Deletions best-effort (error_code overload): an undeletable
-      // orphan must not abort recovery — seg seqs and WAL generations are
-      // never reused, so a leftover cannot collide with future files.
-      std::error_code ec;
-      if (ParseFileName(name, "seg-", ".wt", &shard, &num) && shard < n) {
+      // Deletions best-effort (status discarded): an undeletable orphan
+      // must not abort recovery — seg seqs and WAL generations are never
+      // reused, so a leftover cannot collide with future files.
+      if (engine::ParseEngineFileName(name, "seg-", ".wt", &shard, &num) &&
+          shard < n) {
         bool live = false;
         for (const auto& e : shards_[shard].entries) live |= (e.seq == num);
-        if (!live) fs::remove(entry.path(), ec);
-      } else if (ParseFileName(name, "wal-", ".log", &shard, &num) &&
+        if (!live) (void)vfs().Remove(path);
+      } else if (engine::ParseEngineFileName(name, "wal-", ".log", &shard,
+                                             &num) &&
                  shard < n) {
         if (num < shards_[shard].wal_floor) {
-          fs::remove(entry.path(), ec);
+          (void)vfs().Remove(path);
         } else {
-          wal_files[shard][num] = entry.path();
+          wal_files[shard][num] = path;
         }
       } else if (name != "MANIFEST") {
-        fs::remove(entry.path(), ec);  // MANIFEST.tmp and other leftovers
+        (void)vfs().Remove(path);  // MANIFEST.tmp and other leftovers
       }
     }
 
-    // 3. Read the WAL tails and determine which batches are complete: a
-    // batch is replayable iff every one of its `batch_shards` slices
-    // survived. Torn tails and zombie slices of previously-discarded
-    // batches stay incomplete forever (batch ids are never reused), so
-    // this one rule covers first and repeated crashes alike.
+    // 3. Read the WAL tails and tabulate batch completeness: a batch is
+    // replayable iff every one of its `batch_shards` slices is accounted
+    // for — surviving in a log, or forgiven because the slice-lacking
+    // shard's manifest watermark (frozen_through) proves its part is
+    // already inside the segments loaded above (the staggered-freeze
+    // staircase; see engine/recovery_invariants.hpp). Torn tails and
+    // zombie slices of previously-discarded batches stay incomplete
+    // forever (batch ids are never reused), so this one rule covers first
+    // and repeated crashes alike.
     std::vector<std::vector<engine::WalRecord>> records(n);
     std::vector<uint64_t> max_gen(n, 0);
     for (size_t s = 0; s < n; ++s) {
       for (const auto& [gen, path] : wal_files[s]) {
-        std::vector<engine::WalRecord> recs = engine::ReadWalFile(path.string());
+        std::vector<engine::WalRecord> recs = engine::ReadWalFile(vfs(), path);
         for (auto& r : recs) records[s].push_back(std::move(r));
         max_gen[s] = std::max(max_gen[s], gen);
       }
     }
-    std::map<uint64_t, std::pair<uint32_t, uint32_t>> batches;  // id -> (want, have)
+    const engine::BatchTable batches = engine::BuildBatchTable(records);
     uint64_t max_seen_id = 0;
-    bool any_record = false;
-    for (size_t s = 0; s < n; ++s) {
-      for (const auto& r : records[s]) {
-        auto& b = batches[r.batch_id];
-        if (b.first != 0 && b.first != r.batch_shards) {
-          b.first = UINT32_MAX;  // inconsistent slices: never complete
-        } else if (b.first != UINT32_MAX) {
-          b.first = r.batch_shards;
-        }
-        b.second += 1;
-        max_seen_id = std::max(max_seen_id, r.batch_id);
-        any_record = true;
-      }
+    for (const auto& [id, b] : batches) {
+      (void)b;
+      max_seen_id = std::max(max_seen_id, id);
     }
 
-    // 4. Decide which batches to replay. A batch is replayable iff all
-    // `batch_shards` of its slices survived; normally every complete
-    // batch replays. With sync_wal=false an OS crash can persist WAL
-    // pages out of order across shard files, leaving a mid-history batch
-    // incomplete — or wholly absent, visible only as a gap in the id
-    // sequence — while *later* batches are complete; replaying those
-    // later batches breaks the round-robin placement. Rather than
-    // refusing to open forever, salvage the longest consistent prefix:
-    // the placement check needs only per-shard counts (no memtable), so
-    // candidate cuts are cheap to evaluate — full history first, then
-    // each suspicious id (incomplete batch, or the first id a gap
-    // swallowed), largest first so the most data survives. Data past the
-    // chosen cut is lost — the documented sync_wal=false tradeoff;
-    // genuinely foreign or tampered files still fail because no prefix
-    // lines up. Gaps below the smallest surviving id are normal (cleaned
-    // generations subsumed by segments), so only inner gaps count.
-    const auto is_complete = [&batches](uint64_t id) {
-      const auto& b = batches.at(id);
-      return b.first != UINT32_MAX && b.second == b.first;
-    };
-    // Returns the recovered total when replaying complete batches with
-    // id < limit would satisfy the placement invariant: shard s must hold
-    // exactly the strings of prefix T that map to it.
-    const auto counts_total = [&](uint64_t limit) -> std::optional<uint64_t> {
-      std::vector<uint64_t> count(n, 0);
-      uint64_t total = 0;
-      for (size_t s = 0; s < n; ++s) {
-        for (const auto& e : shards_[s].entries) {
-          count[s] += e.segment->size();
-        }
-        for (const auto& r : records[s]) {
-          if (r.batch_id < limit && is_complete(r.batch_id)) {
-            count[s] += r.strings.size();
-          }
-        }
-        total += count[s];
+    // 4. Decide which batches to replay (engine/recovery_invariants.hpp):
+    // normally every complete batch. With sync_wal=false an OS crash can
+    // persist WAL pages out of order across shard files, leaving a
+    // mid-history batch incomplete — or wholly absent — while later
+    // batches are complete; replaying those later batches breaks the
+    // round-robin placement, so PlanReplay salvages the longest id-prefix
+    // that satisfies it. Data past the chosen cut is lost — the
+    // documented sync_wal=false tradeoff; genuinely foreign or tampered
+    // files still fail because no prefix lines up.
+    std::vector<uint64_t> base_counts(n, 0);
+    std::vector<uint64_t> frozen_through(n, 0);
+    for (size_t s = 0; s < n; ++s) {
+      for (const auto& e : shards_[s].entries) {
+        base_counts[s] += e.segment->size();
       }
-      for (size_t s = 0; s < n; ++s) {
-        if (count[s] != engine::RoundRobinCount(total, s, n)) {
-          return std::nullopt;
-        }
-      }
-      return total;
-    };
-    uint64_t cut = UINT64_MAX;
-    std::optional<uint64_t> total = counts_total(cut);
-    if (!total.has_value()) {
-      std::vector<uint64_t> suspicious;  // ascending by construction
-      uint64_t prev = 0;
-      bool have_prev = false;
-      for (const auto& [id, b] : batches) {  // map: ascending ids
-        (void)b;
-        if (have_prev && id > prev + 1) suspicious.push_back(prev + 1);
-        if (!is_complete(id)) suspicious.push_back(id);
-        prev = id;
-        have_prev = true;
-      }
-      for (auto it = suspicious.rbegin();
-           it != suspicious.rend() && !total.has_value(); ++it) {
-        if (auto t = counts_total(*it); t.has_value()) {
-          cut = *it;
-          total = t;
-        }
-      }
-      if (!total.has_value()) {
-        return Status::Error(ErrorCode::kCorruptStream,
-                             "Engine: shard counts break the round-robin "
-                             "placement invariant");
+      if (manifest != nullptr) {
+        frozen_through[s] = manifest->shards[s].frozen_through;
       }
     }
-    const bool salvaged = cut != UINT64_MAX;
+    const std::optional<engine::ReplayPlan> plan =
+        engine::PlanReplay(base_counts, frozen_through, records, batches);
+    if (!plan.has_value()) {
+      return Status::Error(ErrorCode::kCorruptStream,
+                           "Engine: shard counts break the round-robin "
+                           "placement invariant");
+    }
+    const uint64_t cut = plan->cut;
+    const bool salvaged = plan->salvaged();
 
     // 5. Replay once, per shard, in log order (batch ids are assigned and
     // logged monotonically, so "id below the cut" is a per-shard log
@@ -883,7 +916,10 @@ class Engine {
     for (size_t s = 0; s < n; ++s) {
       std::vector<wt::BitString> replay;
       for (auto& r : records[s]) {
-        if (r.batch_id >= cut || !is_complete(r.batch_id)) continue;
+        if (r.batch_id >= cut ||
+            !engine::BatchReplayable(batches, frozen_through, r.batch_id)) {
+          continue;
+        }
         for (auto& str : r.strings) replay.push_back(std::move(str));
       }
       if (replay.empty()) continue;
@@ -892,8 +928,8 @@ class Engine {
         return st;
       }
     }
-    total_.store(*total, std::memory_order_relaxed);
-    if (any_record) {
+    total_.store(plan->total, std::memory_order_relaxed);
+    if (!batches.empty()) {
       next_batch_id_.store(
           std::max(next_batch_id_.load(std::memory_order_relaxed),
                    max_seen_id + 1),
@@ -907,7 +943,7 @@ class Engine {
       sh.wal_gen = std::max(
           sh.wal_floor, max_gen[s] + (wal_files[s].empty() ? 0 : 1));
       if (Status st = sh.wal.Open(
-              PathOf(engine::WalFileName(s, sh.wal_gen)).string(),
+              vfs(), PathOf(engine::WalFileName(s, sh.wal_gen)).string(),
               opt_.sync_wal);
           !st.ok()) {
         return st;
@@ -939,36 +975,11 @@ class Engine {
       if (Status st = BackgroundError(); !st.ok()) return st;
       for (size_t s = 0; s < n; ++s) {
         for (const auto& [gen, path] : wal_files[s]) {
-          std::error_code ec;
-          fs::remove(path, ec);
+          (void)vfs().Remove(path);
         }
       }
     }
     return Status::Ok();
-  }
-
-  /// Parses "<prefix><shard>-<num><suffix>"; returns false on any mismatch.
-  static bool ParseFileName(const std::string& name, const std::string& prefix,
-                            const std::string& suffix, size_t* shard,
-                            uint64_t* num) {
-    if (name.size() <= prefix.size() + suffix.size()) return false;
-    if (name.compare(0, prefix.size(), prefix) != 0) return false;
-    if (name.compare(name.size() - suffix.size(), suffix.size(), suffix) != 0) {
-      return false;
-    }
-    const std::string body =
-        name.substr(prefix.size(), name.size() - prefix.size() - suffix.size());
-    const size_t dash = body.find('-');
-    if (dash == std::string::npos || dash == 0 || dash + 1 >= body.size()) {
-      return false;
-    }
-    try {
-      *shard = std::stoull(body.substr(0, dash));
-      *num = std::stoull(body.substr(dash + 1));
-    } catch (...) {
-      return false;
-    }
-    return true;
   }
 
   void RecordBackgroundError(const Status& st) {

@@ -17,14 +17,15 @@
 #pragma once
 
 #include <cstdint>
+#include <cstdlib>
 #include <filesystem>
-#include <fstream>
 #include <sstream>
 #include <string>
 #include <vector>
 
 #include "api/result.hpp"
 #include "common/serialize.hpp"
+#include "io/vfs.hpp"
 
 namespace wtrie::engine {
 
@@ -36,12 +37,20 @@ struct SegmentMeta {
 struct ShardMeta {
   uint64_t wal_floor = 0;     // lowest WAL generation not yet frozen+saved
   uint64_t next_seg_seq = 0;  // never reused, so orphan files cannot collide
+  /// Exclusive batch-id bound of the data inside the listed segments: any
+  /// slice this shard held of a batch with a smaller id is durably in a
+  /// segment below, not in the WAL. Recovery uses it to accept batches
+  /// whose records survive only on *other* shards — the routine state a
+  /// crash between two shards' freezes leaves behind (see
+  /// engine/recovery_invariants.hpp). Version-1 manifests read as 0, which
+  /// disables the forgiveness and matches the old strict behavior.
+  uint64_t frozen_through = 0;
   std::vector<SegmentMeta> segments;  // stack order: oldest first
 };
 
 struct Manifest {
   static constexpr uint64_t kMagic = 0x5754454E47494E31ull;  // "WTENGIN1"
-  static constexpr uint32_t kVersion = 1;
+  static constexpr uint32_t kVersion = 2;  // v2 added ShardMeta::frozen_through
 
   uint32_t num_shards = 0;
   uint64_t next_batch_id = 0;  // ids below this may have had their WAL deleted
@@ -56,7 +65,43 @@ inline std::string WalFileName(size_t shard, uint64_t gen) {
   return "wal-" + std::to_string(shard) + "-" + std::to_string(gen) + ".log";
 }
 
-inline Status WriteManifest(const std::string& dir, const Manifest& m) {
+/// Parses `<prefix><shard>-<num><suffix>` (the SegmentFileName/WalFileName
+/// shapes). Strict: both components must be all-digits with nothing left
+/// over. Shared by recovery's orphan scan and wt_inspect --fsck.
+inline bool ParseEngineFileName(const std::string& name, const char* prefix,
+                                const char* suffix, size_t* shard,
+                                uint64_t* num) {
+  const std::string pre(prefix), suf(suffix);
+  if (name.size() <= pre.size() + suf.size()) return false;
+  if (name.compare(0, pre.size(), pre) != 0) return false;
+  if (name.compare(name.size() - suf.size(), suf.size(), suf) != 0) {
+    return false;
+  }
+  const std::string mid =
+      name.substr(pre.size(), name.size() - pre.size() - suf.size());
+  const size_t dash = mid.find('-');
+  if (dash == std::string::npos || dash == 0 || dash + 1 == mid.size()) {
+    return false;
+  }
+  const std::string a = mid.substr(0, dash), b = mid.substr(dash + 1);
+  const auto all_digits = [](const std::string& s) {
+    for (char c : s) {
+      if (c < '0' || c > '9') return false;
+    }
+    return !s.empty();
+  };
+  if (!all_digits(a) || !all_digits(b)) return false;
+  *shard = static_cast<size_t>(std::strtoull(a.c_str(), nullptr, 10));
+  *num = std::strtoull(b.c_str(), nullptr, 10);
+  return true;
+}
+
+/// Atomically replaces MANIFEST, durably: payload fsynced before the
+/// rename publishes it, directory fsynced before the caller may depend on
+/// the new manifest (e.g. delete the WAL generations it supersedes). A
+/// power cut at any step leaves the previous manifest intact.
+inline Status WriteManifest(const std::string& dir, const Manifest& m,
+                            wt::io::Vfs& vfs = wt::io::RealVfs::Instance()) {
   namespace fs = std::filesystem;
   std::ostringstream payload;
   wt::WritePod<uint32_t>(payload, m.num_shards);
@@ -64,49 +109,42 @@ inline Status WriteManifest(const std::string& dir, const Manifest& m) {
   for (const ShardMeta& sh : m.shards) {
     wt::WritePod<uint64_t>(payload, sh.wal_floor);
     wt::WritePod<uint64_t>(payload, sh.next_seg_seq);
+    wt::WritePod<uint64_t>(payload, sh.frozen_through);
     wt::WritePod<uint64_t>(payload, sh.segments.size());
     for (const SegmentMeta& seg : sh.segments) {
       wt::WritePod<uint64_t>(payload, seg.seq);
       wt::WritePod<uint64_t>(payload, seg.count);
     }
   }
-  const fs::path tmp = fs::path(dir) / "MANIFEST.tmp";
-  const fs::path final_path = fs::path(dir) / "MANIFEST";
-  {
-    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
-    if (!out.good()) {
-      return Status::Error(ErrorCode::kIoError, "manifest: cannot open tmp");
-    }
-    wt::VersionedEnvelope::Write(out, Manifest::kMagic, Manifest::kVersion, 0,
-                                 std::move(payload).str());
-    if (!out.good()) {
-      return Status::Error(ErrorCode::kIoError, "manifest: write failed");
-    }
-  }
-  std::error_code ec;
-  fs::rename(tmp, final_path, ec);
-  if (ec) {
-    return Status::Error(ErrorCode::kIoError, "manifest: rename failed");
-  }
-  return Status::Ok();
+  std::ostringstream file;
+  wt::VersionedEnvelope::Write(file, Manifest::kMagic, Manifest::kVersion, 0,
+                               std::move(payload).str());
+  const std::string tmp = (fs::path(dir) / "MANIFEST.tmp").string();
+  const std::string final_path = (fs::path(dir) / "MANIFEST").string();
+  return wt::io::AtomicWriteFileDurable(vfs, tmp, final_path,
+                                        std::move(file).str());
 }
 
 /// Loads the manifest; kNotFound when the directory has none (a fresh
 /// engine directory), other errors for corrupt/unreadable manifests.
-inline Result<Manifest> ReadManifest(const std::string& dir) {
+inline Result<Manifest> ReadManifest(
+    const std::string& dir, wt::io::Vfs& vfs = wt::io::RealVfs::Instance()) {
   namespace fs = std::filesystem;
-  const fs::path path = fs::path(dir) / "MANIFEST";
-  if (!fs::exists(path)) {
-    return Status::Error(ErrorCode::kNotFound, "manifest: none present");
-  }
-  std::ifstream in(path, std::ios::binary);
-  if (!in.good()) {
+  const std::string path = (fs::path(dir) / "MANIFEST").string();
+  wtrie::Result<std::string> bytes = vfs.ReadFile(path);
+  if (!bytes.ok()) {
+    if (bytes.status().code() == ErrorCode::kNotFound) {
+      return Status::Error(ErrorCode::kNotFound, "manifest: none present");
+    }
     return Status::Error(ErrorCode::kIoError, "manifest: cannot open");
   }
+  std::istringstream in(*bytes);
   uint32_t tag = 0;
+  uint32_t version = 0;
   std::string payload;
-  const Status env = StatusFromEnvelopeError(wt::VersionedEnvelope::Read(
-      in, Manifest::kMagic, Manifest::kVersion, &tag, &payload));
+  const Status env = StatusFromEnvelopeError(
+      wt::VersionedEnvelope::Read(in, Manifest::kMagic, Manifest::kVersion,
+                                  &tag, &payload, /*min_version=*/1, &version));
   if (!env.ok()) return env;
 
   std::istringstream body(payload);
@@ -126,6 +164,7 @@ inline Result<Manifest> ReadManifest(const std::string& dir) {
   for (ShardMeta& sh : m.shards) {
     if (!wt::TryReadPod(body, &sh.wal_floor) ||
         !wt::TryReadPod(body, &sh.next_seg_seq) ||
+        (version >= 2 && !wt::TryReadPod(body, &sh.frozen_through)) ||
         !wt::TryReadPod(body, &num_segments)) {
       return Status::Error(ErrorCode::kCorruptStream,
                            "manifest: truncated shard");

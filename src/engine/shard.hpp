@@ -71,9 +71,15 @@ struct Shard {
     // Durability bookkeeping: `saved` goes false when SaveSegment failed
     // (the segment is served from memory and its data is durable only in
     // the WAL); `floor_after` is the WAL floor a durable save of this
-    // entry would justify. In-memory engines leave both at the defaults.
+    // entry would justify; `frozen_upto` is the exclusive batch-id bound of
+    // the data this entry (and everything older) covers — captured at
+    // rotation, it feeds the manifest's per-shard `frozen_through`, which
+    // recovery uses to recognize WAL slices whose batch-mates were
+    // legitimately subsumed by this shard's segments. In-memory engines
+    // leave all three at the defaults.
     bool saved = true;
     uint64_t floor_after = 0;
+    uint64_t frozen_upto = 0;
   };
 
   // --- ingest side (engine ingest mutex) ---------------------------------

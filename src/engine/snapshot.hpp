@@ -42,15 +42,13 @@
 #include "api/cursor.hpp"
 #include "api/result.hpp"
 #include "api/sequence.hpp"
+#include "engine/recovery_invariants.hpp"
 #include "engine/segment_stack.hpp"
 
 namespace wtrie::engine {
-
-/// Strings of the first `prefix` global positions that land on shard s of
-/// N: locals q with q*N + s < prefix.
-inline uint64_t RoundRobinCount(uint64_t prefix, size_t s, size_t num_shards) {
-  return prefix > s ? (prefix - s + num_shards - 1) / num_shards : 0;
-}
+// RoundRobinCount lives in engine/recovery_invariants.hpp: the placement
+// rule is shared between query decomposition here and recovery's
+// consistency check.
 
 /// The immutable state one snapshot pins: shard views plus the visible
 /// prefix derived from them.

@@ -26,24 +26,26 @@
 // whole, on every shard. Reading stops at the first record that is
 // truncated or fails its checksum; everything before it is intact because
 // records are appended and flushed in order.
+//
+// All I/O goes through the VFS seam (io/vfs.hpp): the real filesystem in
+// production, a deterministic fault injector under the crash-torture tests.
+// Every write, flush, and close return value is checked and surfaced as
+// Status — a partial fwrite or an error deferred to fclose can never leave
+// a record silently half-written.
 #pragma once
 
 #include <algorithm>
 #include <cstdint>
-#include <cstdio>
 #include <cstring>
-#include <fstream>
+#include <memory>
 #include <sstream>
 #include <string>
 #include <vector>
 
-#if defined(__unix__) || defined(__APPLE__)
-#include <unistd.h>
-#endif
-
 #include "api/result.hpp"
 #include "common/bit_string.hpp"
 #include "common/serialize.hpp"
+#include "io/vfs.hpp"
 
 namespace wtrie::engine {
 
@@ -55,32 +57,70 @@ struct WalRecord {
   std::vector<wt::BitString> strings;
 };
 
+/// `batch_shards` of a revocation record: after a mid-batch append failure
+/// the engine logs an empty record with this marker, so the batch's slice
+/// count can never agree across records and recovery discards the batch —
+/// even when the failed operation was only the fsync and the data slice
+/// itself reached the disk complete. (Recovery needs no special case:
+/// disagreeing slice counts already mean "never complete".)
+inline constexpr uint32_t kRevokedBatchShards = UINT32_MAX;
+
 /// Appender for one shard's current WAL generation. Not thread-safe: the
 /// engine writes it only under its ingest lock.
 class WalWriter {
  public:
   WalWriter() = default;
-  ~WalWriter() { Close(); }
+  ~WalWriter() { (void)Close(); }
   WalWriter(const WalWriter&) = delete;
   WalWriter& operator=(const WalWriter&) = delete;
 
-  Status Open(const std::string& path, bool sync) {
-    Close();
-    file_ = std::fopen(path.c_str(), "ab");
-    if (file_ == nullptr) {
-      return Status::Error(ErrorCode::kIoError, "wal: cannot open log file");
-    }
+  Status Open(wt::io::Vfs& vfs, const std::string& path, bool sync) {
+    (void)Close();
+    wtrie::Result<std::unique_ptr<wt::io::VfsFile>> f =
+        vfs.OpenWrite(path, /*truncate=*/false);
+    if (!f.ok()) return f.status();
+    file_ = std::move(*f);
     sync_ = sync;
+    if (sync_) {
+      // In sync mode the acknowledgement contract covers this generation's
+      // *name* too: without a parent-directory fsync, a power cut can drop
+      // the freshly created file from the namespace even though every
+      // record in it was fsynced — losing acknowledged batches.
+      Status st = vfs.SyncDir(wt::io::ParentDir(path));
+      if (!st.ok()) {
+        (void)Close();
+        return st;
+      }
+    }
     return Status::Ok();
+  }
+
+  /// Back-compat convenience: the real filesystem.
+  Status Open(const std::string& path, bool sync) {
+    return Open(wt::io::RealVfs::Instance(), path, sync);
   }
 
   bool is_open() const { return file_ != nullptr; }
 
-  void Close() {
-    if (file_ != nullptr) {
-      std::fclose(file_);
-      file_ = nullptr;
-    }
+  /// Fsyncs the current generation — even when the writer runs with
+  /// sync_wal=false. Rotation calls this before switching generations and
+  /// the engine calls it on every shard before publishing a manifest,
+  /// because recovery may depend on these records as the durable
+  /// complement of *another* shard's segments (the manifest's
+  /// `frozen_through` forgiveness): a staggered freeze stores a batch's
+  /// shard-A slice in a segment while its shard-B slice still lives only
+  /// in B's log. No-op when the writer is closed.
+  Status SyncFile() {
+    if (file_ == nullptr) return Status::Ok();
+    return file_->Sync();
+  }
+
+  /// Closes the handle, surfacing any error the close path reports (libc
+  /// may defer a write failure to fclose). Idempotent.
+  Status Close() {
+    if (file_ == nullptr) return Status::Ok();
+    std::unique_ptr<wt::io::VfsFile> f = std::move(file_);
+    return f->Close();
   }
 
   /// Appends one record and flushes it to the OS (plus fsync when the
@@ -104,63 +144,65 @@ class WalWriter {
     }
     const std::string body = std::move(payload).str();
 
-    std::ostringstream header;
-    wt::WritePod<uint64_t>(header, batch_id);
-    wt::WritePod<uint32_t>(header, batch_shards);
-    wt::WritePod<uint32_t>(header, static_cast<uint32_t>(strings.size()));
-    wt::WritePod<uint64_t>(header, body.size());
-    wt::WritePod<uint64_t>(header, wt::Fnv1a(body.data(), body.size()));
-    const std::string head = std::move(header).str();
+    // Header and body go down in ONE write: a fault injector (or a real
+    // short write) then tears at most one buffer, which the checksum
+    // catches, instead of leaving a valid header over missing bytes.
+    std::ostringstream record;
+    wt::WritePod<uint64_t>(record, batch_id);
+    wt::WritePod<uint32_t>(record, batch_shards);
+    wt::WritePod<uint32_t>(record, static_cast<uint32_t>(strings.size()));
+    wt::WritePod<uint64_t>(record, body.size());
+    wt::WritePod<uint64_t>(record, wt::Fnv1a(body.data(), body.size()));
+    record.write(body.data(), static_cast<std::streamsize>(body.size()));
+    const std::string bytes = std::move(record).str();
 
-    if (std::fwrite(head.data(), 1, head.size(), file_) != head.size() ||
-        std::fwrite(body.data(), 1, body.size(), file_) != body.size() ||
-        std::fflush(file_) != 0) {
-      return Status::Error(ErrorCode::kIoError, "wal: append failed");
-    }
-#if defined(__unix__) || defined(__APPLE__)
-    // Darwin defines __APPLE__ but not __unix__ — without the second test
-    // sync_wal would silently compile to a no-op there.
-    if (sync_ && ::fsync(fileno(file_)) != 0) {
-      return Status::Error(ErrorCode::kIoError, "wal: fsync failed");
-    }
-#endif
-    return Status::Ok();
+    Status st = file_->Append(bytes.data(), bytes.size());
+    if (st.ok() && sync_) st = file_->Sync();
+    return st;
   }
 
  private:
-  std::FILE* file_ = nullptr;
+  std::unique_ptr<wt::io::VfsFile> file_;
   bool sync_ = false;
 };
 
 /// Reads every intact record of one WAL file, stopping (without error) at
 /// the first truncated or corrupt one — by construction that is the crash
-/// tail, and every complete record precedes it.
-inline std::vector<WalRecord> ReadWalFile(const std::string& path) {
+/// tail, and every complete record precedes it. A missing or unreadable
+/// file is an empty log (recovery treats both the same).
+inline std::vector<WalRecord> ReadWalFile(wt::io::Vfs& vfs,
+                                          const std::string& path) {
   std::vector<WalRecord> out;
-  std::ifstream in(path, std::ios::binary);
-  if (!in.good()) return out;
+  wtrie::Result<std::string> file = vfs.ReadFile(path);
+  if (!file.ok()) return out;
+  const char* p = file->data();
+  uint64_t remaining = file->size();
+
+  const auto read_pod = [&](auto* v) {
+    if (remaining < sizeof(*v)) return false;
+    std::memcpy(v, p, sizeof(*v));
+    p += sizeof(*v);
+    remaining -= sizeof(*v);
+    return true;
+  };
+
   for (;;) {
     WalRecord rec;
     uint32_t count = 0;
     uint64_t len = 0, sum = 0;
-    if (!wt::TryReadPod(in, &rec.batch_id) ||
-        !wt::TryReadPod(in, &rec.batch_shards) ||
-        !wt::TryReadPod(in, &count) || !wt::TryReadPod(in, &len) ||
-        !wt::TryReadPod(in, &sum)) {
+    if (!read_pod(&rec.batch_id) || !read_pod(&rec.batch_shards) ||
+        !read_pod(&count) || !read_pod(&len)) {
       return out;
     }
-    // The length field is untrusted until the checksum matches: read in
-    // bounded chunks so a torn header cannot trigger a giant allocation.
-    constexpr uint64_t kChunk = 1 << 20;
-    std::string body;
-    while (body.size() < len) {
-      const uint64_t want = std::min<uint64_t>(kChunk, len - body.size());
-      const size_t old_size = body.size();
-      body.resize(old_size + want);
-      in.read(body.data() + old_size, static_cast<std::streamsize>(want));
-      if (in.gcount() != static_cast<std::streamsize>(want)) return out;
-    }
-    if (wt::Fnv1a(body.data(), body.size()) != sum) return out;
+    if (!read_pod(&sum)) return out;
+    // The length field is untrusted until the checksum matches; bounding it
+    // by the bytes actually left keeps a torn header from ballooning
+    // anything (the whole file is already in memory).
+    if (len > remaining) return out;
+    if (wt::Fnv1a(p, len) != sum) return out;
+    const char* body = p;
+    p += len;
+    remaining -= len;
 
     // The payload's inner fields are untrusted even after the checksum
     // matches (FNV-1a is not collision-resistant): bound each per-string
@@ -168,30 +210,46 @@ inline std::vector<WalRecord> ReadWalFile(const std::string& path) {
     // computing the word count, so a huge `bits` can neither wrap
     // (bits+63)/64 into an undersized buffer read out of bounds nor
     // balloon the allocation.
-    const char* p = body.data();
-    uint64_t remaining = body.size();
+    const char* q = body;
+    uint64_t body_left = len;
     rec.strings.reserve(count);
     std::vector<uint64_t> words;
+    bool bad = false;
     for (uint32_t i = 0; i < count; ++i) {
       uint64_t bits = 0;
-      if (remaining < sizeof(bits)) return out;
-      std::memcpy(&bits, p, sizeof(bits));
-      p += sizeof(bits);
-      remaining -= sizeof(bits);
-      if (bits > remaining * 8) return out;  // also rules out bits+63 wrap
+      if (body_left < sizeof(bits)) {
+        bad = true;
+        break;
+      }
+      std::memcpy(&bits, q, sizeof(bits));
+      q += sizeof(bits);
+      body_left -= sizeof(bits);
+      if (bits > body_left * 8) {  // also rules out bits+63 wrap
+        bad = true;
+        break;
+      }
       const uint64_t nwords = (bits + 63) / 64;
       const uint64_t nbytes = nwords * sizeof(uint64_t);
-      if (nbytes > remaining) return out;  // bits fit, but not whole words
+      if (nbytes > body_left) {  // bits fit, but not whole words
+        bad = true;
+        break;
+      }
       words.assign(nwords, 0);
-      std::memcpy(words.data(), p, nbytes);
-      p += nbytes;
-      remaining -= nbytes;
+      std::memcpy(words.data(), q, nbytes);
+      q += nbytes;
+      body_left -= nbytes;
       wt::BitString s;
       if (bits > 0) s.Append(wt::BitSpan(words.data(), 0, bits));
       rec.strings.push_back(std::move(s));
     }
+    if (bad) return out;
     out.push_back(std::move(rec));
   }
+}
+
+/// Back-compat convenience: the real filesystem.
+inline std::vector<WalRecord> ReadWalFile(const std::string& path) {
+  return ReadWalFile(wt::io::RealVfs::Instance(), path);
 }
 
 }  // namespace wtrie::engine

@@ -164,6 +164,18 @@ inline std::shared_ptr<const Blob> MapFileBlob(const std::string& path,
   return ReadFileBlob(path, err);
 }
 
+/// Where the pager gets its bytes. The default is the real filesystem
+/// (MapFileBlob); a VFS (io/vfs.hpp) implements this so fault-injection
+/// reaches segment opens too. Lives here rather than in io/ so the pager
+/// stays dependency-free; err-string style matches the Blob loaders.
+class BlobSource {
+ public:
+  virtual ~BlobSource() = default;
+  virtual std::shared_ptr<const Blob> MapOrRead(const std::string& path,
+                                                bool prefer_mmap, Advise adv,
+                                                std::string* err) = 0;
+};
+
 /// Per-engine blob cache: path -> live mapping. Map() returns the existing
 /// mapping when one is still pinned somewhere (so N snapshots of one
 /// segment share one mapping), otherwise maps afresh. Weak entries mean
@@ -175,6 +187,9 @@ class Pager {
   struct Options {
     bool prefer_mmap = true;
     Advise advise = Advise::kNormal;
+    /// Byte provider; null means the real filesystem. Not owned — must
+    /// outlive the pager (the engine owns both).
+    BlobSource* source = nullptr;
   };
 
   Pager() = default;
@@ -190,7 +205,9 @@ class Pager {
       }
     }
     std::shared_ptr<const Blob> blob =
-        MapFileBlob(path, opt_.prefer_mmap, opt_.advise, err);
+        opt_.source != nullptr
+            ? opt_.source->MapOrRead(path, opt_.prefer_mmap, opt_.advise, err)
+            : MapFileBlob(path, opt_.prefer_mmap, opt_.advise, err);
     if (blob != nullptr) {
       std::lock_guard<std::mutex> lk(mu_);
       cache_[path] = blob;

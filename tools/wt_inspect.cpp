@@ -1,22 +1,44 @@
 // wt_inspect — storage introspection CLI (DESIGN.md #8).
 //
-//   wt_inspect <engine-dir>      dump the MANIFEST (shards, WAL floors,
-//                                segment stacks) and every referenced
-//                                segment file's format + section table
-//   wt_inspect <file.wt|.img>    dump one segment/image file
+//   wt_inspect <engine-dir>         dump the MANIFEST (shards, WAL floors,
+//                                   segment stacks) and every referenced
+//                                   segment file's format + section table
+//   wt_inspect <file.wt|.img>       dump one segment/image file
+//   wt_inspect --fsck <engine-dir>  offline consistency audit (see below)
 //
 // For a v4 image it prints the header (strings, encoded bits, codec id,
 // checksum state) and the per-section table: tag, offset, size — the
 // offset-addressed layout a mapped open borrows from. v3 stream files are
 // identified and sized but not parsed (they have no section table; the
 // payload is one opaque checksummed blob).
+//
+// --fsck cross-checks manifest <-> segments <-> WAL without opening an
+// engine, running the same decision logic recovery runs
+// (engine/recovery_invariants.hpp, DESIGN.md #9): every referenced segment
+// must exist, parse, hash-verify, and hold the string count the manifest
+// claims; the surviving WAL records plus the manifest's frozen_through
+// watermarks must admit a replay prefix satisfying the round-robin
+// placement invariant. Exit codes:
+//
+//   0  clean — a reopen recovers the full surviving history (orphan
+//      files, stale WAL generations, and torn log tails are benign crash
+//      artifacts and are reported, not fatal);
+//   2  degraded — the store opens but only a salvaged prefix replays
+//      (the documented sync_wal=false crash tradeoff);
+//   1  broken — a reopen would refuse: missing/corrupt segment, count
+//      mismatch, unreadable manifest, or no consistent replay prefix.
 #include <cinttypes>
 #include <cstdio>
 #include <cstring>
 #include <filesystem>
+#include <map>
 #include <string>
+#include <vector>
 
 #include "engine/manifest.hpp"
+#include "engine/recovery_invariants.hpp"
+#include "engine/wal.hpp"
+#include "io/vfs.hpp"
 #include "storage/image.hpp"
 #include "storage/pager.hpp"
 
@@ -83,8 +105,9 @@ int InspectDir(const fs::path& dir) {
   for (size_t s = 0; s < m->shards.size(); ++s) {
     const wtrie::engine::ShardMeta& sm = m->shards[s];
     std::printf("shard %zu: wal floor %" PRIu64 ", next seg seq %" PRIu64
-                ", %zu segment(s)\n",
-                s, sm.wal_floor, sm.next_seg_seq, sm.segments.size());
+                ", frozen through batch %" PRIu64 ", %zu segment(s)\n",
+                s, sm.wal_floor, sm.next_seg_seq, sm.frozen_through,
+                sm.segments.size());
     for (const wtrie::engine::SegmentMeta& seg : sm.segments) {
       const fs::path p = dir / wtrie::engine::SegmentFileName(s, seg.seq);
       std::printf("  seq %" PRIu64 " (%" PRIu64 " strings)\n", seg.seq,
@@ -109,11 +132,185 @@ int InspectDir(const fs::path& dir) {
   return rc;
 }
 
+// ------------------------------------------------------------------- fsck
+
+// Verifies one manifest-referenced segment file: it must exist, and a v4
+// image must parse, hash-verify, and hold exactly the string count the
+// manifest records. v3 stream files have no cheap count field; their count
+// is noted as unverified (the engine re-checks it at open). Returns true
+// when the segment would load.
+bool FsckSegment(const fs::path& path, uint64_t expected_count) {
+  std::string err;
+  auto blob = stor::ReadFileBlob(path.string(), &err);
+  if (blob == nullptr) {
+    std::printf("BROKEN: %s unreadable (%s)\n", path.filename().c_str(),
+                err.c_str());
+    return false;
+  }
+  if (!stor::LooksLikeImage(blob->data(), blob->size())) {
+    std::printf("  %s: v3 stream, %zu bytes (count not verified offline)\n",
+                path.filename().c_str(), blob->size());
+    return true;
+  }
+  stor::ImageReader r;
+  const stor::ImageError verified = stor::ImageReader::Parse(
+      blob->data(), blob->size(), stor::VerifyMode::kFull, &r);
+  if (verified != stor::ImageError::kOk) {
+    std::printf("BROKEN: %s fails verification (error %d)\n",
+                path.filename().c_str(), static_cast<int>(verified));
+    return false;
+  }
+  if (r.header().n != expected_count) {
+    std::printf("BROKEN: %s holds %" PRIu64
+                " strings, manifest says %" PRIu64 "\n",
+                path.filename().c_str(), r.header().n, expected_count);
+    return false;
+  }
+  std::printf("  %s: v4 image, %" PRIu64 " strings, checksum ok\n",
+              path.filename().c_str(), r.header().n);
+  return true;
+}
+
+// Offline store audit: the same evidence and the same decision logic
+// Engine::Recover uses, read-only. Exit 0 clean, 2 degraded/salvageable,
+// 1 broken.
+int FsckDir(const fs::path& dir) {
+  namespace eng = wtrie::engine;
+  wt::io::Vfs& vfs = wt::io::RealVfs::Instance();
+
+  bool broken = false;
+  eng::Manifest m;
+  bool have_manifest = false;
+  {
+    wtrie::Result<eng::Manifest> r = eng::ReadManifest(dir.string());
+    if (r.ok()) {
+      m = std::move(r).value();
+      have_manifest = true;
+    } else if (r.status().code() == wtrie::ErrorCode::kNotFound) {
+      std::printf("no MANIFEST (store never published one)\n");
+    } else {
+      std::printf("BROKEN: MANIFEST unreadable (%s)\n", r.status().message());
+      broken = true;
+    }
+  }
+
+  // Directory census: live WAL files per shard (generation order), plus
+  // the benign leftovers recovery would delete.
+  std::map<std::string, bool> referenced;  // segment name -> seen on disk
+  size_t n = have_manifest ? m.num_shards : 0;
+  std::vector<std::map<uint64_t, std::string>> wal_files;
+  std::vector<std::pair<size_t, uint64_t>> all_wals;
+  std::error_code ec;
+  fs::directory_iterator it(dir, ec), end;
+  for (; !ec && it != end; it.increment(ec)) {
+    const std::string name = it->path().filename().string();
+    size_t shard = 0;
+    uint64_t num = 0;
+    if (eng::ParseEngineFileName(name, "wal-", ".log", &shard, &num)) {
+      all_wals.push_back({shard, num});
+      if (shard + 1 > n) n = shard + 1;  // without a manifest, infer width
+    } else if (eng::ParseEngineFileName(name, "seg-", ".wt", &shard, &num)) {
+      referenced[name] = false;  // orphan until the manifest claims it
+    } else if (name != "MANIFEST") {
+      std::printf("benign: stale leftover %s (recovery deletes it)\n",
+                  name.c_str());
+    }
+  }
+  if (have_manifest && !broken) {
+    for (size_t s = 0; s < m.shards.size(); ++s) {
+      for (const eng::SegmentMeta& seg : m.shards[s].segments) {
+        const std::string name = eng::SegmentFileName(s, seg.seq);
+        auto found = referenced.find(name);
+        if (found == referenced.end()) {
+          std::printf("BROKEN: manifest references missing %s\n", name.c_str());
+          broken = true;
+        } else {
+          found->second = true;
+          if (!FsckSegment(dir / name, seg.count)) broken = true;
+        }
+      }
+    }
+  }
+  for (const auto& [name, claimed] : referenced) {
+    if (!claimed) {
+      std::printf("benign: orphan segment %s (recovery deletes it)\n",
+                  name.c_str());
+    }
+  }
+  wal_files.resize(n);
+  for (const auto& [shard, gen] : all_wals) {
+    const uint64_t floor =
+        have_manifest && shard < m.shards.size() ? m.shards[shard].wal_floor : 0;
+    if (gen < floor) {
+      std::printf("benign: stale wal-%zu-%" PRIu64
+                  ".log below floor (recovery deletes it)\n",
+                  shard, gen);
+    } else if (shard < n) {
+      wal_files[shard][gen] = (dir / eng::WalFileName(shard, gen)).string();
+    }
+  }
+  if (broken) return 1;
+  if (n == 0) {
+    std::printf("clean: empty store\n");
+    return 0;
+  }
+
+  // The recovery decision, re-run read-only: tabulate surviving batch
+  // slices and ask for a replay prefix satisfying round-robin placement.
+  std::vector<std::vector<eng::WalRecord>> records(n);
+  for (size_t s = 0; s < n; ++s) {
+    for (const auto& [gen, path] : wal_files[s]) {
+      std::vector<eng::WalRecord> recs = eng::ReadWalFile(vfs, path);
+      std::printf("  wal-%zu-%" PRIu64 ".log: %zu intact record(s)\n", s, gen,
+                  recs.size());
+      for (auto& r : recs) records[s].push_back(std::move(r));
+    }
+  }
+  std::vector<uint64_t> base_counts(n, 0), frozen_through(n, 0);
+  if (have_manifest) {
+    for (size_t s = 0; s < m.shards.size(); ++s) {
+      for (const eng::SegmentMeta& seg : m.shards[s].segments) {
+        base_counts[s] += seg.count;
+      }
+      frozen_through[s] = m.shards[s].frozen_through;
+    }
+  }
+  const eng::BatchTable batches = eng::BuildBatchTable(records);
+  const std::optional<eng::ReplayPlan> plan =
+      eng::PlanReplay(base_counts, frozen_through, records, batches);
+  if (!plan.has_value()) {
+    std::printf("BROKEN: no replay prefix satisfies the round-robin "
+                "placement invariant — a reopen would refuse this store\n");
+    return 1;
+  }
+  if (plan->salvaged()) {
+    std::printf("DEGRADED: only batches below id %" PRIu64
+                " replay consistently; a reopen salvages %" PRIu64
+                " string(s) and drops the rest\n",
+                plan->cut, plan->total);
+    return 2;
+  }
+  std::printf("clean: a reopen recovers %" PRIu64 " string(s)\n", plan->total);
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
+  if (argc == 3 && std::strcmp(argv[1], "--fsck") == 0) {
+    const fs::path target(argv[2]);
+    std::error_code ec;
+    if (!fs::is_directory(target, ec)) {
+      std::fprintf(stderr, "%s: not a directory\n", argv[2]);
+      return 1;
+    }
+    return FsckDir(target);
+  }
   if (argc != 2) {
-    std::fprintf(stderr, "usage: %s <engine-dir | segment-file>\n", argv[0]);
+    std::fprintf(stderr,
+                 "usage: %s <engine-dir | segment-file>\n"
+                 "       %s --fsck <engine-dir>\n",
+                 argv[0], argv[0]);
     return 2;
   }
   const fs::path target(argv[1]);
