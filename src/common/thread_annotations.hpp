@@ -1,0 +1,146 @@
+// Clang thread-safety annotations and the annotated lock types every
+// concurrent component uses (DESIGN.md #10).
+//
+// The engine's locking rules used to live in comments ("caller holds
+// ingest_mu_", "guarded by publish_mu") and were verified only dynamically,
+// by whatever interleavings the TSan job happened to execute. These macros
+// turn the rules into compiler-checked contracts: under Clang,
+// `-Wthread-safety` proves at compile time that every access to a
+// `WT_GUARDED_BY` member holds its mutex and that every `*Locked` function
+// (annotated `WT_REQUIRES`) is only called with the lock held. Under other
+// compilers the macros expand to nothing and the code is unchanged.
+//
+// Project rule (enforced by tools/wt_lint.py): code under src/ takes locks
+// only through the `wt::Mutex` / `wt::MutexLock` / `wt::CondVar` wrappers
+// below — a raw `std::mutex` is invisible to the analysis, so using one
+// silently opts its critical sections out of the proof.
+//
+// The analysis is intentionally shallow where the code shares one mutex
+// across objects (the engine's ingest mutex guards per-shard memtables and
+// WAL writers that live inside Shard, where the mutex cannot be named);
+// those members keep their comment contract and the functions touching them
+// are annotated `WT_REQUIRES(ingest_mu_)` at the engine layer, so the
+// lock-before-call discipline is still compiler-checked.
+#pragma once
+
+#include <condition_variable>
+#include <mutex>
+
+// clang-tidy and Clang proper both define __clang__; GCC compiles the
+// attributes away (it has no thread-safety analysis).
+#if defined(__clang__)
+#define WT_THREAD_ANNOTATION_ATTRIBUTE(x) __attribute__((x))
+#else
+#define WT_THREAD_ANNOTATION_ATTRIBUTE(x)
+#endif
+
+/// Declares a type to be a lockable capability ("mutex" by convention).
+#define WT_CAPABILITY(x) WT_THREAD_ANNOTATION_ATTRIBUTE(capability(x))
+
+/// Declares an RAII type that acquires in its constructor and releases in
+/// its destructor.
+#define WT_SCOPED_CAPABILITY WT_THREAD_ANNOTATION_ATTRIBUTE(scoped_lockable)
+
+/// Member may only be read or written while holding the given mutex.
+#define WT_GUARDED_BY(x) WT_THREAD_ANNOTATION_ATTRIBUTE(guarded_by(x))
+
+/// Pointer member whose *pointee* is guarded by the given mutex.
+#define WT_PT_GUARDED_BY(x) WT_THREAD_ANNOTATION_ATTRIBUTE(pt_guarded_by(x))
+
+/// Function must be called with the given mutex(es) held — the annotated
+/// form of the `*Locked` naming convention.
+#define WT_REQUIRES(...) \
+  WT_THREAD_ANNOTATION_ATTRIBUTE(requires_capability(__VA_ARGS__))
+
+/// Function acquires the mutex(es) and returns holding them.
+#define WT_ACQUIRE(...) \
+  WT_THREAD_ANNOTATION_ATTRIBUTE(acquire_capability(__VA_ARGS__))
+
+/// Function releases the mutex(es).
+#define WT_RELEASE(...) \
+  WT_THREAD_ANNOTATION_ATTRIBUTE(release_capability(__VA_ARGS__))
+
+/// Function acquires the mutex only when it returns the given value.
+#define WT_TRY_ACQUIRE(...) \
+  WT_THREAD_ANNOTATION_ATTRIBUTE(try_acquire_capability(__VA_ARGS__))
+
+/// Function must NOT be called with the given mutex(es) held (deadlock
+/// documentation: it acquires them itself).
+#define WT_EXCLUDES(...) \
+  WT_THREAD_ANNOTATION_ATTRIBUTE(locks_excluded(__VA_ARGS__))
+
+/// Lock-ordering declarations (checked when both sides are annotated).
+#define WT_ACQUIRED_BEFORE(...) \
+  WT_THREAD_ANNOTATION_ATTRIBUTE(acquired_before(__VA_ARGS__))
+#define WT_ACQUIRED_AFTER(...) \
+  WT_THREAD_ANNOTATION_ATTRIBUTE(acquired_after(__VA_ARGS__))
+
+/// Function returns a reference to the given mutex.
+#define WT_RETURN_CAPABILITY(x) \
+  WT_THREAD_ANNOTATION_ATTRIBUTE(lock_returned(x))
+
+/// Escape hatch: the function's locking cannot be expressed to the
+/// analysis. Every use must carry a comment explaining why; wt_lint.py
+/// counts them and CI reviews additions.
+#define WT_NO_THREAD_SAFETY_ANALYSIS \
+  WT_THREAD_ANNOTATION_ATTRIBUTE(no_thread_safety_analysis)
+
+namespace wt {
+
+/// The project's mutex: std::mutex with the capability attribute, so
+/// members can be declared WT_GUARDED_BY(mu_) and functions
+/// WT_REQUIRES(mu_). Also satisfies BasicLockable (lock/unlock) so
+/// CondVar can release it around a wait.
+class WT_CAPABILITY("mutex") Mutex {
+ public:
+  Mutex() = default;
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void Lock() WT_ACQUIRE() { mu_.lock(); }
+  void Unlock() WT_RELEASE() { mu_.unlock(); }
+  bool TryLock() WT_TRY_ACQUIRE(true) { return mu_.try_lock(); }
+
+  // BasicLockable spelling for std::condition_variable_any. Library
+  // internals calling these from system headers are outside the analysis;
+  // project code uses MutexLock.
+  void lock() WT_ACQUIRE() { mu_.lock(); }
+  void unlock() WT_RELEASE() { mu_.unlock(); }
+
+ private:
+  std::mutex mu_;
+};
+
+/// RAII lock — the project's std::lock_guard. Scoped-capability annotated:
+/// the analysis knows the mutex is held from construction to the end of
+/// the enclosing scope.
+class WT_SCOPED_CAPABILITY MutexLock {
+ public:
+  explicit MutexLock(Mutex& mu) WT_ACQUIRE(mu) : mu_(mu) { mu_.Lock(); }
+  ~MutexLock() WT_RELEASE() { mu_.Unlock(); }
+  MutexLock(const MutexLock&) = delete;
+  MutexLock& operator=(const MutexLock&) = delete;
+
+ private:
+  Mutex& mu_;
+};
+
+/// Condition variable paired with wt::Mutex. Wait() is annotated
+/// WT_REQUIRES(mu): callers must hold the mutex, exactly as with
+/// std::condition_variable — the transient release inside the wait is
+/// invisible to the analysis (the capability is held again before any
+/// guarded access can run), matching how annotated condvars are modeled
+/// in Abseil.
+class CondVar {
+ public:
+  /// Blocks until notified; caller rechecks its predicate in a loop.
+  void Wait(Mutex& mu) WT_REQUIRES(mu) { cv_.wait(mu); }
+
+  void NotifyOne() { cv_.notify_one(); }
+  void NotifyAll() { cv_.notify_all(); }
+
+ private:
+  std::condition_variable_any cv_;
+};
+
+}  // namespace wt

@@ -52,7 +52,6 @@
 #include <fstream>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <optional>
 #include <string>
 #include <thread>
@@ -61,6 +60,7 @@
 
 #include "api/result.hpp"
 #include "api/sequence.hpp"
+#include "common/thread_annotations.hpp"
 #include "engine/manifest.hpp"
 #include "engine/recovery_invariants.hpp"
 #include "engine/segment_stack.hpp"
@@ -193,7 +193,7 @@ class Engine {
   /// only borrowed — everything downstream works on spans over them.
   Status AppendEncodedBatch(const std::vector<wt::BitString>& enc) {
     if (enc.empty()) return Status::Ok();
-    std::lock_guard<std::mutex> lk(ingest_mu_);
+    wt::MutexLock lk(ingest_mu_);
     const size_t n = shards_.size();
     const uint64_t base = total_.load(std::memory_order_relaxed);
     // Round-robin split as zero-copy spans over the caller's strings,
@@ -296,7 +296,7 @@ class Engine {
   /// appended before the call.
   Status Flush() {
     {
-      std::lock_guard<std::mutex> lk(ingest_mu_);
+      wt::MutexLock lk(ingest_mu_);
       for (size_t s = 0; s < shards_.size(); ++s) RotateShardLocked(s);
     }
     pool_->Drain();
@@ -312,7 +312,7 @@ class Engine {
       pool_->Submit(s, [this, s] {
         size_t count;
         {
-          std::lock_guard<std::mutex> lk(shards_[s].publish_mu);
+          wt::MutexLock lk(shards_[s].publish_mu);
           count = shards_[s].entries.size();
         }
         if (count >= 2) MergeTail(s, count);
@@ -334,7 +334,7 @@ class Engine {
   /// First error any background job hit (freeze/compaction/persistence);
   /// Ok when everything has succeeded so far.
   Status BackgroundError() const {
-    std::lock_guard<std::mutex> lk(bg_error_mu_);
+    wt::MutexLock lk(bg_error_mu_);
     return bg_error_;
   }
 
@@ -346,7 +346,7 @@ class Engine {
       out[s].num_segments = view->segments.size();
     }
     {
-      std::lock_guard<std::mutex> lk(ingest_mu_);
+      wt::MutexLock lk(ingest_mu_);
       for (size_t s = 0; s < shards_.size(); ++s) {
         out[s].memtable_count = shards_[s].memtable.size();
       }
@@ -373,7 +373,7 @@ class Engine {
         shards_(opt_.num_shards) {
     for (auto& sh : shards_) {
       sh.memtable = Memtable(codec_);
-      std::lock_guard<std::mutex> lk(sh.publish_mu);
+      wt::MutexLock lk(sh.publish_mu);
       sh.PublishLocked();
     }
     size_t threads = opt_.background_threads;
@@ -401,7 +401,7 @@ class Engine {
   /// switch — rotation's floor bookkeeping already covers every generation
   /// the memtable drew from. If even the fresh file cannot be opened the
   /// writer stays closed and subsequent appends fail with a clean Status.
-  void AbandonWalGenerationLocked(size_t s) {
+  void AbandonWalGenerationLocked(size_t s) WT_REQUIRES(ingest_mu_) {
     engine::Shard<Codec>& sh = shards_[s];
     // The closing generation's intact records may be the durable complement
     // of another shard's segments once a manifest publishes a watermark
@@ -426,7 +426,7 @@ class Engine {
   /// records) and the residual risk — the dropped batch resurfacing on a
   /// disk that kept the failed slice — is accepted: nothing can be logged
   /// on a device that fails every write. Caller holds ingest_mu_.
-  void RevokeBatchLocked(size_t s, uint64_t batch_id) {
+  void RevokeBatchLocked(size_t s, uint64_t batch_id) WT_REQUIRES(ingest_mu_) {
     if (!shards_[s].wal.is_open()) return;
     if (Status st =
             shards_[s].wal.Append(batch_id, engine::kRevokedBatchShards, {});
@@ -437,7 +437,7 @@ class Engine {
 
   /// Moves the memtable out to a background freeze job and installs a
   /// fresh one (plus a fresh WAL generation). Caller holds ingest_mu_.
-  void RotateShardLocked(size_t s) {
+  void RotateShardLocked(size_t s) WT_REQUIRES(ingest_mu_) {
     engine::Shard<Codec>& sh = shards_[s];
     if (sh.memtable.size() == 0) return;
     auto mem = std::make_shared<Memtable>(std::move(sh.memtable));
@@ -486,7 +486,7 @@ class Engine {
     auto seg = std::make_shared<const Segment>(mem->Freeze());
     uint64_t seq;
     {
-      std::lock_guard<std::mutex> lk(sh.publish_mu);
+      wt::MutexLock lk(sh.publish_mu);
       seq = sh.next_seg_seq++;
     }
     bool saved = true;
@@ -507,7 +507,7 @@ class Engine {
       }
     }
     {
-      std::lock_guard<std::mutex> lk(sh.publish_mu);
+      wt::MutexLock lk(sh.publish_mu);
       sh.entries.push_back({seq, seg, saved, floor_after, frozen_upto});
       sh.RecomputeWalFloorLocked();
       sh.PublishLocked();
@@ -519,7 +519,7 @@ class Engine {
       size_t n;
       uint64_t prev, last;
       {
-        std::lock_guard<std::mutex> lk(sh.publish_mu);
+        wt::MutexLock lk(sh.publish_mu);
         n = sh.entries.size();
         if (n < 2) return;
         prev = sh.entries[n - 2].segment->size();
@@ -538,7 +538,7 @@ class Engine {
     engine::Shard<Codec>& sh = shards_[s];
     std::vector<typename engine::Shard<Codec>::Entry> pending;
     {
-      std::lock_guard<std::mutex> lk(sh.publish_mu);
+      wt::MutexLock lk(sh.publish_mu);
       for (const auto& e : sh.entries) {
         if (!e.saved) pending.push_back(e);
       }
@@ -549,7 +549,7 @@ class Engine {
       if (SaveSegment(s, e.seq, *e.segment).ok()) now_saved.push_back(e.seq);
     }
     if (now_saved.empty()) return;
-    std::lock_guard<std::mutex> lk(sh.publish_mu);
+    wt::MutexLock lk(sh.publish_mu);
     for (auto& e : sh.entries) {
       for (uint64_t seq : now_saved) {
         if (e.seq == seq) e.saved = true;
@@ -566,7 +566,7 @@ class Engine {
     engine::Shard<Codec>& sh = shards_[s];
     std::vector<typename engine::Shard<Codec>::Entry> victims;
     {
-      std::lock_guard<std::mutex> lk(sh.publish_mu);
+      wt::MutexLock lk(sh.publish_mu);
       WT_ASSERT(k >= 2 && k <= sh.entries.size());
       victims.assign(sh.entries.end() - static_cast<ptrdiff_t>(k),
                      sh.entries.end());
@@ -594,7 +594,7 @@ class Engine {
         std::make_shared<const Segment>(Segment::FromEncoded(enc, codec_));
     uint64_t seq;
     {
-      std::lock_guard<std::mutex> lk(sh.publish_mu);
+      wt::MutexLock lk(sh.publish_mu);
       seq = sh.next_seg_seq++;
     }
     if (durable()) {
@@ -607,7 +607,7 @@ class Engine {
       }
     }
     {
-      std::lock_guard<std::mutex> lk(sh.publish_mu);
+      wt::MutexLock lk(sh.publish_mu);
       sh.entries.resize(sh.entries.size() - k);
       // The merged segment durably subsumes its victims — including any
       // whose own save had failed — so it carries the newest victim's
@@ -717,14 +717,14 @@ class Engine {
   /// manifest no longer needs only when the write succeeded — on failure
   /// the previous manifest stays authoritative and still references them.
   Status PersistManifest() {
-    std::lock_guard<std::mutex> mlk(manifest_mu_);
+    wt::MutexLock mlk(manifest_mu_);
     engine::Manifest m;
     m.num_shards = static_cast<uint32_t>(shards_.size());
     m.next_batch_id = next_batch_id_.load(std::memory_order_relaxed);
     m.shards.resize(shards_.size());
     for (size_t s = 0; s < shards_.size(); ++s) {
       engine::ShardMeta& sm = m.shards[s];
-      std::lock_guard<std::mutex> lk(shards_[s].publish_mu);
+      wt::MutexLock lk(shards_[s].publish_mu);
       sm.wal_floor = shards_[s].wal_floor;
       sm.next_seg_seq = shards_[s].next_seg_seq;
       sm.segments.reserve(shards_[s].entries.size());
@@ -750,7 +750,7 @@ class Engine {
     // above, hence before this sync. A failed sync vetoes the manifest —
     // the previous one stays authoritative and promises nothing new.
     {
-      std::lock_guard<std::mutex> ilk(ingest_mu_);
+      wt::MutexLock ilk(ingest_mu_);
       for (auto& sh : shards_) {
         if (Status st = sh.wal.SyncFile(); !st.ok()) {
           RecordBackgroundError(st);
@@ -770,7 +770,7 @@ class Engine {
   void CleanWal(size_t s) {
     uint64_t from, to;
     {
-      std::lock_guard<std::mutex> lk(shards_[s].publish_mu);
+      wt::MutexLock lk(shards_[s].publish_mu);
       from = shards_[s].wal_cleaned;
       to = shards_[s].wal_floor;
     }
@@ -781,7 +781,7 @@ class Engine {
       (void)vfs().Remove(PathOf(engine::WalFileName(s, gen)).string());
     }
     if (to > from) {
-      std::lock_guard<std::mutex> lk(shards_[s].publish_mu);
+      wt::MutexLock lk(shards_[s].publish_mu);
       shards_[s].wal_cleaned = std::max(shards_[s].wal_cleaned, to);
     }
   }
@@ -948,7 +948,7 @@ class Engine {
           !st.ok()) {
         return st;
       }
-      std::lock_guard<std::mutex> lk(sh.publish_mu);
+      wt::MutexLock lk(sh.publish_mu);
       sh.PublishLocked();
     }
 
@@ -962,7 +962,7 @@ class Engine {
     // resurface complete on the next recovery and shadow — or render
     // unsalvageable — batches acknowledged after this open.
     {
-      std::lock_guard<std::mutex> lk(ingest_mu_);
+      wt::MutexLock lk(ingest_mu_);
       const uint64_t rotate_at = salvaged ? 1 : opt_.memtable_limit;
       for (size_t s = 0; s < n; ++s) {
         if (shards_[s].memtable.size() >= rotate_at) {
@@ -983,7 +983,7 @@ class Engine {
   }
 
   void RecordBackgroundError(const Status& st) {
-    std::lock_guard<std::mutex> lk(bg_error_mu_);
+    wt::MutexLock lk(bg_error_mu_);
     if (bg_error_.ok()) bg_error_ = st;
   }
 
@@ -992,13 +992,20 @@ class Engine {
   // Segment blob cache: one live mapping per file however many snapshots
   // pin it; weak entries, so the pager never delays an unmap.
   wt::storage::Pager pager_;
-  mutable std::mutex ingest_mu_;  // Stats() reads memtable sizes under it
+  // Serializes writers. Also guards every shard's ingest side (memtable,
+  // wal, wal_gen) — those fields live in Shard, where this mutex cannot be
+  // named by a WT_GUARDED_BY, so the discipline is enforced one level up:
+  // the *Locked helpers that touch them are WT_REQUIRES(ingest_mu_).
+  // Stats() reads memtable sizes under it too.
+  mutable wt::Mutex ingest_mu_;
   std::atomic<uint64_t> total_{0};
   std::atomic<uint64_t> next_batch_id_{0};
   std::vector<engine::Shard<Codec>> shards_;
-  std::mutex manifest_mu_;
-  mutable std::mutex bg_error_mu_;
-  Status bg_error_;
+  // Orders concurrent manifest writers; always taken before (never inside)
+  // a shard publish lock.
+  wt::Mutex manifest_mu_;
+  mutable wt::Mutex bg_error_mu_;
+  Status bg_error_ WT_GUARDED_BY(bg_error_mu_);
   // Destroyed first (declared last): drains queued jobs, which may touch
   // every member above.
   std::unique_ptr<engine::ThreadPool> pool_;

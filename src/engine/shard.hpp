@@ -22,11 +22,11 @@
 #include <algorithm>
 #include <cstdint>
 #include <memory>
-#include <mutex>
 #include <utility>
 #include <vector>
 
 #include "api/sequence.hpp"
+#include "common/thread_annotations.hpp"
 #include "engine/segment_stack.hpp"
 #include "engine/wal.hpp"
 
@@ -40,24 +40,30 @@ namespace wtrie::engine {
 /// it (correctly, per the C++ memory model). A plain mutex held for one
 /// refcount bump costs a few nanoseconds at snapshot *acquisition* only —
 /// queries never touch it — and verifies cleanly.
+///
+/// The locking rule ("never touch ptr_ without mu_") is not a comment: the
+/// slot is WT_GUARDED_BY its mutex, so any new accessor that skips the
+/// lock fails the clang -Wthread-safety build.
 template <typename T>
 class PublishedPtr {
  public:
   std::shared_ptr<T> Load() const {
-    std::lock_guard<std::mutex> lk(mu_);
+    wt::MutexLock lk(mu_);
     return ptr_;
   }
 
   void Store(std::shared_ptr<T> p) {
-    std::lock_guard<std::mutex> lk(mu_);
-    ptr_.swap(p);
+    {
+      wt::MutexLock lk(mu_);
+      ptr_.swap(p);
+    }
     // `p` (the previous view) is released after the lock, so a cascade of
     // segment destructions never runs inside the critical section.
   }
 
  private:
-  mutable std::mutex mu_;
-  std::shared_ptr<T> ptr_;
+  mutable wt::Mutex mu_;
+  std::shared_ptr<T> ptr_ WT_GUARDED_BY(mu_);
 };
 
 template <typename Codec>
@@ -88,11 +94,13 @@ struct Shard {
   uint64_t wal_gen = 0;
 
   // --- publish side (publish_mu) -----------------------------------------
-  std::mutex publish_mu;
-  std::vector<Entry> entries;  // stack order: oldest first
-  uint64_t wal_floor = 0;
-  uint64_t wal_cleaned = 0;  // generations below this are already deleted
-  uint64_t next_seg_seq = 0;
+  wt::Mutex publish_mu;
+  // Stack order: oldest first.
+  std::vector<Entry> entries WT_GUARDED_BY(publish_mu);
+  uint64_t wal_floor WT_GUARDED_BY(publish_mu) = 0;
+  // Generations below this are already deleted.
+  uint64_t wal_cleaned WT_GUARDED_BY(publish_mu) = 0;
+  uint64_t next_seg_seq WT_GUARDED_BY(publish_mu) = 0;
 
   // --- read side ----------------------------------------------------------
   PublishedPtr<const ShardView<Codec>> view;
@@ -103,7 +111,7 @@ struct Shard {
   /// and everything after it, since replay must preserve append order —
   /// hold the only durable copy of that data and must survive until a
   /// retry or a compaction saves it. Caller holds publish_mu.
-  void RecomputeWalFloorLocked() {
+  void RecomputeWalFloorLocked() WT_REQUIRES(publish_mu) {
     uint64_t f = wal_floor;
     for (const Entry& e : entries) {
       if (!e.saved) break;
@@ -114,7 +122,7 @@ struct Shard {
 
   /// Rebuilds and publishes the ShardView from `entries`. Caller holds
   /// publish_mu.
-  void PublishLocked() {
+  void PublishLocked() WT_REQUIRES(publish_mu) {
     std::vector<std::shared_ptr<const Segment>> segs;
     segs.reserve(entries.size());
     for (const Entry& e : entries) segs.push_back(e.segment);

@@ -6,18 +6,21 @@
 // which serializes every freeze and compaction of one shard *by
 // construction* — no per-shard job locking — while different shards
 // proceed in parallel on different workers.
+//
+// Each worker's queue/running/stop state is guarded by its own annotated
+// mutex (common/thread_annotations.hpp): the lock discipline here is
+// compiler-checked under Clang's -Wthread-safety.
 #pragma once
 
 #include <algorithm>
-#include <condition_variable>
 #include <cstddef>
 #include <deque>
 #include <functional>
-#include <mutex>
 #include <thread>
 #include <vector>
 
 #include "common/assert.hpp"
+#include "common/thread_annotations.hpp"
 
 namespace wtrie::engine {
 
@@ -37,10 +40,10 @@ class ThreadPool {
   ~ThreadPool() {
     for (Worker& w : workers_) {
       {
-        std::lock_guard<std::mutex> lk(w.mu);
+        wt::MutexLock lk(w.mu);
         w.stop = true;
       }
-      w.cv.notify_all();
+      w.cv.NotifyAll();
     }
     for (Worker& w : workers_) w.thread.join();
   }
@@ -50,19 +53,19 @@ class ThreadPool {
   void Submit(size_t stripe, std::function<void()> fn) {
     Worker& w = workers_[stripe % workers_.size()];
     {
-      std::lock_guard<std::mutex> lk(w.mu);
+      wt::MutexLock lk(w.mu);
       WT_ASSERT_MSG(!w.stop, "ThreadPool: Submit after shutdown began");
       w.queue.push_back(std::move(fn));
     }
-    w.cv.notify_one();
+    w.cv.NotifyOne();
   }
 
   /// Blocks until every job submitted before the call has finished. Jobs
   /// submitted concurrently with Drain may or may not be waited for.
   void Drain() {
     for (Worker& w : workers_) {
-      std::unique_lock<std::mutex> lk(w.mu);
-      w.idle_cv.wait(lk, [&w] { return w.queue.empty() && !w.running; });
+      wt::MutexLock lk(w.mu);
+      while (!w.queue.empty() || w.running) w.idle_cv.Wait(w.mu);
     }
   }
 
@@ -70,12 +73,12 @@ class ThreadPool {
 
  private:
   struct Worker {
-    std::mutex mu;
-    std::condition_variable cv;       // work arrived / stop requested
-    std::condition_variable idle_cv;  // queue drained and job finished
-    std::deque<std::function<void()>> queue;
-    bool running = false;
-    bool stop = false;
+    wt::Mutex mu;
+    wt::CondVar cv;       // work arrived / stop requested
+    wt::CondVar idle_cv;  // queue drained and job finished
+    std::deque<std::function<void()>> queue WT_GUARDED_BY(mu);
+    bool running WT_GUARDED_BY(mu) = false;
+    bool stop WT_GUARDED_BY(mu) = false;
     std::thread thread;
   };
 
@@ -83,8 +86,8 @@ class ThreadPool {
     for (;;) {
       std::function<void()> job;
       {
-        std::unique_lock<std::mutex> lk(w.mu);
-        w.cv.wait(lk, [&w] { return w.stop || !w.queue.empty(); });
+        wt::MutexLock lk(w.mu);
+        while (!w.stop && w.queue.empty()) w.cv.Wait(w.mu);
         if (w.queue.empty()) return;  // stop requested and nothing pending
         job = std::move(w.queue.front());
         w.queue.pop_front();
@@ -92,9 +95,9 @@ class ThreadPool {
       }
       job();
       {
-        std::lock_guard<std::mutex> lk(w.mu);
+        wt::MutexLock lk(w.mu);
         w.running = false;
-        if (w.queue.empty()) w.idle_cv.notify_all();
+        if (w.queue.empty()) w.idle_cv.NotifyAll();
       }
     }
   }

@@ -43,13 +43,13 @@
 #include <fstream>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <string_view>
 #include <utility>
 #include <vector>
 
 #include "api/result.hpp"
+#include "common/thread_annotations.hpp"
 #include "storage/pager.hpp"
 
 #if defined(__unix__) || defined(__APPLE__)
@@ -340,7 +340,7 @@ class FaultVfs final : public Vfs {
   /// applied with its final byte bit-flipped before the error returns (a
   /// short write that also corrupted its tail).
   void FailOpAt(uint64_t index, bool torn = false) {
-    std::lock_guard<std::mutex> lk(mu_);
+    wt::MutexLock lk(mu_);
     fail_at_ = index;
     fail_torn_ = torn;
     fail_armed_ = true;
@@ -349,7 +349,7 @@ class FaultVfs final : public Vfs {
   /// Simulates power loss: operations with index >= `index` fail and change
   /// nothing; CrashFiles() then reconstructs what a disk could hold.
   void CrashAt(uint64_t index) {
-    std::lock_guard<std::mutex> lk(mu_);
+    wt::MutexLock lk(mu_);
     crash_at_ = index;
   }
 
@@ -357,22 +357,22 @@ class FaultVfs final : public Vfs {
   /// the pre-seam code (which never called them) through the same call
   /// sites, so a test can prove the fsyncs are load-bearing.
   void SetFsyncNoop(bool noop) {
-    std::lock_guard<std::mutex> lk(mu_);
+    wt::MutexLock lk(mu_);
     fsync_noop_ = noop;
   }
 
   uint64_t OpCount() const {
-    std::lock_guard<std::mutex> lk(mu_);
+    wt::MutexLock lk(mu_);
     return op_count_;
   }
 
   bool CrashTriggered() const {
-    std::lock_guard<std::mutex> lk(mu_);
+    wt::MutexLock lk(mu_);
     return crashed_;
   }
 
   std::vector<TraceEntry> Trace() const {
-    std::lock_guard<std::mutex> lk(mu_);
+    wt::MutexLock lk(mu_);
     return trace_;
   }
 
@@ -381,7 +381,7 @@ class FaultVfs final : public Vfs {
   /// The current (live-process) content of every file — what a clean
   /// shutdown leaves behind.
   std::map<std::string, std::string> CurrentFiles() const {
-    std::lock_guard<std::mutex> lk(mu_);
+    wt::MutexLock lk(mu_);
     std::map<std::string, std::string> out;
     for (const auto& [path, node] : current_) out[path] = node->data;
     return out;
@@ -393,7 +393,7 @@ class FaultVfs final : public Vfs {
   /// the unsynced tail.
   std::map<std::string, std::string> CrashFiles(MetadataMode meta,
                                                 DataMode data) const {
-    std::lock_guard<std::mutex> lk(mu_);
+    wt::MutexLock lk(mu_);
     const auto& ns = meta == MetadataMode::kEager ? current_ : durable_;
     std::map<std::string, std::string> out;
     for (const auto& [path, node] : ns) {
@@ -422,7 +422,7 @@ class FaultVfs final : public Vfs {
 
   Result<std::unique_ptr<VfsFile>> OpenWrite(const std::string& path,
                                              bool truncate) override {
-    std::lock_guard<std::mutex> lk(mu_);
+    wt::MutexLock lk(mu_);
     if (Status st = Enter(Op::kOpenWrite, path); !st.ok()) return st;
     auto it = current_.find(path);
     std::shared_ptr<Inode> node;
@@ -439,7 +439,7 @@ class FaultVfs final : public Vfs {
   }
 
   Result<std::string> ReadFile(const std::string& path) override {
-    std::lock_guard<std::mutex> lk(mu_);
+    wt::MutexLock lk(mu_);
     if (Status st = Enter(Op::kRead, path); !st.ok()) return st;
     auto it = current_.find(path);
     if (it == current_.end()) {
@@ -449,7 +449,7 @@ class FaultVfs final : public Vfs {
   }
 
   Status Rename(const std::string& from, const std::string& to) override {
-    std::lock_guard<std::mutex> lk(mu_);
+    wt::MutexLock lk(mu_);
     if (Status st = Enter(Op::kRename, from); !st.ok()) return st;
     auto it = current_.find(from);
     if (it == current_.end()) {
@@ -461,7 +461,7 @@ class FaultVfs final : public Vfs {
   }
 
   Status Remove(const std::string& path) override {
-    std::lock_guard<std::mutex> lk(mu_);
+    wt::MutexLock lk(mu_);
     if (Status st = Enter(Op::kRemove, path); !st.ok()) return st;
     if (current_.erase(path) == 0) {
       return Status::Error(ErrorCode::kNotFound, "faultvfs: no such file");
@@ -470,7 +470,7 @@ class FaultVfs final : public Vfs {
   }
 
   Status SyncDir(const std::string& dir) override {
-    std::lock_guard<std::mutex> lk(mu_);
+    wt::MutexLock lk(mu_);
     if (Status st = Enter(Op::kSyncDir, dir); !st.ok()) return st;
     if (fsync_noop_) return Status::Ok();
     // Commit the directory's namespace: durable entries under `dir` become
@@ -490,7 +490,7 @@ class FaultVfs final : public Vfs {
   }
 
   Status CreateDirs(const std::string& dir) override {
-    std::lock_guard<std::mutex> lk(mu_);
+    wt::MutexLock lk(mu_);
     if (Status st = Enter(Op::kMkdir, dir); !st.ok()) return st;
     return Status::Ok();  // the namespace is flat; directories are implicit
   }
@@ -498,12 +498,12 @@ class FaultVfs final : public Vfs {
   bool Exists(const std::string& path) override {
     // A stat: free and infallible (it mutates nothing, and a dead process
     // does not stat).
-    std::lock_guard<std::mutex> lk(mu_);
+    wt::MutexLock lk(mu_);
     return current_.find(path) != current_.end();
   }
 
   Result<std::vector<std::string>> ListDir(const std::string& dir) override {
-    std::lock_guard<std::mutex> lk(mu_);
+    wt::MutexLock lk(mu_);
     if (Status st = Enter(Op::kList, dir); !st.ok()) return st;
     std::vector<std::string> names;
     for (const auto& [path, node] : current_) {
@@ -517,7 +517,7 @@ class FaultVfs final : public Vfs {
   std::shared_ptr<const wt::storage::Blob> MapOrRead(
       const std::string& path, bool /*prefer_mmap*/,
       wt::storage::Advise /*adv*/, std::string* err) override {
-    std::lock_guard<std::mutex> lk(mu_);
+    wt::MutexLock lk(mu_);
     if (Status st = Enter(Op::kMap, path); !st.ok()) {
       if (err != nullptr) *err = st.message();
       return nullptr;
@@ -543,7 +543,7 @@ class FaultVfs final : public Vfs {
   /// holds mu_. A crashed filesystem fails everything; a scripted one-shot
   /// fault fails exactly its operation. Returns Ok when the operation may
   /// proceed (torn-write handling lives in FaultFile::Append).
-  Status Enter(Op op, const std::string& path) {
+  Status Enter(Op op, const std::string& path) WT_REQUIRES(mu_) {
     const uint64_t idx = op_count_++;
     trace_.push_back({op, path});
     if (crashed_ || idx >= crash_at_) {
@@ -567,7 +567,7 @@ class FaultVfs final : public Vfs {
     ~FaultFile() override = default;
 
     Status Append(const void* data, size_t n) override {
-      std::lock_guard<std::mutex> lk(owner_->mu_);
+      wt::MutexLock lk(owner_->mu_);
       if (closed_) {
         return Status::Error(ErrorCode::kIoError, "faultvfs: file is closed");
       }
@@ -587,7 +587,7 @@ class FaultVfs final : public Vfs {
     }
 
     Status Sync() override {
-      std::lock_guard<std::mutex> lk(owner_->mu_);
+      wt::MutexLock lk(owner_->mu_);
       if (closed_) {
         return Status::Error(ErrorCode::kIoError, "faultvfs: file is closed");
       }
@@ -597,7 +597,7 @@ class FaultVfs final : public Vfs {
     }
 
     Status Close() override {
-      std::lock_guard<std::mutex> lk(owner_->mu_);
+      wt::MutexLock lk(owner_->mu_);
       if (closed_) return Status::Ok();
       closed_ = true;
       return owner_->Enter(Op::kClose, path_);
@@ -607,21 +607,23 @@ class FaultVfs final : public Vfs {
     FaultVfs* owner_;  // outlives the handle: the engine holds the Vfs
     std::string path_;
     std::shared_ptr<Inode> node_;
-    bool closed_ = false;
+    bool closed_ WT_GUARDED_BY(owner_->mu_) = false;
   };
 
-  mutable std::mutex mu_;
-  std::map<std::string, std::shared_ptr<Inode>> current_;  // live namespace
-  std::map<std::string, std::shared_ptr<Inode>> durable_;  // fsync-dir'd view
-  std::vector<TraceEntry> trace_;
-  uint64_t op_count_ = 0;
-  uint64_t crash_at_ = UINT64_MAX;
-  bool crashed_ = false;
-  uint64_t fail_at_ = 0;
-  bool fail_armed_ = false;
-  bool fail_torn_ = false;
-  bool pending_torn_ = false;
-  bool fsync_noop_ = false;
+  mutable wt::Mutex mu_;
+  // Live namespace.
+  std::map<std::string, std::shared_ptr<Inode>> current_ WT_GUARDED_BY(mu_);
+  // fsync-dir'd view of the namespace.
+  std::map<std::string, std::shared_ptr<Inode>> durable_ WT_GUARDED_BY(mu_);
+  std::vector<TraceEntry> trace_ WT_GUARDED_BY(mu_);
+  uint64_t op_count_ WT_GUARDED_BY(mu_) = 0;
+  uint64_t crash_at_ WT_GUARDED_BY(mu_) = UINT64_MAX;
+  bool crashed_ WT_GUARDED_BY(mu_) = false;
+  uint64_t fail_at_ WT_GUARDED_BY(mu_) = 0;
+  bool fail_armed_ WT_GUARDED_BY(mu_) = false;
+  bool fail_torn_ WT_GUARDED_BY(mu_) = false;
+  bool pending_torn_ WT_GUARDED_BY(mu_) = false;
+  bool fsync_noop_ WT_GUARDED_BY(mu_) = false;
 };
 
 // ----------------------------------------------------------------- helpers

@@ -24,12 +24,12 @@
 #include <cstdint>
 #include <fstream>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <unordered_map>
 #include <utility>
 
 #include "common/assert.hpp"
+#include "common/thread_annotations.hpp"
 
 #if defined(__unix__) || defined(__APPLE__)
 #define WT_STORAGE_HAS_MMAP 1
@@ -197,7 +197,7 @@ class Pager {
 
   std::shared_ptr<const Blob> Map(const std::string& path, std::string* err) {
     {
-      std::lock_guard<std::mutex> lk(mu_);
+      wt::MutexLock lk(mu_);
       auto it = cache_.find(path);
       if (it != cache_.end()) {
         if (std::shared_ptr<const Blob> live = it->second.lock()) return live;
@@ -209,20 +209,20 @@ class Pager {
             ? opt_.source->MapOrRead(path, opt_.prefer_mmap, opt_.advise, err)
             : MapFileBlob(path, opt_.prefer_mmap, opt_.advise, err);
     if (blob != nullptr) {
-      std::lock_guard<std::mutex> lk(mu_);
+      wt::MutexLock lk(mu_);
       cache_[path] = blob;
     }
     return blob;
   }
 
   void Drop(const std::string& path) {
-    std::lock_guard<std::mutex> lk(mu_);
+    wt::MutexLock lk(mu_);
     cache_.erase(path);
   }
 
   /// Cache entries whose mapping is still alive (observability/tests).
   size_t LiveMappings() const {
-    std::lock_guard<std::mutex> lk(mu_);
+    wt::MutexLock lk(mu_);
     size_t live = 0;
     for (const auto& [path, weak] : cache_) {
       live += weak.expired() ? 0 : 1;
@@ -232,8 +232,9 @@ class Pager {
 
  private:
   Options opt_;
-  mutable std::mutex mu_;
-  std::unordered_map<std::string, std::weak_ptr<const Blob>> cache_;
+  mutable wt::Mutex mu_;
+  std::unordered_map<std::string, std::weak_ptr<const Blob>> cache_
+      WT_GUARDED_BY(mu_);
 };
 
 }  // namespace wt::storage
