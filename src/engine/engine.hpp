@@ -798,10 +798,14 @@ class Engine {
       for (size_t s = 0; s < n; ++s) {
         const engine::ShardMeta& sm = manifest->shards[s];
         engine::Shard<Codec>& sh = shards_[s];
+        sh.wal_gen = sm.wal_floor;
+        // Recovery is single-threaded (the pool has no jobs yet), but the
+        // publish-side fields are guarded and the discipline is uniform:
+        // hold the lock here like everywhere else.
+        wt::MutexLock lk(sh.publish_mu);
         sh.wal_floor = sm.wal_floor;
         sh.wal_cleaned = sm.wal_floor;  // the scan below deletes the rest
         sh.next_seg_seq = sm.next_seg_seq;
-        sh.wal_gen = sm.wal_floor;
         for (const engine::SegmentMeta& seg : sm.segments) {
           // v4 images are mapped and borrowed (no per-element work: Open
           // cost is O(#segments) plus the optional verification pass);
@@ -841,12 +845,20 @@ class Engine {
       if (engine::ParseEngineFileName(name, "seg-", ".wt", &shard, &num) &&
           shard < n) {
         bool live = false;
-        for (const auto& e : shards_[shard].entries) live |= (e.seq == num);
+        {
+          wt::MutexLock lk(shards_[shard].publish_mu);
+          for (const auto& e : shards_[shard].entries) live |= (e.seq == num);
+        }
         if (!live) (void)vfs().Remove(path);
       } else if (engine::ParseEngineFileName(name, "wal-", ".log", &shard,
                                              &num) &&
                  shard < n) {
-        if (num < shards_[shard].wal_floor) {
+        uint64_t floor;
+        {
+          wt::MutexLock lk(shards_[shard].publish_mu);
+          floor = shards_[shard].wal_floor;
+        }
+        if (num < floor) {
           (void)vfs().Remove(path);
         } else {
           wal_files[shard][num] = path;
@@ -893,8 +905,11 @@ class Engine {
     std::vector<uint64_t> base_counts(n, 0);
     std::vector<uint64_t> frozen_through(n, 0);
     for (size_t s = 0; s < n; ++s) {
-      for (const auto& e : shards_[s].entries) {
-        base_counts[s] += e.segment->size();
+      {
+        wt::MutexLock lk(shards_[s].publish_mu);
+        for (const auto& e : shards_[s].entries) {
+          base_counts[s] += e.segment->size();
+        }
       }
       if (manifest != nullptr) {
         frozen_through[s] = manifest->shards[s].frozen_through;
@@ -940,8 +955,13 @@ class Engine {
     // torn file) and publish the recovered views.
     for (size_t s = 0; s < n; ++s) {
       engine::Shard<Codec>& sh = shards_[s];
-      sh.wal_gen = std::max(
-          sh.wal_floor, max_gen[s] + (wal_files[s].empty() ? 0 : 1));
+      uint64_t floor;
+      {
+        wt::MutexLock lk(sh.publish_mu);
+        floor = sh.wal_floor;
+      }
+      sh.wal_gen =
+          std::max(floor, max_gen[s] + (wal_files[s].empty() ? 0 : 1));
       if (Status st = sh.wal.Open(
               vfs(), PathOf(engine::WalFileName(s, sh.wal_gen)).string(),
               opt_.sync_wal);
