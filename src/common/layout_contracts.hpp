@@ -1,0 +1,217 @@
+// Compile-time contracts for every serialized layout and static interface
+// in the library (DESIGN.md #10).
+//
+// The binary formats — v4 image headers, WAL record framing, versioned
+// envelopes, manifest fields — are defined by C++ structs (or field
+// sequences) whose exact byte layout IS the on-disk format. A well-meaning
+// edit that reorders a member, widens a type, or lets padding creep in
+// would silently corrupt every store the old binary wrote. This header
+// pins each layout with static_asserts (size, alignment, trivial
+// copyability, the offset of every field), so such an edit is a compile
+// error pointing at the contract, not a checksum mismatch in production.
+//
+// It also states the library's two template interfaces — codecs and
+// sequence policies — as C++20 concepts and asserts every shipped type
+// models them, so the interface a custom codec must satisfy is written
+// down once, checkable, and breaks loudly when drifted from.
+//
+// This is a leaf "audit" header: it includes the format definitions and is
+// included by the engine (and the lint/CI translation units), adding only
+// compile-time checks — no code, no state. tests/contracts_compile_fail/
+// proves the asserts actually fire.
+#pragma once
+
+#include <concepts>
+#include <cstddef>
+#include <cstdint>
+#include <type_traits>
+
+#include "api/sequence.hpp"
+#include "common/bit_string.hpp"
+#include "common/serialize.hpp"
+#include "core/codec.hpp"
+#include "core/wavelet_trie.hpp"
+#include "engine/manifest.hpp"
+#include "engine/wal.hpp"
+#include "storage/image.hpp"
+
+namespace wt::contracts {
+
+// ------------------------------------------------------------- machinery
+
+/// Pins a struct's gross layout. Usable from negative tests too:
+/// `static_assert(PinnedLayout<T, 56>())` fails at instantiation when the
+/// struct drifts, which is exactly what tests/contracts_compile_fail
+/// exercises with a deliberately mis-sized header.
+template <typename T, size_t Size, size_t Align>
+constexpr bool PinnedLayout() {
+  static_assert(sizeof(T) == Size,
+                "serialized struct changed size: stores written by the "
+                "previous layout would be unreadable");
+  static_assert(alignof(T) == Align, "serialized struct changed alignment");
+  static_assert(std::is_trivially_copyable_v<T>,
+                "serialized structs are written/read with memcpy");
+  static_assert(std::is_standard_layout_v<T>,
+                "serialized structs need a defined member order");
+  return true;
+}
+
+/// Pins one field: memcpy'd formats depend on every offset and width.
+#define WT_PIN_FIELD(Struct, field, off, bytes)                        \
+  static_assert(offsetof(Struct, field) == (off) &&                    \
+                    sizeof(Struct::field) == (bytes),                  \
+                #Struct "::" #field " moved or changed width — this "  \
+                "is an on-disk format change")
+
+// -------------------------------------------------------------- concepts
+
+/// What Sequence<Policy, C> requires of a codec: a value type, Encode into
+/// a prefix-free bit string, Decode back. (Prefix-freeness itself is a
+/// semantic contract the codec must guarantee by construction; see
+/// core/codec.hpp.)
+template <typename C>
+concept Codec =
+    requires { typename C::Value; } &&
+    requires(const C& c, const typename C::Value& v, wt::BitSpan bits) {
+      { c.Encode(v) } -> std::convertible_to<wt::BitString>;
+      { c.Decode(bits) } -> std::convertible_to<typename C::Value>;
+    };
+
+/// A codec whose EncodePrefix preserves prefix relations — what
+/// RankPrefix/SelectPrefix need (Sequence gates them on this).
+template <typename C>
+concept PrefixCodec =
+    Codec<C> && requires(const C& c, const typename C::Value& v) {
+      { c.EncodePrefix(v) } -> std::convertible_to<wt::BitString>;
+    };
+
+/// A codec with a stable persisted id, so loading a file into the wrong
+/// instantiation fails cleanly (codecs without one load unchecked).
+template <typename C>
+concept IdentifiedCodec = Codec<C> && requires {
+  { C::kCodecId } -> std::convertible_to<uint8_t>;
+};
+
+/// A codec with persisted state (e.g. a width or a hash multiplier) that
+/// must round-trip through the envelope for decode to work after reload.
+template <typename C>
+concept StatefulCodec =
+    Codec<C> && requires(const C& c, C& m, std::ostream& o, std::istream& i) {
+      c.SaveState(o);
+      m.LoadState(i);
+    };
+
+/// What Sequence<P, Codec> requires of a policy: the trie it instantiates
+/// plus the capability flags the facade's compile-time gates read.
+template <typename P>
+concept SequencePolicy = requires { typename P::Trie; } && requires {
+  { P::kPolicyId } -> std::convertible_to<uint8_t>;
+  { P::kMutable } -> std::convertible_to<bool>;
+  { P::kFullyDynamic } -> std::convertible_to<bool>;
+  { P::kName } -> std::convertible_to<const char*>;
+};
+
+// ------------------------------------------- shipped types model them
+
+static_assert(Codec<wt::ByteCodec>);
+static_assert(Codec<wt::RawByteCodec>);
+static_assert(Codec<wt::FixedIntCodec>);
+static_assert(Codec<wt::HashedIntCodec>);
+
+static_assert(PrefixCodec<wt::ByteCodec>);
+static_assert(PrefixCodec<wt::RawByteCodec>);
+// The int codecs deliberately have no EncodePrefix (a numeric "prefix
+// query" has no meaning); Sequence's kHasPrefixCodec gate depends on the
+// distinction, so pin it.
+static_assert(!PrefixCodec<wt::FixedIntCodec>);
+static_assert(!PrefixCodec<wt::HashedIntCodec>);
+
+static_assert(IdentifiedCodec<wt::ByteCodec>);
+static_assert(IdentifiedCodec<wt::RawByteCodec>);
+static_assert(IdentifiedCodec<wt::FixedIntCodec>);
+static_assert(IdentifiedCodec<wt::HashedIntCodec>);
+
+static_assert(!StatefulCodec<wt::ByteCodec>);
+static_assert(!StatefulCodec<wt::RawByteCodec>);
+static_assert(StatefulCodec<wt::FixedIntCodec>);
+static_assert(StatefulCodec<wt::HashedIntCodec>);
+
+static_assert(SequencePolicy<wtrie::Static>);
+static_assert(SequencePolicy<wtrie::AppendOnly>);
+static_assert(SequencePolicy<wtrie::Dynamic>);
+
+// -------------------------------------------------- v4 image (image.hpp)
+
+static_assert(PinnedLayout<wt::storage::ImageHeader, 56, 8>());
+WT_PIN_FIELD(wt::storage::ImageHeader, magic, 0, 8);
+WT_PIN_FIELD(wt::storage::ImageHeader, version, 8, 4);
+WT_PIN_FIELD(wt::storage::ImageHeader, codec_id, 12, 4);
+WT_PIN_FIELD(wt::storage::ImageHeader, total_bytes, 16, 8);
+WT_PIN_FIELD(wt::storage::ImageHeader, n, 24, 8);
+WT_PIN_FIELD(wt::storage::ImageHeader, encoded_bits, 32, 8);
+WT_PIN_FIELD(wt::storage::ImageHeader, section_count, 40, 4);
+WT_PIN_FIELD(wt::storage::ImageHeader, reserved, 44, 4);
+WT_PIN_FIELD(wt::storage::ImageHeader, body_hash, 48, 8);
+
+static_assert(PinnedLayout<wt::storage::SectionEntry, 24, 8>());
+WT_PIN_FIELD(wt::storage::SectionEntry, tag, 0, 4);
+WT_PIN_FIELD(wt::storage::SectionEntry, reserved, 4, 4);
+WT_PIN_FIELD(wt::storage::SectionEntry, offset, 8, 8);
+WT_PIN_FIELD(wt::storage::SectionEntry, bytes, 16, 8);
+
+// The kSecHeaders section body: the flat per-node query headers, persisted
+// verbatim — one 16-byte load per traversal level (DESIGN.md #6/#8).
+static_assert(PinnedLayout<wt::WaveletTrie::NodeHeader, 16, 4>());
+WT_PIN_FIELD(wt::WaveletTrie::NodeHeader, label_end, 0, 4);
+WT_PIN_FIELD(wt::WaveletTrie::NodeHeader, right, 4, 4);
+WT_PIN_FIELD(wt::WaveletTrie::NodeHeader, beta_start, 8, 4);
+WT_PIN_FIELD(wt::WaveletTrie::NodeHeader, ones_start, 12, 4);
+
+// --------------------------------------- versioned envelope (serialize.hpp)
+
+static_assert(PinnedLayout<wt::EnvelopeHeader, 32, 8>());
+WT_PIN_FIELD(wt::EnvelopeHeader, magic, 0, 8);
+WT_PIN_FIELD(wt::EnvelopeHeader, version, 8, 4);
+WT_PIN_FIELD(wt::EnvelopeHeader, tag, 12, 4);
+WT_PIN_FIELD(wt::EnvelopeHeader, payload_len, 16, 8);
+WT_PIN_FIELD(wt::EnvelopeHeader, checksum, 24, 8);
+
+// ------------------------------------------------- WAL framing (wal.hpp)
+
+static_assert(PinnedLayout<wtrie::engine::WalRecordHeader, 32, 8>());
+WT_PIN_FIELD(wtrie::engine::WalRecordHeader, batch_id, 0, 8);
+WT_PIN_FIELD(wtrie::engine::WalRecordHeader, batch_shards, 8, 4);
+WT_PIN_FIELD(wtrie::engine::WalRecordHeader, string_count, 12, 4);
+WT_PIN_FIELD(wtrie::engine::WalRecordHeader, payload_len, 16, 8);
+WT_PIN_FIELD(wtrie::engine::WalRecordHeader, checksum, 24, 8);
+
+// ------------------------------------------------ manifest (manifest.hpp)
+//
+// The manifest body is written field-by-field (WritePod per scalar), so
+// what the format depends on is each field's TYPE, not a struct image —
+// pin those, plus SegmentMeta, whose two u64s are written back to back.
+
+static_assert(PinnedLayout<wtrie::engine::SegmentMeta, 16, 8>());
+WT_PIN_FIELD(wtrie::engine::SegmentMeta, seq, 0, 8);
+WT_PIN_FIELD(wtrie::engine::SegmentMeta, count, 8, 8);
+
+static_assert(std::is_same_v<decltype(wtrie::engine::Manifest::num_shards),
+                             uint32_t>);
+static_assert(std::is_same_v<decltype(wtrie::engine::Manifest::next_batch_id),
+                             uint64_t>);
+static_assert(std::is_same_v<decltype(wtrie::engine::ShardMeta::wal_floor),
+                             uint64_t>);
+static_assert(std::is_same_v<decltype(wtrie::engine::ShardMeta::next_seg_seq),
+                             uint64_t>);
+static_assert(std::is_same_v<decltype(wtrie::engine::ShardMeta::frozen_through),
+                             uint64_t>);
+
+// Format constants are part of the contract too: a changed magic or a
+// version bump must be deliberate (new readers, compat plan), never a
+// stray edit.
+static_assert(wt::storage::kImageMagic == 0x3476474D49545721ull);
+static_assert(wt::storage::kImageVersion == 4);
+static_assert(wtrie::engine::Manifest::kMagic == 0x5754454E47494E31ull);
+static_assert(wtrie::engine::Manifest::kVersion == 2);
+
+}  // namespace wt::contracts

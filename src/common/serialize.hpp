@@ -87,6 +87,20 @@ inline uint64_t Fnv1a(const void* data, size_t len) {
   return h;
 }
 
+/// On-disk framing of a VersionedEnvelope, immediately followed by
+/// `payload_len` payload bytes. Writers emit it as one POD, so this layout
+/// IS the format; common/layout_contracts.hpp pins its size and every field
+/// offset. (Read stays field-by-field: the error taxonomy distinguishes a
+/// wrong magic from a stream too short to hold the rest of the header.)
+struct EnvelopeHeader {
+  uint64_t magic = 0;
+  uint32_t version = 0;
+  uint32_t tag = 0;
+  uint64_t payload_len = 0;
+  uint64_t checksum = 0;  // FNV-1a over the payload bytes
+};
+static_assert(sizeof(EnvelopeHeader) == 32);
+
 /// Versioned, checksummed container for whole-structure persistence:
 ///
 ///   u64 magic | u32 format version | u32 tag | u64 payload bytes |
@@ -107,11 +121,13 @@ struct VersionedEnvelope {
 
   static void Write(std::ostream& out, uint64_t magic, uint32_t version,
                     uint32_t tag, const std::string& payload) {
-    WritePod<uint64_t>(out, magic);
-    WritePod<uint32_t>(out, version);
-    WritePod<uint32_t>(out, tag);
-    WritePod<uint64_t>(out, payload.size());
-    WritePod<uint64_t>(out, Fnv1a(payload.data(), payload.size()));
+    EnvelopeHeader hdr;
+    hdr.magic = magic;
+    hdr.version = version;
+    hdr.tag = tag;
+    hdr.payload_len = payload.size();
+    hdr.checksum = Fnv1a(payload.data(), payload.size());
+    WritePod(out, hdr);
     out.write(payload.data(), static_cast<std::streamsize>(payload.size()));
   }
 

@@ -775,10 +775,7 @@ class WaveletTrie {
     return out;
   }
 
- private:
-  static constexpr uint64_t kMagic = 0x57544C4945525431ull;  // "WTLIERT1"
-  static constexpr uint32_t kVersion = 3;  // v3: directory-free RRR payload
-
+ public:
   /// Flat per-node query header (DESIGN.md #6): everything a traversal
   /// level needs in one 16-byte load. `right == 0` marks a leaf (the root
   /// is never anyone's child). The label of node v spans
@@ -793,6 +790,10 @@ class WaveletTrie {
     uint32_t beta_start;
     uint32_t ones_start;
   };
+
+ private:
+  static constexpr uint64_t kMagic = 0x57544C4945525431ull;  // "WTLIERT1"
+  static constexpr uint32_t kVersion = 3;  // v3: directory-free RRR payload
 
   /// Builds the flat header array. Skipped (leaving the Elias--Fano path in
   /// charge) only when a component exceeds the headers' 32-bit addressing.

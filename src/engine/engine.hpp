@@ -60,6 +60,7 @@
 
 #include "api/result.hpp"
 #include "api/sequence.hpp"
+#include "common/layout_contracts.hpp"  // compile the format contracts in
 #include "common/thread_annotations.hpp"
 #include "engine/manifest.hpp"
 #include "engine/recovery_invariants.hpp"

@@ -57,6 +57,19 @@ struct WalRecord {
   std::vector<wt::BitString> strings;
 };
 
+/// On-disk framing of one WAL record, immediately followed by
+/// `payload_len` payload bytes. Written and read as one POD, so the layout
+/// below IS the format; common/layout_contracts.hpp pins its size and every
+/// field offset, making an accidental reorder or retype a compile error.
+struct WalRecordHeader {
+  uint64_t batch_id = 0;
+  uint32_t batch_shards = 0;
+  uint32_t string_count = 0;
+  uint64_t payload_len = 0;
+  uint64_t checksum = 0;  // FNV-1a over the payload bytes
+};
+static_assert(sizeof(WalRecordHeader) == 32);
+
 /// `batch_shards` of a revocation record: after a mid-batch append failure
 /// the engine logs an empty record with this marker, so the batch's slice
 /// count can never agree across records and recovery discards the batch —
@@ -147,12 +160,14 @@ class WalWriter {
     // Header and body go down in ONE write: a fault injector (or a real
     // short write) then tears at most one buffer, which the checksum
     // catches, instead of leaving a valid header over missing bytes.
+    WalRecordHeader hdr;
+    hdr.batch_id = batch_id;
+    hdr.batch_shards = batch_shards;
+    hdr.string_count = static_cast<uint32_t>(strings.size());
+    hdr.payload_len = body.size();
+    hdr.checksum = wt::Fnv1a(body.data(), body.size());
     std::ostringstream record;
-    wt::WritePod<uint64_t>(record, batch_id);
-    wt::WritePod<uint32_t>(record, batch_shards);
-    wt::WritePod<uint32_t>(record, static_cast<uint32_t>(strings.size()));
-    wt::WritePod<uint64_t>(record, body.size());
-    wt::WritePod<uint64_t>(record, wt::Fnv1a(body.data(), body.size()));
+    wt::WritePod(record, hdr);
     record.write(body.data(), static_cast<std::streamsize>(body.size()));
     const std::string bytes = std::move(record).str();
 
@@ -166,40 +181,31 @@ class WalWriter {
   bool sync_ = false;
 };
 
-/// Reads every intact record of one WAL file, stopping (without error) at
-/// the first truncated or corrupt one — by construction that is the crash
-/// tail, and every complete record precedes it. A missing or unreadable
-/// file is an empty log (recovery treats both the same).
-inline std::vector<WalRecord> ReadWalFile(wt::io::Vfs& vfs,
-                                          const std::string& path) {
+/// Parses every intact record out of one WAL file's bytes, stopping
+/// (without error) at the first truncated or corrupt one — by construction
+/// that is the crash tail, and every complete record precedes it. Pure
+/// bytes-in/records-out so the fuzzer (fuzz/fuzz_wal.cpp) can drive it
+/// directly; recovery calls it through ReadWalFile below.
+inline std::vector<WalRecord> ParseWalBytes(const char* p, size_t size) {
   std::vector<WalRecord> out;
-  wtrie::Result<std::string> file = vfs.ReadFile(path);
-  if (!file.ok()) return out;
-  const char* p = file->data();
-  uint64_t remaining = file->size();
-
-  const auto read_pod = [&](auto* v) {
-    if (remaining < sizeof(*v)) return false;
-    std::memcpy(v, p, sizeof(*v));
-    p += sizeof(*v);
-    remaining -= sizeof(*v);
-    return true;
-  };
+  uint64_t remaining = size;
 
   for (;;) {
     WalRecord rec;
-    uint32_t count = 0;
-    uint64_t len = 0, sum = 0;
-    if (!read_pod(&rec.batch_id) || !read_pod(&rec.batch_shards) ||
-        !read_pod(&count) || !read_pod(&len)) {
-      return out;
-    }
-    if (!read_pod(&sum)) return out;
+    WalRecordHeader hdr;
+    if (remaining < sizeof(hdr)) return out;
+    std::memcpy(&hdr, p, sizeof(hdr));
+    p += sizeof(hdr);
+    remaining -= sizeof(hdr);
+    rec.batch_id = hdr.batch_id;
+    rec.batch_shards = hdr.batch_shards;
+    const uint32_t count = hdr.string_count;
+    const uint64_t len = hdr.payload_len;
     // The length field is untrusted until the checksum matches; bounding it
     // by the bytes actually left keeps a torn header from ballooning
     // anything (the whole file is already in memory).
     if (len > remaining) return out;
-    if (wt::Fnv1a(p, len) != sum) return out;
+    if (wt::Fnv1a(p, len) != hdr.checksum) return out;
     const char* body = p;
     p += len;
     remaining -= len;
@@ -245,6 +251,15 @@ inline std::vector<WalRecord> ReadWalFile(wt::io::Vfs& vfs,
     if (bad) return out;
     out.push_back(std::move(rec));
   }
+}
+
+/// Reads every intact record of one WAL file. A missing or unreadable file
+/// is an empty log (recovery treats both the same).
+inline std::vector<WalRecord> ReadWalFile(wt::io::Vfs& vfs,
+                                          const std::string& path) {
+  wtrie::Result<std::string> file = vfs.ReadFile(path);
+  if (!file.ok()) return {};
+  return ParseWalBytes(file->data(), file->size());
 }
 
 /// Back-compat convenience: the real filesystem.
