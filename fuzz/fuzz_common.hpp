@@ -1,0 +1,93 @@
+// Shared scaffolding for the fuzz harnesses (fuzz_image / fuzz_wal /
+// fuzz_envelope).
+//
+// Each harness defines the standard libFuzzer entry point
+// `LLVMFuzzerTestOneInput` and sets the global `wt_fuzz_accepted` to
+// whether the input parsed as VALID (clean magic, intact checksum, all
+// bounds checks passed). Two build modes share that one definition:
+//
+//   * libFuzzer (CI): clang++ -fsanitize=fuzzer,address,undefined — the
+//     engine mutates inputs and hunts for crashes/OOB in the parse paths.
+//   * standalone (everywhere, incl. the GCC-only dev container): define
+//     WT_FUZZ_STANDALONE and this header supplies a main() that replays
+//     corpus files/directories through the same entry point.
+//
+// The standalone driver doubles as the corpus REGRESSION test: seed file
+// names carry their expectation. `ok-*` must be accepted (a valid file a
+// refactor stopped reading is a format break), `corrupt-*` must be
+// rejected (a byte-flipped file that parses means a hole in the
+// validation), anything else only has to not crash. ctest replays every
+// committed corpus under these rules.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+extern "C" int LLVMFuzzerTestOneInput(const uint8_t* data, size_t size);
+
+/// Set by each harness: did the last input parse as fully valid?
+extern bool wt_fuzz_accepted;
+
+#ifdef WT_FUZZ_STANDALONE
+
+#include <algorithm>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+namespace wt_fuzz {
+
+inline std::vector<std::string> CollectInputs(int argc, char** argv) {
+  namespace fs = std::filesystem;
+  std::vector<std::string> files;
+  for (int i = 1; i < argc; ++i) {
+    fs::path p(argv[i]);
+    if (fs::is_directory(p)) {
+      for (const auto& e : fs::recursive_directory_iterator(p)) {
+        if (e.is_regular_file()) files.push_back(e.path().string());
+      }
+    } else {
+      files.push_back(p.string());
+    }
+  }
+  std::sort(files.begin(), files.end());
+  return files;
+}
+
+}  // namespace wt_fuzz
+
+int main(int argc, char** argv) {
+  const std::vector<std::string> files = wt_fuzz::CollectInputs(argc, argv);
+  if (files.empty()) {
+    std::fprintf(stderr, "usage: %s <corpus file or dir>...\n", argv[0]);
+    return 2;
+  }
+  int violations = 0;
+  for (const std::string& f : files) {
+    std::ifstream in(f, std::ios::binary);
+    std::string bytes((std::istreambuf_iterator<char>(in)),
+                      std::istreambuf_iterator<char>());
+    wt_fuzz_accepted = false;
+    LLVMFuzzerTestOneInput(reinterpret_cast<const uint8_t*>(bytes.data()),
+                           bytes.size());
+    const std::string name = std::filesystem::path(f).filename().string();
+    const bool expect_ok = name.rfind("ok-", 0) == 0;
+    const bool expect_bad = name.rfind("corrupt-", 0) == 0;
+    const char* verdict = wt_fuzz_accepted ? "accepted" : "rejected";
+    bool violated = (expect_ok && !wt_fuzz_accepted) ||
+                    (expect_bad && wt_fuzz_accepted);
+    std::printf("%-9s %s%s\n", verdict, f.c_str(),
+                violated ? "  <-- EXPECTATION VIOLATED" : "");
+    violations += violated;
+  }
+  if (violations > 0) {
+    std::fprintf(stderr, "%d corpus expectation(s) violated\n", violations);
+    return 1;
+  }
+  std::printf("%zu input(s) replayed, expectations hold\n", files.size());
+  return 0;
+}
+
+#endif  // WT_FUZZ_STANDALONE

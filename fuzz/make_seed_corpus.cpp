@@ -1,0 +1,141 @@
+// Regenerates the committed seed corpora under fuzz/corpus/{image,wal,
+// envelope}/ — run after any deliberate format change, never silently.
+//
+//   make_seed_corpus <repo-root>/fuzz/corpus
+//
+// Every format's seeds are produced by the REAL writers (ImageWriter,
+// WalWriter, VersionedEnvelope::Write, Sequence::Save), so a seed is
+// exactly what production code persists. Each family gets:
+//   ok-*        valid files — the replay driver requires these accepted
+//               (a refactor that stops reading them broke the format);
+//   corrupt-*   the same bytes with one byte flipped inside the payload —
+//               required REJECTED (checksum/bounds must catch the flip);
+//   raw-*       edge shapes with no expectation beyond "don't crash".
+
+#include <cstdint>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "api/sequence.hpp"
+#include "core/codec.hpp"
+#include "core/wavelet_trie.hpp"
+#include "engine/wal.hpp"
+#include "storage/image.hpp"
+
+namespace fs = std::filesystem;
+
+namespace {
+
+void WriteFile(const fs::path& p, const std::string& bytes) {
+  std::ofstream out(p, std::ios::binary | std::ios::trunc);
+  out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+  if (!out.good()) {
+    std::fprintf(stderr, "write failed: %s\n", p.string().c_str());
+    std::exit(1);
+  }
+  std::printf("%8zu  %s\n", bytes.size(), p.string().c_str());
+}
+
+std::string FlipByte(std::string bytes, size_t pos) {
+  bytes.at(pos) ^= 0x5A;
+  return bytes;
+}
+
+std::string ImageSeed() {
+  const std::vector<std::string> keys = {"app", "apple", "apply",
+                                         "banana", "band"};
+  std::vector<wt::BitString> encoded;
+  uint64_t bits = 0;
+  for (const std::string& k : keys) {
+    encoded.push_back(wt::ByteCodec::Encode(k));
+    bits += encoded.back().size();
+  }
+  wt::WaveletTrie trie(encoded);
+  wt::storage::ImageWriter w;
+  trie.SaveImage(w);
+  return w.Finish(wt::ByteCodec::kCodecId, keys.size(), bits);
+}
+
+std::string WalSeed() {
+  const fs::path tmp =
+      fs::temp_directory_path() / "wt_fuzz_seed_wal.log";
+  fs::remove(tmp);
+  {
+    wtrie::engine::WalWriter w;
+    if (!w.Open(tmp.string(), /*sync=*/false).ok()) std::exit(1);
+    std::vector<wt::BitString> owned;
+    for (const char* s : {"alpha", "beta", "gamma"}) {
+      owned.push_back(wt::ByteCodec::Encode(s));
+    }
+    std::vector<wt::BitSpan> spans(owned.begin(), owned.end());
+    if (!w.Append(/*batch_id=*/1, /*batch_shards=*/2, spans).ok()) {
+      std::exit(1);
+    }
+    if (!w.Append(/*batch_id=*/2, /*batch_shards=*/1, {spans[0]}).ok()) {
+      std::exit(1);
+    }
+    if (!w.Close().ok()) std::exit(1);
+  }
+  std::ifstream in(tmp, std::ios::binary);
+  std::string bytes((std::istreambuf_iterator<char>(in)),
+                    std::istreambuf_iterator<char>());
+  fs::remove(tmp);
+  return bytes;
+}
+
+std::string EnvelopeSeed() {
+  // A real persisted Sequence stream: envelope + codec payload.
+  wtrie::Sequence<wtrie::Static> seq(
+      std::vector<std::string>{"get", "put", "delete", "scan"});
+  std::ostringstream out;
+  if (!seq.Save(out).ok()) std::exit(1);
+  return std::move(out).str();
+}
+
+std::string TinyEnvelopeSeed() {
+  std::ostringstream out;
+  wt::VersionedEnvelope::Write(out, /*magic=*/0x5754534551415031ull,
+                               /*version=*/3, /*tag=*/0x0102, "payload");
+  return std::move(out).str();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc != 2) {
+    std::fprintf(stderr, "usage: %s <corpus-root>\n", argv[0]);
+    return 2;
+  }
+  const fs::path root(argv[1]);
+  for (const char* d : {"image", "wal", "envelope"}) {
+    fs::create_directories(root / d);
+  }
+
+  const std::string image = ImageSeed();
+  WriteFile(root / "image" / "ok-small-trie.img", image);
+  // Flip inside the section bodies (past header + table) so kFull dies at
+  // the hash and kNone exercises the structural checks.
+  WriteFile(root / "image" / "corrupt-bodyflip.img",
+            FlipByte(image, image.size() - 9));
+  WriteFile(root / "image" / "raw-header-only.img",
+            image.substr(0, sizeof(wt::storage::ImageHeader)));
+
+  const std::string wal = WalSeed();
+  WriteFile(root / "wal" / "ok-two-records.log", wal);
+  WriteFile(root / "wal" / "corrupt-payloadflip.log",
+            FlipByte(wal, sizeof(wtrie::engine::WalRecordHeader) + 4));
+  WriteFile(root / "wal" / "raw-torn-tail.log",
+            wal.substr(0, wal.size() - 7));
+
+  const std::string env = EnvelopeSeed();
+  WriteFile(root / "envelope" / "ok-sequence-save.env", env);
+  WriteFile(root / "envelope" / "corrupt-payloadflip.env",
+            FlipByte(env, sizeof(wt::EnvelopeHeader) + 3));
+  WriteFile(root / "envelope" / "ok-tiny.env", TinyEnvelopeSeed());
+  WriteFile(root / "envelope" / "raw-empty.env", "");
+  return 0;
+}
