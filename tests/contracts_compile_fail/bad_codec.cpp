@@ -1,0 +1,21 @@
+// MUST NOT COMPILE (ctest WILL_FAIL): a codec missing Decode does not
+// model the Codec concept. Proves the concept actually constrains custom
+// codecs instead of silently accepting anything with an Encode.
+#include <string>
+
+#include "common/bit_string.hpp"
+#include "common/layout_contracts.hpp"
+
+namespace {
+
+struct EncodeOnlyCodec {
+  using Value = std::string;
+  wt::BitString Encode(const std::string&) const { return {}; }
+  // no Decode
+};
+
+static_assert(wt::contracts::Codec<EncodeOnlyCodec>);
+
+}  // namespace
+
+int main() { return 0; }

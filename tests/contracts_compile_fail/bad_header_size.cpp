@@ -1,0 +1,30 @@
+// MUST NOT COMPILE (ctest WILL_FAIL): a serialized struct whose size
+// drifted from the pinned layout. Models the exact accident
+// layout_contracts.hpp exists to catch — someone widens or appends a field
+// to an on-disk header and every existing store becomes unreadable. The
+// contract has to fire at compile time, and this target proves it does.
+#include <cstdint>
+
+#include "common/layout_contracts.hpp"
+
+namespace {
+
+// ImageHeader with one extra field: 64 bytes, not the pinned 56.
+struct DriftedImageHeader {
+  uint64_t magic = 0;
+  uint32_t version = 0;
+  uint32_t codec_id = 0;
+  uint64_t total_bytes = 0;
+  uint64_t n = 0;
+  uint64_t encoded_bits = 0;
+  uint32_t section_count = 0;
+  uint32_t reserved = 0;
+  uint64_t body_hash = 0;
+  uint64_t sneaky_new_field = 0;  // the drift
+};
+
+static_assert(wt::contracts::PinnedLayout<DriftedImageHeader, 56, 8>());
+
+}  // namespace
+
+int main() { return 0; }

@@ -1,0 +1,16 @@
+// MUST COMPILE: positive control for the compile-fail suite. Uses the same
+// headers, machinery, and build flags as the bad_* cases, so when those
+// fail to build it is because their static_asserts fired — not because an
+// include path or flag broke for everything.
+#include "common/layout_contracts.hpp"
+
+namespace {
+
+static_assert(
+    wt::contracts::PinnedLayout<wt::storage::ImageHeader, 56, 8>());
+static_assert(wt::contracts::Codec<wt::ByteCodec>);
+static_assert(wt::contracts::SequencePolicy<wtrie::Static>);
+
+}  // namespace
+
+int main() { return 0; }
