@@ -1,0 +1,57 @@
+// Fuzz target: the serving wire-frame parser (net/frame.hpp).
+//
+// TryParseFrame + DecodeRequest are the exact functions the server runs
+// over whatever bytes a client sends — the least trusted input in the
+// system — so the contract is absolute: never abort, never read outside
+// [data, data+size), never allocate unbounded memory from a lying length
+// field, classify every malformation into the FrameParse/kBadRequest
+// taxonomy. The harness parses frames back-to-back the way a session
+// buffer would, then decodes each checksum-valid request payload and
+// touches every decoded field so ASan sees any out-of-bounds slip.
+
+#include <cstddef>
+#include <cstdint>
+
+#include "net/frame.hpp"
+#include "fuzz_common.hpp"
+
+bool wt_fuzz_accepted = false;
+
+extern "C" int LLVMFuzzerTestOneInput(const uint8_t* data, size_t size) {
+  const char* p = reinterpret_cast<const char*>(data);
+  size_t off = 0;
+  bool any_valid_request = false;
+  uint64_t sink = 0;
+  // Parse like a session: frames back-to-back until torn bytes or a
+  // stream error ends the connection.
+  for (;;) {
+    wt::net::Frame f;
+    size_t consumed = 0;
+    const wt::net::FrameParse r = wt::net::TryParseFrame(
+        p + off, size - off, wt::net::kDefaultMaxPayload, &f, &consumed);
+    if (r != wt::net::FrameParse::kFrame) break;
+    off += consumed;
+    sink += f.header.request_id ^ f.header.deadline_ms;
+    if ((f.header.type & wt::net::kResponseBit) != 0) continue;
+    wt::net::RequestBody body;
+    if (!wt::net::DecodeRequest(static_cast<wt::net::MsgType>(f.header.type),
+                                f.payload, &body)) {
+      continue;  // checksum-valid but malformed payload: typed kBadRequest
+    }
+    any_valid_request = true;
+    sink += body.nums.size() + body.strings.size() + body.threshold;
+    for (const uint64_t n : body.nums) sink += n;
+    for (const std::string& s : body.strings) {
+      sink += s.size();
+      if (!s.empty()) sink += static_cast<uint8_t>(s.back());
+    }
+    sink += body.range_lo ^ body.range_hi ^ body.CostBytes();
+  }
+  // "Accepted" = at least one frame carried a fully valid request: an
+  // ok-* seed must keep decoding end to end; a corrupt-* (byte-flipped)
+  // seed must fail framing or payload validation.
+  wt_fuzz_accepted = any_valid_request;
+  volatile uint64_t keep = sink;
+  (void)keep;
+  return 0;
+}

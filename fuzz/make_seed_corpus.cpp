@@ -1,5 +1,6 @@
 // Regenerates the committed seed corpora under fuzz/corpus/{image,wal,
-// envelope}/ — run after any deliberate format change, never silently.
+// envelope,frame}/ — run after any deliberate format change, never
+// silently.
 //
 //   make_seed_corpus <repo-root>/fuzz/corpus
 //
@@ -24,6 +25,7 @@
 #include "core/codec.hpp"
 #include "core/wavelet_trie.hpp"
 #include "engine/wal.hpp"
+#include "net/frame.hpp"
 #include "storage/image.hpp"
 
 namespace fs = std::filesystem;
@@ -96,6 +98,55 @@ std::string EnvelopeSeed() {
   return std::move(out).str();
 }
 
+// A realistic client conversation: several request frames back to back,
+// built with the REAL encoder — exactly what a session buffer receives.
+std::string FrameSeedStream() {
+  std::string stream;
+  {
+    wt::net::PayloadWriter w;
+    w.Pod<uint32_t>(3);
+    for (const uint64_t pos : {0ull, 7ull, 41ull}) w.Pod<uint64_t>(pos);
+    stream += wt::net::EncodeFrame(static_cast<uint8_t>(wt::net::MsgType::kAccess),
+                                   /*request_id=*/1, /*deadline_ms=*/0,
+                                   w.Take());
+  }
+  {
+    wt::net::PayloadWriter w;
+    w.Pod<uint32_t>(2);
+    w.Pod<uint64_t>(5);
+    w.Str("www.example.com/a");
+    w.Pod<uint64_t>(9);
+    w.Str("www.example.com/b");
+    stream += wt::net::EncodeFrame(static_cast<uint8_t>(wt::net::MsgType::kRank),
+                                   /*request_id=*/2, /*deadline_ms=*/25,
+                                   w.Take());
+  }
+  {
+    wt::net::PayloadWriter w;
+    w.Pod<uint32_t>(2);
+    w.Str("alpha");
+    w.Str("beta");
+    stream += wt::net::EncodeFrame(static_cast<uint8_t>(wt::net::MsgType::kAppend),
+                                   /*request_id=*/3, /*deadline_ms=*/0,
+                                   w.Take());
+  }
+  stream += wt::net::EncodeFrame(static_cast<uint8_t>(wt::net::MsgType::kPing),
+                                 /*request_id=*/4, /*deadline_ms=*/0, "");
+  return stream;
+}
+
+// Single frame, so a byte flip anywhere in its payload must fail the
+// WHOLE input (a flip in frame 2 of a stream would leave frame 1 valid).
+std::string FrameSeedSingle() {
+  wt::net::PayloadWriter w;
+  w.Pod<uint64_t>(0);
+  w.Pod<uint64_t>(100);
+  w.Pod<uint64_t>(3);
+  return wt::net::EncodeFrame(static_cast<uint8_t>(wt::net::MsgType::kFrequent),
+                              /*request_id=*/9, /*deadline_ms=*/50,
+                              w.Take());
+}
+
 std::string TinyEnvelopeSeed() {
   std::ostringstream out;
   wt::VersionedEnvelope::Write(out, /*magic=*/0x5754534551415031ull,
@@ -111,7 +162,7 @@ int main(int argc, char** argv) {
     return 2;
   }
   const fs::path root(argv[1]);
-  for (const char* d : {"image", "wal", "envelope"}) {
+  for (const char* d : {"image", "wal", "envelope", "frame"}) {
     fs::create_directories(root / d);
   }
 
@@ -137,5 +188,18 @@ int main(int argc, char** argv) {
             FlipByte(env, sizeof(wt::EnvelopeHeader) + 3));
   WriteFile(root / "envelope" / "ok-tiny.env", TinyEnvelopeSeed());
   WriteFile(root / "envelope" / "raw-empty.env", "");
+
+  const std::string stream = FrameSeedStream();
+  WriteFile(root / "frame" / "ok-request-stream.bin", stream);
+  const std::string single = FrameSeedSingle();
+  WriteFile(root / "frame" / "ok-frequent.bin", single);
+  // Flip inside the payload: the FNV checksum must reject the frame.
+  WriteFile(root / "frame" / "corrupt-payloadflip.bin",
+            FlipByte(single, sizeof(wt::net::FrameHeader) + 2));
+  // Flip inside the header's magic: stream error before any payload read.
+  WriteFile(root / "frame" / "corrupt-magicflip.bin", FlipByte(single, 1));
+  // Torn tail: a session must wait (kNeedMore), never crash or accept.
+  WriteFile(root / "frame" / "raw-torn-tail.bin",
+            stream.substr(0, stream.size() - 5));
   return 0;
 }

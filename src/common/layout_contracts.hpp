@@ -33,6 +33,7 @@
 #include "core/wavelet_trie.hpp"
 #include "engine/manifest.hpp"
 #include "engine/wal.hpp"
+#include "net/frame.hpp"
 #include "storage/image.hpp"
 
 namespace wt::contracts {
@@ -184,6 +185,26 @@ WT_PIN_FIELD(wtrie::engine::WalRecordHeader, batch_shards, 8, 4);
 WT_PIN_FIELD(wtrie::engine::WalRecordHeader, string_count, 12, 4);
 WT_PIN_FIELD(wtrie::engine::WalRecordHeader, payload_len, 16, 8);
 WT_PIN_FIELD(wtrie::engine::WalRecordHeader, checksum, 24, 8);
+
+// ---------------------------------------------- wire framing (net/frame.hpp)
+//
+// Not a disk format, but the same discipline applies: the serving
+// protocol's frame header is written and parsed as one POD, so its layout
+// IS the wire format — old clients talk to new servers only while these
+// offsets hold.
+
+static_assert(PinnedLayout<wt::net::FrameHeader, 32, 8>());
+WT_PIN_FIELD(wt::net::FrameHeader, magic, 0, 4);
+WT_PIN_FIELD(wt::net::FrameHeader, version, 4, 2);
+WT_PIN_FIELD(wt::net::FrameHeader, type, 6, 1);
+WT_PIN_FIELD(wt::net::FrameHeader, flags, 7, 1);
+WT_PIN_FIELD(wt::net::FrameHeader, request_id, 8, 8);
+WT_PIN_FIELD(wt::net::FrameHeader, deadline_ms, 16, 4);
+WT_PIN_FIELD(wt::net::FrameHeader, payload_len, 20, 4);
+WT_PIN_FIELD(wt::net::FrameHeader, checksum, 24, 8);
+
+static_assert(wt::net::kFrameMagic == 0x314E5457u);
+static_assert(wt::net::kFrameVersion == 1);
 
 // ------------------------------------------------ manifest (manifest.hpp)
 //

@@ -269,6 +269,15 @@ class Engine {
 
   // ----------------------------------------------------------------- reads
 
+  /// Monotone counter bumped every time any shard publishes a new view
+  /// (freeze, compaction, recovery). Cheap staleness probe for snapshot
+  /// caches: the serving layer re-pins its snapshot only when this moves,
+  /// so steady-state request coalescing pays one relaxed load instead of
+  /// one shared_ptr copy per shard per dispatch.
+  uint64_t PublishEpoch() const {
+    return publish_epoch_.load(std::memory_order_acquire);
+  }
+
   /// Pins a consistent immutable view: the largest global prefix every
   /// shard has frozen. Wait-free with respect to writers and background
   /// work; the snapshot stays valid (and pinned) for its whole lifetime.
@@ -301,6 +310,19 @@ class Engine {
     }
     pool_->Drain();
     return BackgroundError();
+  }
+
+  /// Fsyncs every shard's current WAL generation — the serving layer's
+  /// shutdown barrier: after a graceful drain, every acknowledged append
+  /// is durable against OS crashes too, even when the engine runs with
+  /// sync_wal=false. (Against process crashes the records are already
+  /// safe: Append flushes them to the OS before the memtable is touched.)
+  Status SyncWal() {
+    wt::MutexLock lk(ingest_mu_);
+    for (auto& sh : shards_) {
+      if (Status st = sh.wal.SyncFile(); !st.ok()) return st;
+    }
+    return Status::Ok();
   }
 
   /// Merges every shard's stack down to one segment (after finishing
@@ -512,6 +534,7 @@ class Engine {
       sh.RecomputeWalFloorLocked();
       sh.PublishLocked();
     }
+    publish_epoch_.fetch_add(1, std::memory_order_release);
     if (durable() && PersistManifest().ok()) CleanWal(s);
     // Size-tiered tail compaction: merge while the penultimate segment is
     // within ratio of the last, so segment sizes decay geometrically.
@@ -619,6 +642,7 @@ class Engine {
       sh.RecomputeWalFloorLocked();
       sh.PublishLocked();
     }
+    publish_epoch_.fetch_add(1, std::memory_order_release);
     if (durable() && PersistManifest().ok()) {
       // Victim files (and newly-subsumed WAL generations) are deleted
       // only once the manifest no longer references the victims; a crash
@@ -971,6 +995,7 @@ class Engine {
       wt::MutexLock lk(sh.publish_mu);
       sh.PublishLocked();
     }
+    publish_epoch_.fetch_add(1, std::memory_order_release);
 
     // 7. Oversized recovered memtables go straight to the freeze queue.
     // A salvaged replay instead settles synchronously before Open
@@ -1019,6 +1044,7 @@ class Engine {
   // Stats() reads memtable sizes under it too.
   mutable wt::Mutex ingest_mu_;
   std::atomic<uint64_t> total_{0};
+  std::atomic<uint64_t> publish_epoch_{0};
   std::atomic<uint64_t> next_batch_id_{0};
   std::vector<engine::Shard<Codec>> shards_;
   // Orders concurrent manifest writers; always taken before (never inside)

@@ -1,0 +1,283 @@
+// Bounded admission queue with load shedding and deadline enforcement
+// (DESIGN.md #11).
+//
+// The contract that makes the server overload-safe:
+//
+//   * Admission is bounded by request count AND queued bytes. When either
+//     bound is hit, Offer() sheds: the caller sends a typed kOverloaded
+//     reply with a retry-after hint. Nothing is ever silently dropped —
+//     every request is either shed at the door (client told immediately)
+//     or admitted, and every admitted request produces exactly one reply.
+//   * Deadlines are enforced at dequeue: a request that expired while
+//     waiting is not handed to the dispatcher as work; Pop() moves it to
+//     an `expired` out-list so the caller can send kDeadlineExceeded.
+//     (The dispatcher re-checks before replying — serving a result after
+//     its deadline is serving it stale-late; see server.hpp.)
+//   * The retry-after hint is honest: estimated drain time of the queue
+//     ahead of the rejected request, from an EWMA of recent per-request
+//     service time. Overloaded clients back off proportionally to actual
+//     backlog instead of a magic constant.
+//   * Close() flips the queue into drain mode: new offers are refused with
+//     kClosed (the server answers kShuttingDown), already-admitted work
+//     keeps draining — the graceful-shutdown half of the contract.
+//
+// Everything is guarded by one mutex with full thread-safety annotations;
+// the clang -Wthread-safety CI job proves the locking discipline.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <vector>
+
+#include "common/thread_annotations.hpp"
+#include "net/clock.hpp"
+#include "net/frame.hpp"
+
+namespace wt::net {
+
+/// One admitted request, carrying everything the dispatcher needs to
+/// execute it and route the reply.
+struct PendingRequest {
+  uint64_t conn_id = 0;
+  uint64_t request_id = 0;
+  uint8_t type = 0;  // MsgType of the request (response bit clear)
+  RequestBody body;
+  uint64_t deadline_ns = 0;  // absolute monotonic ns; 0 = no deadline
+  uint64_t enqueued_ns = 0;
+  size_t cost_bytes = 0;
+};
+
+/// Counters mirrored into kStats replies and the bench gate's accounting
+/// identity (admitted == completed + expired; nothing vanishes).
+struct AdmissionStats {
+  uint64_t offered = 0;
+  uint64_t admitted = 0;
+  uint64_t shed = 0;             // refused kOverloaded at the door
+  uint64_t refused_closed = 0;   // refused kShuttingDown during drain
+  uint64_t expired_at_dequeue = 0;
+  uint64_t expired_before_reply = 0;
+  uint64_t completed = 0;
+};
+
+class AdmissionQueue {
+ public:
+  enum class Offer : uint8_t { kAdmitted = 0, kShed = 1, kClosed = 2 };
+
+  struct Limits {
+    size_t max_requests = 1024;
+    size_t max_bytes = 32u << 20;
+  };
+
+  AdmissionQueue(Limits limits, MonotonicClock* clock)
+      : limits_(limits), clock_(clock) {}
+
+  /// Admits or sheds one request. On kShed, *retry_after_ms carries the
+  /// backoff hint. Never blocks the caller: shedding is a synchronous
+  /// decision on the I/O thread, which is what keeps "queue full" from
+  /// turning into "server stops reading and clients time out blind".
+  Offer TryOffer(PendingRequest&& req, uint32_t* retry_after_ms)
+      WT_EXCLUDES(mu_) {
+    wt::MutexLock lock(mu_);
+    stats_.offered++;
+    if (closed_) {
+      stats_.refused_closed++;
+      return Offer::kClosed;
+    }
+    if (queue_.size() >= limits_.max_requests ||
+        queued_bytes_ + req.cost_bytes > limits_.max_bytes) {
+      stats_.shed++;
+      shed_streak_++;
+      *retry_after_ms = RetryAfterMsLocked();
+      return Offer::kShed;
+    }
+    queued_bytes_ += req.cost_bytes;
+    stats_.admitted++;
+    shed_streak_ = 0;
+    queue_.push_back(std::move(req));
+    cv_.NotifyOne();
+    return Offer::kAdmitted;
+  }
+
+  /// Batched TryOffer: one lock acquisition and one dispatcher wakeup for a
+  /// whole read's worth of frames. verdicts->at(i) is the decision for
+  /// reqs->at(i); admitted requests are moved out of *reqs, refused ones
+  /// left in place so the caller can reply. *retry_after_ms carries the
+  /// hint for any kShed verdicts (computed once per batch — the backlog
+  /// barely moves within one).
+  void TryOfferBatch(std::vector<PendingRequest>* reqs,
+                     std::vector<Offer>* verdicts, uint32_t* retry_after_ms)
+      WT_EXCLUDES(mu_) {
+    verdicts->clear();
+    verdicts->reserve(reqs->size());
+    wt::MutexLock lock(mu_);
+    bool admitted_any = false;
+    for (PendingRequest& req : *reqs) {
+      stats_.offered++;
+      if (closed_) {
+        stats_.refused_closed++;
+        verdicts->push_back(Offer::kClosed);
+        continue;
+      }
+      if (queue_.size() >= limits_.max_requests ||
+          queued_bytes_ + req.cost_bytes > limits_.max_bytes) {
+        stats_.shed++;
+        shed_streak_++;
+        *retry_after_ms = RetryAfterMsLocked();
+        verdicts->push_back(Offer::kShed);
+        continue;
+      }
+      queued_bytes_ += req.cost_bytes;
+      stats_.admitted++;
+      shed_streak_ = 0;
+      queue_.push_back(std::move(req));
+      verdicts->push_back(Offer::kAdmitted);
+      admitted_any = true;
+    }
+    if (admitted_any) cv_.NotifyOne();
+  }
+
+  /// Pops up to max_batch admissible requests, blocking until at least one
+  /// request is available or the queue is closed AND empty (drain done —
+  /// returns false). Requests whose deadline passed while queued are moved
+  /// to *expired instead of *batch: the deadline-at-dequeue check. Both
+  /// lists can be non-empty in one call.
+  bool PopBatch(size_t max_batch, std::vector<PendingRequest>* batch,
+                std::vector<PendingRequest>* expired) WT_EXCLUDES(mu_) {
+    batch->clear();
+    expired->clear();
+    wt::MutexLock lock(mu_);
+    while (queue_.empty() && !closed_) cv_.Wait(mu_);
+    if (queue_.empty()) return false;  // closed and drained
+    const uint64_t now = clock_->NowNanos();
+    while (!queue_.empty() && batch->size() < max_batch) {
+      PendingRequest req = std::move(queue_.front());
+      queue_.pop_front();
+      queued_bytes_ -= req.cost_bytes;
+      if (req.deadline_ns != 0 && now >= req.deadline_ns) {
+        stats_.expired_at_dequeue++;
+        expired->push_back(std::move(req));
+      } else {
+        batch->push_back(std::move(req));
+      }
+    }
+    return true;
+  }
+
+  /// Non-blocking PopBatch — the deterministic-test / manual-dispatch seam.
+  bool TryPopBatch(size_t max_batch, std::vector<PendingRequest>* batch,
+                   std::vector<PendingRequest>* expired) WT_EXCLUDES(mu_) {
+    batch->clear();
+    expired->clear();
+    wt::MutexLock lock(mu_);
+    if (queue_.empty()) return false;
+    const uint64_t now = clock_->NowNanos();
+    while (!queue_.empty() && batch->size() < max_batch) {
+      PendingRequest req = std::move(queue_.front());
+      queue_.pop_front();
+      queued_bytes_ -= req.cost_bytes;
+      if (req.deadline_ns != 0 && now >= req.deadline_ns) {
+        stats_.expired_at_dequeue++;
+        expired->push_back(std::move(req));
+      } else {
+        batch->push_back(std::move(req));
+      }
+    }
+    return true;
+  }
+
+  /// Records one served request's wall time, updating the EWMA behind the
+  /// retry-after hint, and the completion counter.
+  void NoteServiced(uint64_t service_ns) WT_EXCLUDES(mu_) {
+    wt::MutexLock lock(mu_);
+    stats_.completed++;
+    if (ewma_service_ns_ == 0) {
+      ewma_service_ns_ = service_ns;
+    } else {
+      // alpha = 1/8: smooth enough to ride out one slow analytics query,
+      // fresh enough to track a load shift within a few dozen requests.
+      ewma_service_ns_ = ewma_service_ns_ - ewma_service_ns_ / 8 +
+                         service_ns / 8;
+    }
+  }
+
+  /// Batched NoteServiced: one lock and one EWMA step per dispatch batch.
+  /// per_req_ns is already the batch's evenly-split per-request cost, so a
+  /// single blend step carries the same signal as count identical ones.
+  void NoteServicedBatch(uint64_t count, uint64_t per_req_ns)
+      WT_EXCLUDES(mu_) {
+    if (count == 0) return;
+    wt::MutexLock lock(mu_);
+    stats_.completed += count;
+    if (ewma_service_ns_ == 0) {
+      ewma_service_ns_ = per_req_ns;
+    } else {
+      ewma_service_ns_ = ewma_service_ns_ - ewma_service_ns_ / 8 +
+                         per_req_ns / 8;
+    }
+  }
+
+  /// Records a request that expired after dequeue, before its reply.
+  void NoteExpiredBeforeReply() WT_EXCLUDES(mu_) {
+    wt::MutexLock lock(mu_);
+    stats_.expired_before_reply++;
+  }
+
+  /// Drain mode: refuse new work, keep serving admitted work. Wakes any
+  /// blocked PopBatch so the dispatcher can finish and exit.
+  void Close() WT_EXCLUDES(mu_) {
+    wt::MutexLock lock(mu_);
+    closed_ = true;
+    cv_.NotifyAll();
+  }
+
+  bool closed() const WT_EXCLUDES(mu_) {
+    wt::MutexLock lock(mu_);
+    return closed_;
+  }
+
+  size_t depth() const WT_EXCLUDES(mu_) {
+    wt::MutexLock lock(mu_);
+    return queue_.size();
+  }
+
+  AdmissionStats stats() const WT_EXCLUDES(mu_) {
+    wt::MutexLock lock(mu_);
+    return stats_;
+  }
+
+ private:
+  /// Estimated drain time of the current backlog, clamped to [1ms, 10s].
+  /// Callers hold mu_.
+  ///
+  /// The estimate counts not just the queued requests but every request
+  /// shed since the queue last had room: those callers were told to retry
+  /// and will land ahead of (or around) this one, so a hint based on queue
+  /// depth alone understates the wait and re-synchronizes the herd onto
+  /// the 1ms floor. The streak resets the moment an offer is admitted.
+  uint32_t RetryAfterMsLocked() const WT_REQUIRES(mu_) {
+    // Before any completion the EWMA is unknown; assume 1ms per queued
+    // request — pessimistic enough to spread the retry stampede.
+    const uint64_t per_req_ns =
+        ewma_service_ns_ == 0 ? 1000000ull : ewma_service_ns_;
+    const uint64_t drain_ns =
+        per_req_ns * (queue_.size() + 1 + shed_streak_);
+    uint64_t ms = drain_ns / 1000000ull;
+    if (ms < 1) ms = 1;
+    if (ms > 10000) ms = 10000;
+    return static_cast<uint32_t>(ms);
+  }
+
+  const Limits limits_;
+  MonotonicClock* const clock_;
+
+  mutable wt::Mutex mu_;
+  wt::CondVar cv_;
+  std::deque<PendingRequest> queue_ WT_GUARDED_BY(mu_);
+  size_t queued_bytes_ WT_GUARDED_BY(mu_) = 0;
+  bool closed_ WT_GUARDED_BY(mu_) = false;
+  uint64_t ewma_service_ns_ WT_GUARDED_BY(mu_) = 0;
+  uint64_t shed_streak_ WT_GUARDED_BY(mu_) = 0;
+  AdmissionStats stats_ WT_GUARDED_BY(mu_);
+};
+
+}  // namespace wt::net

@@ -1,0 +1,154 @@
+// Blocking client for the serving protocol: payload builders, a pipelined
+// send/receive pair, and response decoding (DESIGN.md #11).
+//
+// This is the reference client the loadgen, the serving bench, and the
+// tests share. It is deliberately simple — blocking sockets, one frame per
+// Recv — because the interesting concurrency (coalescing, shedding,
+// backpressure) lives on the server; clients get throughput by pipelining
+// (N Sends before matching Recvs) and by batching many queries into one
+// frame, not by their own event loops.
+#pragma once
+
+#if defined(__linux__)
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "net/frame.hpp"
+#include "net/socket.hpp"
+
+namespace wt::net {
+
+class Client {
+ public:
+  static wtrie::Result<Client> Connect(uint16_t port) {
+    wtrie::Result<Fd> fd = TcpConnect(port);
+    if (!fd.ok()) return fd.status();
+    Client c;
+    c.fd_ = std::move(*fd);
+    return c;
+  }
+
+  Client() = default;
+  Client(Client&&) = default;
+  Client& operator=(Client&&) = default;
+
+  int fd() const { return fd_.get(); }
+  bool connected() const { return fd_.valid(); }
+
+  /// Sends one request frame. Pipelining is just calling this repeatedly
+  /// before Recv — responses come back in request order per opcode stream.
+  Status Send(MsgType type, uint64_t request_id, uint32_t deadline_ms,
+              const std::string& payload) {
+    const std::string bytes = EncodeFrame(static_cast<uint8_t>(type),
+                                          request_id, deadline_ms, payload);
+    return WriteAll(fd_.get(), bytes.data(), bytes.size());
+  }
+
+  /// Receives one response frame, verifying magic/version/checksum. An
+  /// unclean stream is kCorruptStream; a closed peer is kIoError.
+  wtrie::Result<Frame> Recv() {
+    Frame f;
+    if (Status st = ReadExact(fd_.get(), &f.header, sizeof(f.header));
+        !st.ok()) {
+      return st;
+    }
+    if (f.header.magic != kFrameMagic || f.header.version != kFrameVersion ||
+        f.header.payload_len > kDefaultMaxPayload) {
+      return Status::Error(wtrie::ErrorCode::kCorruptStream,
+                           "client: bad response frame header");
+    }
+    f.payload.resize(f.header.payload_len);
+    if (f.header.payload_len > 0) {
+      if (Status st =
+              ReadExact(fd_.get(), f.payload.data(), f.payload.size());
+          !st.ok()) {
+        return st;
+      }
+    }
+    if (wt::Fnv1a(f.payload.data(), f.payload.size()) != f.header.checksum) {
+      return Status::Error(wtrie::ErrorCode::kCorruptStream,
+                           "client: response checksum mismatch");
+    }
+    return f;
+  }
+
+  /// Send + Recv for the non-pipelined case.
+  wtrie::Result<Frame> Call(MsgType type, uint64_t request_id,
+                            uint32_t deadline_ms, const std::string& payload) {
+    if (Status st = Send(type, request_id, deadline_ms, payload); !st.ok()) {
+      return st;
+    }
+    return Recv();
+  }
+
+  // -------------------------------------------------- request payloads
+
+  static std::string AccessPayload(const std::vector<uint64_t>& positions) {
+    PayloadWriter w;
+    w.Pod<uint32_t>(static_cast<uint32_t>(positions.size()));
+    for (uint64_t p : positions) w.Pod<uint64_t>(p);
+    return w.Take();
+  }
+
+  static std::string RankPayload(const std::vector<std::string>& values,
+                                 const std::vector<uint64_t>& positions) {
+    PayloadWriter w;
+    w.Pod<uint32_t>(static_cast<uint32_t>(values.size()));
+    for (size_t i = 0; i < values.size(); ++i) {
+      w.Pod<uint64_t>(positions[i]);
+      w.Str(values[i]);
+    }
+    return w.Take();
+  }
+
+  static std::string SelectPayload(const std::vector<std::string>& values,
+                                   const std::vector<uint64_t>& indices) {
+    PayloadWriter w;
+    w.Pod<uint32_t>(static_cast<uint32_t>(values.size()));
+    for (size_t i = 0; i < values.size(); ++i) {
+      w.Pod<uint64_t>(indices[i]);
+      w.Str(values[i]);
+    }
+    return w.Take();
+  }
+
+  static std::string StringsPayload(const std::vector<std::string>& strings) {
+    PayloadWriter w;
+    w.Pod<uint32_t>(static_cast<uint32_t>(strings.size()));
+    for (const std::string& s : strings) w.Str(s);
+    return w.Take();
+  }
+
+  static std::string FrequentPayload(uint64_t lo, uint64_t hi,
+                                     uint64_t threshold) {
+    PayloadWriter w;
+    w.Pod<uint64_t>(lo);
+    w.Pod<uint64_t>(hi);
+    w.Pod<uint64_t>(threshold);
+    return w.Take();
+  }
+
+  // ------------------------------------------------- response decoding
+
+  /// Splits a response payload into its status byte and a reader over the
+  /// rest. Returns false on an empty (malformed) payload.
+  static bool DecodeStatus(const Frame& f, WireStatus* st, PayloadReader* r) {
+    PayloadReader reader(f.payload);
+    uint8_t raw = 0;
+    if (!reader.Pod(&raw)) return false;
+    *st = static_cast<WireStatus>(raw);
+    *r = reader;
+    return true;
+  }
+
+ private:
+  Fd fd_;
+};
+
+}  // namespace wt::net
+
+#endif  // __linux__

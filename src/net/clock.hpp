@@ -1,0 +1,58 @@
+// Injectable monotonic clock for the serving layer.
+//
+// Deadlines and EWMA service-time estimates must be testable without
+// sleeping: the admission queue and server take a MonotonicClock*, the
+// daemon passes RealClock::Instance(), and the deterministic fault tests
+// pass a ManualClock they advance by hand (deadline expiry mid-queue,
+// expiry between dequeue and reply, retry-after hints — all exact).
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+
+#include "common/thread_annotations.hpp"
+
+namespace wt::net {
+
+class MonotonicClock {
+ public:
+  virtual ~MonotonicClock() = default;
+  virtual uint64_t NowNanos() const = 0;
+};
+
+class RealClock final : public MonotonicClock {
+ public:
+  uint64_t NowNanos() const override {
+    return static_cast<uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::steady_clock::now().time_since_epoch())
+            .count());
+  }
+  static RealClock* Instance() {
+    static RealClock clock;
+    return &clock;
+  }
+};
+
+/// Test clock: time moves only when the test says so.
+class ManualClock final : public MonotonicClock {
+ public:
+  explicit ManualClock(uint64_t start_ns = 1) : now_ns_(start_ns) {}
+
+  uint64_t NowNanos() const override {
+    wt::MutexLock lock(mu_);
+    return now_ns_;
+  }
+
+  void AdvanceNanos(uint64_t delta) {
+    wt::MutexLock lock(mu_);
+    now_ns_ += delta;
+  }
+  void AdvanceMillis(uint64_t ms) { AdvanceNanos(ms * 1000000ull); }
+
+ private:
+  mutable wt::Mutex mu_;
+  uint64_t now_ns_ WT_GUARDED_BY(mu_) = 1;
+};
+
+}  // namespace wt::net

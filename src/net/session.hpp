@@ -1,0 +1,111 @@
+// Per-connection session state: read-side incremental frame extraction and
+// the bounded write buffer behind slow-client backpressure (DESIGN.md #11).
+//
+// A Session is owned by the server's I/O thread and is never touched by
+// any other thread — it has no mutex by design (the dispatcher hands
+// completed replies to the I/O thread through the server's completion
+// queue; only the I/O thread moves them into the session's write buffer).
+//
+// Backpressure policy, in order of escalation:
+//   1. write buffer above the soft limit  -> stop reading from the socket
+//      (the client stops getting new requests admitted until it drains
+//      what it already asked for);
+//   2. write buffer above the hard limit  -> disconnect (a stalled client
+//      must not pin unbounded reply memory — the bound is the contract).
+//
+// Read-side errors are terminal per connection: after a garbage, torn-
+// then-corrupt, oversized, or checksum-failed frame the stream offset
+// cannot be trusted, so the server sends one typed error frame (when the
+// header was readable enough to echo an id) and closes. Only kNeedMore
+// waits for more bytes.
+//
+// Portable on purpose (no sockets): tests drive the state machine with
+// plain byte strings.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "net/frame.hpp"
+
+namespace wt::net {
+
+struct SessionLimits {
+  uint32_t max_payload = kDefaultMaxPayload;
+  size_t write_buffer_soft = 1u << 20;  // pause reading above this
+  size_t write_buffer_hard = 8u << 20;  // disconnect above this
+};
+
+class Session {
+ public:
+  Session(uint64_t conn_id, const SessionLimits& limits)
+      : conn_id_(conn_id), limits_(limits) {}
+
+  uint64_t conn_id() const { return conn_id_; }
+
+  // ------------------------------------------------------------ read side
+
+  void AppendReadBytes(const char* p, size_t n) { in_.append(p, n); }
+
+  /// Extracts every complete frame currently buffered. Returns kNeedMore
+  /// when the buffer ends cleanly (possibly mid-frame — the torn-frame
+  /// case, which simply waits for more bytes); any other value is a stream
+  /// error and the connection must be failed by the caller.
+  FrameParse ExtractFrames(std::vector<Frame>* out) {
+    size_t off = 0;
+    FrameParse result = FrameParse::kNeedMore;
+    while (off < in_.size()) {
+      Frame f;
+      size_t consumed = 0;
+      result = TryParseFrame(in_.data() + off, in_.size() - off,
+                             limits_.max_payload, &f, &consumed);
+      if (result != FrameParse::kFrame) break;
+      out->push_back(std::move(f));
+      off += consumed;
+    }
+    in_.erase(0, off);
+    return result;
+  }
+
+  /// True when the read side should stay off epoll: backpressure. The
+  /// server re-enables reading once the write buffer drains below soft.
+  bool ReadPaused() const { return PendingWriteBytes() > limits_.write_buffer_soft; }
+
+  // ----------------------------------------------------------- write side
+
+  void EnqueueWrite(const std::string& bytes) {
+    // Compact lazily: reclaim consumed prefix once it dominates the buffer
+    // so the write path stays O(bytes) amortized without per-write memmove.
+    if (out_off_ > 0 && out_off_ >= out_.size() / 2) {
+      out_.erase(0, out_off_);
+      out_off_ = 0;
+    }
+    out_.append(bytes);
+  }
+
+  bool WantsWrite() const { return out_off_ < out_.size(); }
+  const char* PendingWriteData() const { return out_.data() + out_off_; }
+  size_t PendingWriteBytes() const { return out_.size() - out_off_; }
+  void ConsumeWritten(size_t n) { out_off_ += n; }
+
+  /// True when the client has stalled past the hard cap: disconnect.
+  bool OverHardLimit() const {
+    return PendingWriteBytes() > limits_.write_buffer_hard;
+  }
+
+  // -------------------------------------------------------------- counters
+
+  /// Requests admitted on behalf of this connection whose replies have not
+  /// yet been enqueued. Graceful shutdown waits for these before closing.
+  uint64_t inflight = 0;
+
+ private:
+  const uint64_t conn_id_;
+  const SessionLimits limits_;
+  std::string in_;
+  std::string out_;
+  size_t out_off_ = 0;
+};
+
+}  // namespace wt::net

@@ -1,0 +1,339 @@
+// Raw socket and epoll primitives — the serving layer's only syscall seam
+// (DESIGN.md #11).
+//
+// Everything in src/net/ above this header (framing, sessions, admission,
+// the server) is expressed in terms of these checked, Status-returning
+// wrappers; tools/wt_lint.py enforces that no other file under src/
+// touches a socket/epoll syscall directly, the same way durable file I/O
+// is confined to io/vfs.hpp. Keeping the syscall surface in one place
+// makes the error handling auditable: every EAGAIN, EINTR, short write,
+// and peer reset is classified here, once, and the layers above only ever
+// see {ok, would-block, eof, error}.
+//
+// Linux-only (epoll); the rest of the library builds and runs without it.
+#pragma once
+
+#if defined(__linux__)
+
+#include <cerrno>
+#include <cstdint>
+#include <cstring>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/epoll.h>
+#include <sys/eventfd.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include "api/result.hpp"
+
+namespace wt::net {
+
+using wtrie::ErrorCode;
+using wtrie::Result;
+using wtrie::Status;
+
+/// Owning file descriptor. Close errors on a socket are uninteresting
+/// (there is no buffered data whose loss close could report that the
+/// flush-before-close discipline has not already surfaced), so the
+/// destructor may discard them.
+class Fd {
+ public:
+  Fd() = default;
+  explicit Fd(int fd) : fd_(fd) {}
+  ~Fd() { Reset(); }
+  Fd(Fd&& o) noexcept : fd_(std::exchange(o.fd_, -1)) {}
+  Fd& operator=(Fd&& o) noexcept {
+    if (this != &o) {
+      Reset();
+      fd_ = std::exchange(o.fd_, -1);
+    }
+    return *this;
+  }
+  Fd(const Fd&) = delete;
+  Fd& operator=(const Fd&) = delete;
+
+  int get() const { return fd_; }
+  bool valid() const { return fd_ >= 0; }
+  void Reset() {
+    if (fd_ >= 0) ::close(fd_);
+    fd_ = -1;
+  }
+
+ private:
+  int fd_ = -1;
+};
+
+/// Outcome of one non-blocking read/write attempt, with the errno zoo
+/// collapsed to the three cases the layers above can act on.
+struct IoOutcome {
+  size_t n = 0;            // bytes moved
+  bool would_block = false;  // EAGAIN/EWOULDBLOCK: retry on next readiness
+  bool eof = false;          // orderly shutdown from the peer (reads only)
+};
+
+inline Status SetNonBlocking(int fd) {
+  const int flags = ::fcntl(fd, F_GETFL, 0);
+  if (flags < 0 || ::fcntl(fd, F_SETFL, flags | O_NONBLOCK) < 0) {
+    return Status::Error(ErrorCode::kIoError, "net: cannot set O_NONBLOCK");
+  }
+  return Status::Ok();
+}
+
+/// Listening TCP socket on 127.0.0.1:`port` (0 picks an ephemeral port;
+/// `BoundPort` reads the choice back). Loopback-only on purpose: the
+/// daemon is a store-local serving process, not an internet-facing one.
+inline Result<Fd> TcpListen(uint16_t port, int backlog = 128) {
+  Fd fd(::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0));
+  if (!fd.valid()) {
+    return Status::Error(ErrorCode::kIoError, "net: socket() failed");
+  }
+  const int one = 1;
+  (void)::setsockopt(fd.get(), SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(port);
+  if (::bind(fd.get(), reinterpret_cast<const sockaddr*>(&addr),
+             sizeof(addr)) != 0) {
+    return Status::Error(ErrorCode::kIoError, "net: bind() failed");
+  }
+  if (::listen(fd.get(), backlog) != 0) {
+    return Status::Error(ErrorCode::kIoError, "net: listen() failed");
+  }
+  if (Status st = SetNonBlocking(fd.get()); !st.ok()) return st;
+  return fd;
+}
+
+/// The port a bound socket actually landed on.
+inline Result<uint16_t> BoundPort(int fd) {
+  sockaddr_in addr{};
+  socklen_t len = sizeof(addr);
+  if (::getsockname(fd, reinterpret_cast<sockaddr*>(&addr), &len) != 0) {
+    return Status::Error(ErrorCode::kIoError, "net: getsockname() failed");
+  }
+  return static_cast<uint16_t>(ntohs(addr.sin_port));
+}
+
+/// Blocking loopback connect — the client side (loadgen, tests). The
+/// returned socket stays blocking: clients are simple request/response
+/// loops, not event loops.
+inline Result<Fd> TcpConnect(uint16_t port) {
+  Fd fd(::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0));
+  if (!fd.valid()) {
+    return Status::Error(ErrorCode::kIoError, "net: socket() failed");
+  }
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(port);
+  if (::connect(fd.get(), reinterpret_cast<const sockaddr*>(&addr),
+                sizeof(addr)) != 0) {
+    return Status::Error(ErrorCode::kIoError, "net: connect() failed");
+  }
+  const int one = 1;
+  (void)::setsockopt(fd.get(), IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  return fd;
+}
+
+/// Accepts one pending connection (non-blocking listener). would_block set
+/// when the backlog is empty; the fd is invalid in that case.
+inline Result<Fd> Accept(int listen_fd, bool* would_block) {
+  *would_block = false;
+  const int fd =
+      ::accept4(listen_fd, nullptr, nullptr, SOCK_NONBLOCK | SOCK_CLOEXEC);
+  if (fd < 0) {
+    if (errno == EAGAIN || errno == EWOULDBLOCK) {
+      *would_block = true;
+      return Fd();
+    }
+    // ECONNABORTED and friends: the connection died in the backlog.
+    // Report would_block so the accept loop simply stops for this wakeup.
+    if (errno == ECONNABORTED || errno == EINTR) {
+      *would_block = true;
+      return Fd();
+    }
+    return Status::Error(ErrorCode::kIoError, "net: accept() failed");
+  }
+  const int one = 1;
+  (void)::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  return Fd(fd);
+}
+
+/// One recv() attempt. EINTR retries internally; ECONNRESET is reported as
+/// eof (the peer is gone either way — the session is torn down the same).
+inline Result<IoOutcome> ReadSome(int fd, void* buf, size_t cap) {
+  for (;;) {
+    const ssize_t n = ::recv(fd, buf, cap, 0);
+    if (n > 0) return IoOutcome{static_cast<size_t>(n), false, false};
+    if (n == 0) return IoOutcome{0, false, true};
+    if (errno == EINTR) continue;
+    if (errno == EAGAIN || errno == EWOULDBLOCK) {
+      return IoOutcome{0, true, false};
+    }
+    if (errno == ECONNRESET) return IoOutcome{0, false, true};
+    return Status::Error(ErrorCode::kIoError, "net: recv() failed");
+  }
+}
+
+/// One send() attempt; short writes surface as n < len and the caller
+/// keeps the remainder buffered. MSG_NOSIGNAL: a dead peer must produce an
+/// error, not SIGPIPE.
+inline Result<IoOutcome> WriteSome(int fd, const void* buf, size_t len) {
+  for (;;) {
+    const ssize_t n = ::send(fd, buf, len, MSG_NOSIGNAL);
+    if (n >= 0) return IoOutcome{static_cast<size_t>(n), false, false};
+    if (errno == EINTR) continue;
+    if (errno == EAGAIN || errno == EWOULDBLOCK) {
+      return IoOutcome{0, true, false};
+    }
+    if (errno == EPIPE || errno == ECONNRESET) {
+      return IoOutcome{0, false, true};
+    }
+    return Status::Error(ErrorCode::kIoError, "net: send() failed");
+  }
+}
+
+/// Blocking write of the whole buffer (client side).
+inline Status WriteAll(int fd, const void* buf, size_t len) {
+  const char* p = static_cast<const char*>(buf);
+  while (len > 0) {
+    Result<IoOutcome> r = WriteSome(fd, p, len);
+    if (!r.ok()) return r.status();
+    if (r->eof) {
+      return Status::Error(ErrorCode::kIoError, "net: peer closed");
+    }
+    p += r->n;
+    len -= r->n;
+  }
+  return Status::Ok();
+}
+
+/// Blocking read of exactly `len` bytes (client side); kIoError on early
+/// EOF.
+inline Status ReadExact(int fd, void* buf, size_t len) {
+  char* p = static_cast<char*>(buf);
+  while (len > 0) {
+    Result<IoOutcome> r = ReadSome(fd, p, len);
+    if (!r.ok()) return r.status();
+    if (r->eof) {
+      return Status::Error(ErrorCode::kIoError, "net: peer closed mid-read");
+    }
+    p += r->n;
+    len -= r->n;
+  }
+  return Status::Ok();
+}
+
+/// Half-close: no more writes from this side, reads still drain.
+inline void ShutdownWrite(int fd) { (void)::shutdown(fd, SHUT_WR); }
+
+// ------------------------------------------------------------------ epoll
+
+/// What one readiness event reported, decoupled from the epoll ABI.
+struct Readiness {
+  uint64_t token = 0;  // the registration's cookie (connection id, ...)
+  bool readable = false;
+  bool writable = false;
+  bool hangup = false;
+};
+
+/// Minimal epoll wrapper: register by (fd, token), wait, get Readiness.
+class EventPoller {
+ public:
+  static Result<EventPoller> Create() {
+    Fd fd(::epoll_create1(EPOLL_CLOEXEC));
+    if (!fd.valid()) {
+      return Status::Error(ErrorCode::kIoError, "net: epoll_create1 failed");
+    }
+    EventPoller p;
+    p.epfd_ = std::move(fd);
+    return p;
+  }
+
+  Status Add(int fd, uint64_t token, bool want_read, bool want_write) {
+    return Ctl(EPOLL_CTL_ADD, fd, token, want_read, want_write);
+  }
+  Status Modify(int fd, uint64_t token, bool want_read, bool want_write) {
+    return Ctl(EPOLL_CTL_MOD, fd, token, want_read, want_write);
+  }
+  void Remove(int fd) {
+    epoll_event ev{};
+    (void)::epoll_ctl(epfd_.get(), EPOLL_CTL_DEL, fd, &ev);
+  }
+
+  /// Blocks up to timeout_ms (-1 = forever) and appends the ready set to
+  /// `out`. EINTR returns an empty set, not an error.
+  Status Wait(int timeout_ms, std::vector<Readiness>* out) {
+    epoll_event evs[64];
+    const int n = ::epoll_wait(epfd_.get(), evs, 64, timeout_ms);
+    if (n < 0) {
+      if (errno == EINTR) return Status::Ok();
+      return Status::Error(ErrorCode::kIoError, "net: epoll_wait failed");
+    }
+    for (int i = 0; i < n; ++i) {
+      Readiness r;
+      r.token = evs[i].data.u64;
+      r.readable = (evs[i].events & (EPOLLIN | EPOLLHUP | EPOLLERR)) != 0;
+      r.writable = (evs[i].events & EPOLLOUT) != 0;
+      r.hangup = (evs[i].events & (EPOLLHUP | EPOLLERR)) != 0;
+      out->push_back(r);
+    }
+    return Status::Ok();
+  }
+
+ private:
+  Status Ctl(int op, int fd, uint64_t token, bool want_read, bool want_write) {
+    epoll_event ev{};
+    ev.events = (want_read ? EPOLLIN : 0u) | (want_write ? EPOLLOUT : 0u);
+    ev.data.u64 = token;
+    if (::epoll_ctl(epfd_.get(), op, fd, &ev) != 0) {
+      return Status::Error(ErrorCode::kIoError, "net: epoll_ctl failed");
+    }
+    return Status::Ok();
+  }
+
+  Fd epfd_;
+};
+
+/// Cross-thread wakeup for the event loop (dispatcher completions, Stop).
+class WakeupFd {
+ public:
+  static Result<WakeupFd> Create() {
+    Fd fd(::eventfd(0, EFD_CLOEXEC | EFD_NONBLOCK));
+    if (!fd.valid()) {
+      return Status::Error(ErrorCode::kIoError, "net: eventfd failed");
+    }
+    WakeupFd w;
+    w.fd_ = std::move(fd);
+    return w;
+  }
+
+  int fd() const { return fd_.get(); }
+
+  /// Async-signal- and thread-safe nudge.
+  void Signal() {
+    const uint64_t one = 1;
+    (void)::write(fd_.get(), &one, sizeof(one));
+  }
+
+  /// Clears pending signals so level-triggered epoll quiets down.
+  void Drain() {
+    uint64_t v;
+    while (::read(fd_.get(), &v, sizeof(v)) > 0) {
+    }
+  }
+
+ private:
+  Fd fd_;
+};
+
+}  // namespace wt::net
+
+#endif  // __linux__

@@ -32,6 +32,13 @@
 #include "core/wavelet_trie.hpp"
 #include "engine/engine.hpp"
 #include "io/vfs.hpp"
+#include "net/admission.hpp"
+#include "net/client.hpp"
+#include "net/clock.hpp"
+#include "net/frame.hpp"
+#include "net/server.hpp"
+#include "net/session.hpp"
+#include "net/socket.hpp"
 #include "util/entropy.hpp"
 #include "util/stats.hpp"
 #include "util/workloads.hpp"

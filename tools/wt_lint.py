@@ -21,6 +21,12 @@ compiler flag can express:
                     release parsing.
   unchecked-tryread TryReadPod(...) whose boolean result is discarded — a
                     short read would be silently treated as success.
+  raw-socket        Socket/epoll syscalls (::socket, ::bind, accept4,
+                    ::recv, ::send, epoll_*, eventfd, ...) outside the
+                    one wrapped seam (src/net/socket.hpp). Everything
+                    network-facing must go through the RAII/Status
+                    primitives there so EINTR, partial transfers, and
+                    fd lifetimes are handled in exactly one place.
   raw-mutex         std::mutex / lock_guard / unique_lock / condition
                     variables outside common/thread_annotations.hpp. A
                     raw mutex is invisible to Clang's -Wthread-safety
@@ -127,12 +133,23 @@ def strip_comments_and_strings(text: str) -> str:
 
 # ------------------------------------------------------------------- rules
 
-RAW_IO_ALLOWED = {"src/io/vfs.hpp", "src/storage/pager.hpp"}
+# socket.hpp is the syscall seam for the serving layer: it owns fds
+# (::close) the same way vfs.hpp owns file descriptors.
+RAW_IO_ALLOWED = {"src/io/vfs.hpp", "src/storage/pager.hpp",
+                  "src/net/socket.hpp"}
 RAW_IO_PATTERN = re.compile(
     r"\b(?:fopen|fwrite|fread|fclose|fflush|fsync|fdatasync|fileno"
     r"|std::ifstream|std::ofstream|std::fstream"
     r"|std::filesystem::(?:rename|remove|remove_all|create_directories)"
     r"|::open|::close|::write|::read|::rename|::unlink|::mkdir)\s*\("
+)
+
+RAW_SOCKET_ALLOWED = {"src/net/socket.hpp"}
+RAW_SOCKET_PATTERN = re.compile(
+    r"\b(?:::socket|::bind|::listen|::accept4?|::connect"
+    r"|::recv|::send|::sendmsg|::recvmsg|::sendto|::recvfrom"
+    r"|::epoll_create1?|::epoll_ctl|::epoll_wait|::eventfd"
+    r"|::setsockopt|::getsockopt|::getsockname|::shutdown|::fcntl)\s*\("
 )
 
 RAW_MUTEX_ALLOWED = {"src/common/thread_annotations.hpp"}
@@ -171,6 +188,7 @@ RULES = {
     "raw-io": "file I/O outside the VFS seam",
     "parse-abort": "abort/WT_ASSERT in an untrusted-input parse function",
     "unchecked-tryread": "TryReadPod result discarded",
+    "raw-socket": "socket/epoll syscall outside the net/socket.hpp seam",
     "raw-mutex": "raw std::mutex family outside the annotated wrapper",
     "tsa-escape": "unwaived WT_NO_THREAD_SAFETY_ANALYSIS",
 }
@@ -244,6 +262,12 @@ def lint_file(root: pathlib.Path, path: pathlib.Path) -> list[Finding]:
             report(m.start(), "raw-io",
                    f"`{m.group(0).rstrip('(').strip()}`: durable I/O must "
                    "go through the Vfs seam (io/vfs.hpp)")
+
+    if rel not in RAW_SOCKET_ALLOWED:
+        for m in RAW_SOCKET_PATTERN.finditer(stripped):
+            report(m.start(), "raw-socket",
+                   f"`{m.group(0).rstrip('(').strip()}`: network syscalls "
+                   "must go through the net/socket.hpp primitives")
 
     if rel not in RAW_MUTEX_ALLOWED:
         for m in RAW_MUTEX_PATTERN.finditer(stripped):
