@@ -146,7 +146,8 @@ void RunClient(uint16_t port, size_t store_n, size_t window, double run_s,
       size_t consumed = 0;
       const auto parse =
           wt::net::TryParseFrame(rx.data() + rx_off, rx.size() - rx_off,
-                                 wt::net::kDefaultMaxPayload, &f, &consumed);
+                                 wt::net::kDefaultMaxResponsePayload, &f,
+                                 &consumed);
       if (parse == wt::net::FrameParse::kFrame) {
         rx_off += consumed;
         ++got;

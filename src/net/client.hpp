@@ -39,6 +39,13 @@ class Client {
   int fd() const { return fd_.get(); }
   bool connected() const { return fd_.valid(); }
 
+  /// Response-size ceiling for Recv (see kDefaultMaxResponsePayload for
+  /// the reply-size contract). Raise it when the served store holds values
+  /// large enough that a maximal Access reply exceeds the default.
+  void set_max_response_payload(uint32_t bytes) {
+    max_response_payload_ = bytes;
+  }
+
   /// Sends one request frame. Pipelining is just calling this repeatedly
   /// before Recv — responses come back in request order per opcode stream.
   Status Send(MsgType type, uint64_t request_id, uint32_t deadline_ms,
@@ -57,7 +64,7 @@ class Client {
       return st;
     }
     if (f.header.magic != kFrameMagic || f.header.version != kFrameVersion ||
-        f.header.payload_len > kDefaultMaxPayload) {
+        f.header.payload_len > max_response_payload_) {
       return Status::Error(wtrie::ErrorCode::kCorruptStream,
                            "client: bad response frame header");
     }
@@ -147,6 +154,7 @@ class Client {
 
  private:
   Fd fd_;
+  uint32_t max_response_payload_ = kDefaultMaxResponsePayload;
 };
 
 }  // namespace wt::net

@@ -33,9 +33,19 @@ using wtrie::Status;
 inline constexpr uint32_t kFrameMagic = 0x314E5457;  // "WTN1" little-endian
 inline constexpr uint16_t kFrameVersion = 1;
 
-/// Default payload ceiling. A frame announcing more than this is rejected
-/// before any allocation — the length field is attacker-controlled.
+/// Default payload ceiling for REQUEST frames. A frame announcing more
+/// than this is rejected before any allocation — the length field is
+/// attacker-controlled.
 inline constexpr uint32_t kDefaultMaxPayload = 4u << 20;
+
+/// Default payload ceiling clients apply to RESPONSE frames. Replies are
+/// legitimately larger than requests: one Access frame of
+/// kMaxItemsPerRequest positions fans out to that many length-prefixed
+/// values, so the reply body scales with stored value sizes, not with the
+/// request's bytes. 64 MiB covers kMaxItemsPerRequest values of ~1 KiB
+/// each; clients talking to stores with larger values raise it via
+/// Client::set_max_response_payload.
+inline constexpr uint32_t kDefaultMaxResponsePayload = 64u << 20;
 
 /// Request opcodes. A response echoes the request's type with kResponseBit
 /// set, so a pipelined client can match replies by (type, request_id).

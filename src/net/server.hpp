@@ -523,7 +523,11 @@ class Server {
       if (!completions_.empty()) return false;
     }
     for (const auto& [id, c] : conns_) {
-      if (c->session.WantsWrite()) return false;
+      // inflight > 0 would mean an admitted request whose reply has not
+      // reached this session yet — by the time drain starts the dispatch
+      // side has been joined/drained, so this is a belt-and-braces check
+      // (and the drain timeout bounds it if the invariant ever breaks).
+      if (c->session.inflight != 0 || c->session.WantsWrite()) return false;
     }
     return true;
   }
@@ -552,21 +556,16 @@ class Server {
   void ExecuteBatch(std::vector<PendingRequest>& batch,
                     std::vector<PendingRequest>& expired) {
     std::vector<Completion> out;
-    auto emit = [&out](const PendingRequest& req, std::string_view body) {
-      Completion* c = nullptr;
-      for (Completion& g : out) {
-        if (g.conn_id == req.conn_id) {
-          c = &g;
-          break;
-        }
-      }
-      if (c == nullptr) {
-        out.push_back({req.conn_id, 0, {}});
-        c = &out.back();
-      }
-      EncodeFrameTo(c->bytes, req.type | kResponseBit, req.request_id, 0,
+    completion_index_.clear();  // buckets persist across batches
+    auto emit = [&out, this](const PendingRequest& req,
+                             std::string_view body) {
+      auto [it, fresh] =
+          completion_index_.try_emplace(req.conn_id, out.size());
+      if (fresh) out.push_back({req.conn_id, 0, {}});
+      Completion& c = out[it->second];
+      EncodeFrameTo(c.bytes, req.type | kResponseBit, req.request_id, 0,
                     body);
-      c->replies++;
+      c.replies++;
     };
     for (const PendingRequest& req : expired) {
       emit(req, StatusBody(WireStatus::kDeadlineExceeded));
@@ -766,8 +765,17 @@ class Server {
       }
       for (const Slice& s : access_slices) {
         if (!ast.ok()) {
-          reply[s.req].assign(1, static_cast<char>(ToWireStatus(ast)));
-          continue;
+          // A failed engine walk only dooms slices that reference the
+          // fresh column; a slice satisfied entirely from the per-epoch
+          // memo needed no walk and is served normally.
+          bool needs_fresh = false;
+          for (size_t j = 0; j < s.len && !needs_fresh; ++j) {
+            needs_fresh = (access_ids[s.off + j] & kCachedTag) == 0;
+          }
+          if (needs_fresh) {
+            reply[s.req].assign(1, static_cast<char>(ToWireStatus(ast)));
+            continue;
+          }
         }
         std::string& w = reply[s.req];
         w.clear();
@@ -783,9 +791,13 @@ class Server {
       coalesced_dup_hits_.fetch_add(dup_hits, std::memory_order_relaxed);
       access_cache_hits_.fetch_add(cache_hits, std::memory_order_relaxed);
     }
-    if (!rank_vals.empty()) {
-      wtrie::Result<std::vector<uint64_t>> r =
-          snap.RankBatch(rank_vals, rank_pos);
+    if (!rank_slices.empty()) {
+      // Guard the engine call on the merged column, not the slice list: a
+      // zero-item request contributes a slice but no values, and it still
+      // must get its kOk/count-0 reply written here — leaving its scratch
+      // slot untouched would frame a stale body from a prior batch.
+      wtrie::Result<std::vector<uint64_t>> r(std::vector<uint64_t>{});
+      if (!rank_vals.empty()) r = snap.RankBatch(rank_vals, rank_pos);
       for (const Slice& s : rank_slices) {
         if (!r.ok()) {
           reply[s.req].assign(1, static_cast<char>(ToWireStatus(r.status())));
@@ -800,9 +812,10 @@ class Server {
         }
       }
     }
-    if (!select_vals.empty()) {
-      wtrie::Result<std::vector<std::optional<uint64_t>>> r =
-          snap.SelectBatch(select_vals, select_idx);
+    if (!select_slices.empty()) {
+      wtrie::Result<std::vector<std::optional<uint64_t>>> r(
+          std::vector<std::optional<uint64_t>>{});
+      if (!select_vals.empty()) r = snap.SelectBatch(select_vals, select_idx);
       for (const Slice& s : select_slices) {
         if (!r.ok()) {
           reply[s.req].assign(1, static_cast<char>(ToWireStatus(r.status())));
@@ -871,6 +884,9 @@ class Server {
   // Access-position dedup map for one dispatch batch (cleared, not
   // destroyed, between batches).
   std::unordered_map<uint64_t, uint32_t> access_dedup_;
+  // conn_id -> index into ExecuteBatch's Completion vector, so reply
+  // grouping is O(1) per request (cleared, not destroyed, between batches).
+  std::unordered_map<uint64_t, size_t> completion_index_;
   // Per-epoch access memo: position -> value under the pinned snapshot.
   // Entry-capped (Options::access_cache_entries); cleared on every epoch
   // re-pin. Node pointers are stable across inserts, which the reply path

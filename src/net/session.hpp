@@ -97,7 +97,10 @@ class Session {
   // -------------------------------------------------------------- counters
 
   /// Requests admitted on behalf of this connection whose replies have not
-  /// yet been enqueued. Graceful shutdown waits for these before closing.
+  /// yet been enqueued (incremented at admission, decremented when the
+  /// completion lands in the write buffer). The drain loop refuses to
+  /// finish while any session has inflight work, bounded by the server's
+  /// drain timeout.
   uint64_t inflight = 0;
 
  private:

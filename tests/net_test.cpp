@@ -953,6 +953,59 @@ TEST(ServerTest, CoalescedBatchDedupsRepeatedAccessPositions) {
   ASSERT_TRUE((*server)->Stop().ok());
 }
 
+TEST(ServerTest, ZeroItemRequestsGetFreshEmptyRepliesNotStaleScratch) {
+  ServedStore store(UrlWorkload(512, 29));
+
+  ManualClock clock;
+  StrServer::Options opt;
+  opt.clock = &clock;
+  opt.manual_dispatch = true;
+  auto server = StrServer::Start(store.engine.get(), opt);
+  ASSERT_TRUE(server.ok());
+  auto client = Client::Connect((*server)->port());
+  ASSERT_TRUE(client.ok());
+
+  // Batch A fills reply scratch slot 0 with a real multi-value body, so a
+  // later batch that forgets to write slot 0 would leak these bytes.
+  ASSERT_TRUE(client
+                  ->Send(MsgType::kRank, 1, 0,
+                         Client::RankPayload({"a", "b", "c"}, {10, 20, 30}))
+                  .ok());
+  while ((*server)->queue_depth() < 1) std::this_thread::yield();
+  ASSERT_TRUE((*server)->DispatchOnce());
+  {
+    auto resp = client->Recv();
+    ASSERT_TRUE(resp.ok());
+    PayloadReader r(nullptr, 0);
+    ASSERT_EQ(StatusOf(*resp, &r), WireStatus::kOk);
+  }
+
+  // A zero-item request of each batched opcode, each ALONE in its dispatch
+  // batch (no same-opcode sibling with items): the reply must be a freshly
+  // written kOk with count 0 — never the scratch slot's previous contents.
+  auto expect_empty_ok = [&](MsgType type, uint64_t id,
+                             const std::string& payload) {
+    ASSERT_TRUE(client->Send(type, id, 0, payload).ok());
+    while ((*server)->queue_depth() < 1) std::this_thread::yield();
+    ASSERT_TRUE((*server)->DispatchOnce());
+    auto resp = client->Recv();
+    ASSERT_TRUE(resp.ok());
+    EXPECT_EQ(resp->header.request_id, id);
+    EXPECT_EQ(resp->header.type, ReplyType(type));
+    PayloadReader r(nullptr, 0);
+    ASSERT_EQ(StatusOf(*resp, &r), WireStatus::kOk);
+    uint32_t n = 99;
+    ASSERT_TRUE(r.Pod(&n));
+    EXPECT_EQ(n, 0u);
+    EXPECT_TRUE(r.AtEnd());
+  };
+  expect_empty_ok(MsgType::kRank, 2, Client::RankPayload({}, {}));
+  expect_empty_ok(MsgType::kSelect, 3, Client::SelectPayload({}, {}));
+  expect_empty_ok(MsgType::kAccess, 4, Client::AccessPayload({}));
+
+  ASSERT_TRUE((*server)->Stop().ok());
+}
+
 #endif  // __linux__
 
 }  // namespace
