@@ -26,6 +26,8 @@
 #include "core/wavelet_trie.hpp"
 #include "engine/wal.hpp"
 #include "net/frame.hpp"
+#include "obs/metrics.hpp"
+#include "obs/snapshot.hpp"
 #include "storage/image.hpp"
 
 namespace fs = std::filesystem;
@@ -147,6 +149,18 @@ std::string FrameSeedSingle() {
                               w.Take());
 }
 
+// A real registry snapshot — one instrument of each kind with the live
+// serializer, so the seed is exactly what a kMetrics reply carries.
+// Deterministic values: regenerating the corpus must not churn the file.
+std::string MetricsSeed() {
+  wt::obs::MetricsRegistry reg;
+  reg.GetCounter("wt_admission_admitted_total")->Add(12345);
+  reg.GetGauge("wt_admission_queue_depth")->Set(-3);
+  wt::obs::Histogram* h = reg.GetHistogram("wt_serving_admit_wait_us");
+  for (uint64_t v : {0ull, 5ull, 17ull, 900ull, 1048576ull}) h->Record(v);
+  return wt::obs::SerializeMetricsSnapshot(reg.Snapshot());
+}
+
 std::string TinyEnvelopeSeed() {
   std::ostringstream out;
   wt::VersionedEnvelope::Write(out, /*magic=*/0x5754534551415031ull,
@@ -162,7 +176,7 @@ int main(int argc, char** argv) {
     return 2;
   }
   const fs::path root(argv[1]);
-  for (const char* d : {"image", "wal", "envelope", "frame"}) {
+  for (const char* d : {"image", "wal", "envelope", "frame", "metrics"}) {
     fs::create_directories(root / d);
   }
 
@@ -201,5 +215,17 @@ int main(int argc, char** argv) {
   // Torn tail: a session must wait (kNeedMore), never crash or accept.
   WriteFile(root / "frame" / "raw-torn-tail.bin",
             stream.substr(0, stream.size() - 5));
+
+  const std::string metrics = MetricsSeed();
+  WriteFile(root / "metrics" / "ok-registry-snapshot.bin", metrics);
+  // Flip inside the entry body: the FNV checksum must reject it.
+  WriteFile(root / "metrics" / "corrupt-bodyflip.bin",
+            FlipByte(metrics, metrics.size() - 3));
+  // Flip inside the magic: rejected before the body is even hashed.
+  WriteFile(root / "metrics" / "corrupt-magicflip.bin",
+            FlipByte(metrics, 2));
+  // Truncated mid-entry: checksum/lengths must fail, never over-read.
+  WriteFile(root / "metrics" / "raw-truncated.bin",
+            metrics.substr(0, metrics.size() / 2));
   return 0;
 }

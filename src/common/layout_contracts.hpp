@@ -34,6 +34,7 @@
 #include "engine/manifest.hpp"
 #include "engine/wal.hpp"
 #include "net/frame.hpp"
+#include "obs/snapshot.hpp"
 #include "storage/image.hpp"
 
 namespace wt::contracts {
@@ -205,6 +206,23 @@ WT_PIN_FIELD(wt::net::FrameHeader, checksum, 24, 8);
 
 static_assert(wt::net::kFrameMagic == 0x314E5457u);
 static_assert(wt::net::kFrameVersion == 1);
+
+// ------------------------------------ metrics snapshot (obs/snapshot.hpp)
+//
+// The kMetrics reply body: wt_top and any external scraper parse this
+// header as one POD, so its layout is a wire contract exactly like the
+// frame header above. The opcode value itself is pinned too — a renumbered
+// MsgType would silently turn metrics requests into something else.
+
+static_assert(PinnedLayout<wt::obs::MetricsSnapshotHeader, 24, 8>());
+WT_PIN_FIELD(wt::obs::MetricsSnapshotHeader, magic, 0, 8);
+WT_PIN_FIELD(wt::obs::MetricsSnapshotHeader, version, 8, 4);
+WT_PIN_FIELD(wt::obs::MetricsSnapshotHeader, metric_count, 12, 4);
+WT_PIN_FIELD(wt::obs::MetricsSnapshotHeader, body_checksum, 16, 8);
+
+static_assert(wt::obs::kMetricsSnapshotMagic == 0x31585254454D5457ull);
+static_assert(wt::obs::kMetricsSnapshotVersion == 1);
+static_assert(static_cast<uint8_t>(wt::net::MsgType::kMetrics) == 9);
 
 // ------------------------------------------------ manifest (manifest.hpp)
 //

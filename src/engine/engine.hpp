@@ -69,6 +69,7 @@
 #include "engine/thread_pool.hpp"
 #include "engine/wal.hpp"
 #include "io/vfs.hpp"
+#include "obs/metrics.hpp"
 #include "storage/image.hpp"
 #include "storage/pager.hpp"
 
@@ -121,8 +122,15 @@ class Engine {
     /// Null uses the real filesystem; tests inject a FaultVfs to script
     /// I/O errors, torn writes, and power loss deterministically.
     std::shared_ptr<wt::io::Vfs> vfs;
+    /// Metrics registry the engine records into (DESIGN.md #12). Null
+    /// creates a private one; the serving layer passes the engine's own
+    /// registry around so the daemon exposes one unified snapshot.
+    std::shared_ptr<wt::obs::MetricsRegistry> metrics;
   };
 
+  /// Thin per-shard view over the registry gauges (plus the published
+  /// view), kept for source compat — the registry is the one place these
+  /// numbers are maintained.
   struct ShardStats {
     uint64_t memtable_count = 0;
     uint64_t frozen_count = 0;
@@ -231,8 +239,11 @@ class Engine {
         // must not wedge the shard until reopen: try a fresh generation
         // before giving up on the batch.
         if (!shards_[s].wal.is_open()) AbandonWalGenerationLocked(s);
-        if (Status st = shards_[s].wal.Append(batch_id, touched, slice[s]);
-            !st.ok()) {
+        const uint64_t t0 = wt::obs::TimerStart();
+        Status append_st = shards_[s].wal.Append(batch_id, touched, slice[s]);
+        h_wal_append_us_->Record(wt::obs::ElapsedUs(t0));
+        c_wal_appends_->Increment();
+        if (Status st = std::move(append_st); !st.ok()) {
           // No memtable was touched yet; the partially-logged batch is
           // incomplete on disk and recovery discards it whole. The failed
           // generation may end in torn bytes, and recovery stops reading a
@@ -263,6 +274,10 @@ class Engine {
       if (shards_[s].memtable.size() >= opt_.memtable_limit) {
         RotateShardLocked(s);
       }
+    }
+    c_appends_->Add(enc.size());
+    for (size_t s = 0; s < n; ++s) {
+      if (!slice[s].empty()) UpdateMemtableGaugesLocked(s);
     }
     return Status::Ok();
   }
@@ -320,7 +335,11 @@ class Engine {
   Status SyncWal() {
     wt::MutexLock lk(ingest_mu_);
     for (auto& sh : shards_) {
-      if (Status st = sh.wal.SyncFile(); !st.ok()) return st;
+      const uint64_t t0 = wt::obs::TimerStart();
+      Status st = sh.wal.SyncFile();
+      h_wal_fsync_us_->Record(wt::obs::ElapsedUs(t0));
+      c_wal_fsyncs_->Increment();
+      if (!st.ok()) return st;
     }
     return Status::Ok();
   }
@@ -360,50 +379,141 @@ class Engine {
     return bg_error_;
   }
 
-  std::vector<ShardStats> Stats() const {
-    std::vector<ShardStats> out(shards_.size());
+  /// Snapshots per-shard stats into *out (cleared and resized), reusing
+  /// the caller's buffer across polls. No engine-wide lock and no
+  /// allocation in steady state: frozen counts come from the published
+  /// views (one micro critical section per shard) and memtable counts
+  /// from the registry gauges the ingest path maintains — the old
+  /// full-ingest-lock hold is gone.
+  void Stats(std::vector<ShardStats>* out) const {
+    out->clear();
+    out->resize(shards_.size());
     for (size_t s = 0; s < shards_.size(); ++s) {
       auto view = shards_[s].view.Load();
-      out[s].frozen_count = view->total();
-      out[s].num_segments = view->segments.size();
-    }
-    {
-      wt::MutexLock lk(ingest_mu_);
-      for (size_t s = 0; s < shards_.size(); ++s) {
-        out[s].memtable_count = shards_[s].memtable.size();
+      (*out)[s].frozen_count = view->total();
+      (*out)[s].num_segments = view->segments.size();
+#if defined(WT_OBS_OFF)
+      // No gauges to read in the OFF build; fall back to the ingest lock
+      // (one hold per shard, not per call) so the numbers stay right.
+      {
+        wt::MutexLock lk(ingest_mu_);
+        (*out)[s].memtable_count = shards_[s].memtable.size();
       }
+#else
+      (*out)[s].memtable_count =
+          static_cast<uint64_t>(g_mem_strings_[s]->Value());
+#endif
     }
+  }
+
+  /// Allocating compat shim over the buffer-reusing overload.
+  std::vector<ShardStats> Stats() const {
+    std::vector<ShardStats> out;
+    Stats(&out);
     return out;
+  }
+
+  /// The registry every engine/WAL/pager instrument lives in.
+  const std::shared_ptr<wt::obs::MetricsRegistry>& metrics() const {
+    return metrics_;
+  }
+
+  /// Recomputes the derived gauges (segment counts, frozen strings,
+  /// snapshot-epoch age) that are cheaper to compute on demand than to
+  /// maintain per operation. Exposition paths call this right before
+  /// MetricsRegistry::Snapshot().
+  void RefreshMetrics() const {
+    if constexpr (!wt::obs::kObsEnabled) return;
+    uint64_t frozen = 0;
+    int64_t segments = 0;
+    for (const auto& sh : shards_) {
+      auto view = sh.view.Load();
+      frozen += view->total();
+      segments += static_cast<int64_t>(view->segments.size());
+    }
+    g_frozen_strings_->Set(static_cast<int64_t>(frozen));
+    g_segments_->Set(segments);
+    g_publish_epoch_->Set(
+        static_cast<int64_t>(publish_epoch_.load(std::memory_order_acquire)));
+    const uint64_t last = last_publish_ns_.load(std::memory_order_relaxed);
+    g_epoch_age_ms_->Set(
+        last == 0 ? 0
+                  : static_cast<int64_t>((wt::obs::NowNanos() - last) /
+                                         1000000));
   }
 
   const Options& options() const { return opt_; }
   const Codec& codec() const { return codec_; }
 
  private:
-  static wt::storage::Pager::Options PagerOptionsFor(const Options& opt) {
+  static wt::storage::Pager::Options PagerOptionsFor(
+      const Options& opt, std::shared_ptr<wt::obs::MetricsRegistry> metrics) {
     wt::storage::Pager::Options po;
     // An injected VFS intercepts segment opens too (it implements
     // BlobSource); the default pager maps straight from the filesystem.
     po.source = opt.vfs.get();
+    po.metrics = std::move(metrics);
     return po;
   }
 
   Engine(Options opt, Codec codec)
       : opt_(std::move(opt)),
         codec_(std::move(codec)),
-        pager_(PagerOptionsFor(opt_)),
+        metrics_(opt_.metrics != nullptr
+                     ? opt_.metrics
+                     : std::make_shared<wt::obs::MetricsRegistry>()),
+        pager_(PagerOptionsFor(opt_, metrics_)),
         shards_(opt_.num_shards) {
     for (auto& sh : shards_) {
       sh.memtable = Memtable(codec_);
       wt::MutexLock lk(sh.publish_mu);
       sh.PublishLocked();
     }
+    RegisterInstruments();
     size_t threads = opt_.background_threads;
     if (threads == 0) {
       const size_t hw = std::max(1u, std::thread::hardware_concurrency());
       threads = std::min(opt_.num_shards, hw);
     }
     pool_ = std::make_unique<engine::ThreadPool>(threads);
+  }
+
+  /// Resolves every engine instrument once; hot paths use the cached
+  /// pointers (one relaxed RMW each, no registry lookup).
+  void RegisterInstruments() {
+    wt::obs::MetricsRegistry& reg = *metrics_;
+    c_appends_ = reg.GetCounter("wt_engine_appends_total");
+    c_freezes_ = reg.GetCounter("wt_engine_freezes_total");
+    c_compactions_ = reg.GetCounter("wt_engine_compactions_total");
+    c_wal_appends_ = reg.GetCounter("wt_wal_appends_total");
+    c_wal_fsyncs_ = reg.GetCounter("wt_wal_fsyncs_total");
+    h_freeze_ms_ = reg.GetHistogram("wt_engine_freeze_ms");
+    h_compaction_ms_ = reg.GetHistogram("wt_engine_compaction_ms");
+    h_wal_append_us_ = reg.GetHistogram("wt_wal_append_us");
+    h_wal_fsync_us_ = reg.GetHistogram("wt_wal_fsync_us");
+    g_freeze_queue_ = reg.GetGauge("wt_engine_freeze_queue_depth");
+    g_segments_ = reg.GetGauge("wt_engine_segments");
+    g_frozen_strings_ = reg.GetGauge("wt_engine_frozen_strings");
+    g_epoch_age_ms_ = reg.GetGauge("wt_engine_snapshot_epoch_age_ms");
+    g_publish_epoch_ = reg.GetGauge("wt_engine_publish_epoch");
+    g_mem_strings_.reserve(shards_.size());
+    g_mem_bytes_.reserve(shards_.size());
+    for (size_t s = 0; s < shards_.size(); ++s) {
+      const std::string label = "{shard=\"" + std::to_string(s) + "\"}";
+      g_mem_strings_.push_back(
+          reg.GetGauge("wt_engine_memtable_strings" + label));
+      g_mem_bytes_.push_back(reg.GetGauge("wt_engine_memtable_bytes" + label));
+    }
+  }
+
+  /// Updates shard s's memtable gauges from its current memtable. Caller
+  /// holds ingest_mu_ (the memtable's guard).
+  void UpdateMemtableGaugesLocked(size_t s) WT_REQUIRES(ingest_mu_) {
+    if constexpr (!wt::obs::kObsEnabled) return;
+    g_mem_strings_[s]->Set(
+        static_cast<int64_t>(shards_[s].memtable.size()));
+    g_mem_bytes_[s]->Set(
+        static_cast<int64_t>(shards_[s].memtable.EncodedBits() / 8));
   }
 
   bool durable() const { return !opt_.dir.empty(); }
@@ -490,8 +600,11 @@ class Engine {
         RecordBackgroundError(st);
       }
     }
+    UpdateMemtableGaugesLocked(s);  // fresh (empty) memtable installed
+    g_freeze_queue_->Add(1);
     pool_->Submit(s, [this, s, mem, floor_after, frozen_upto] {
       FreezeJob(s, mem, floor_after, frozen_upto);
+      g_freeze_queue_->Add(-1);
     });
   }
 
@@ -503,6 +616,7 @@ class Engine {
   /// one pool stripe, so stack mutations here need no cross-job ordering.
   void FreezeJob(size_t s, std::shared_ptr<Memtable> mem, uint64_t floor_after,
                  uint64_t frozen_upto) {
+    const uint64_t t0 = wt::obs::TimerStart();
     engine::Shard<Codec>& sh = shards_[s];
     if (durable()) RetryUnsavedSegments(s);
     auto seg = std::make_shared<const Segment>(mem->Freeze());
@@ -535,7 +649,10 @@ class Engine {
       sh.PublishLocked();
     }
     publish_epoch_.fetch_add(1, std::memory_order_release);
+    last_publish_ns_.store(wt::obs::TimerStart(), std::memory_order_relaxed);
     if (durable() && PersistManifest().ok()) CleanWal(s);
+    h_freeze_ms_->Record(wt::obs::ElapsedMs(t0));
+    c_freezes_->Increment();
     // Size-tiered tail compaction: merge while the penultimate segment is
     // within ratio of the last, so segment sizes decay geometrically.
     for (;;) {
@@ -586,6 +703,7 @@ class Engine {
   /// node total), concatenate, BulkBuild. Runs on the shard's pool stripe;
   /// the publish lock is held only to swap stacks, not during the build.
   bool MergeTail(size_t s, size_t k) {
+    const uint64_t t0 = wt::obs::TimerStart();
     engine::Shard<Codec>& sh = shards_[s];
     std::vector<typename engine::Shard<Codec>::Entry> victims;
     {
@@ -643,6 +761,9 @@ class Engine {
       sh.PublishLocked();
     }
     publish_epoch_.fetch_add(1, std::memory_order_release);
+    last_publish_ns_.store(wt::obs::TimerStart(), std::memory_order_relaxed);
+    h_compaction_ms_->Record(wt::obs::ElapsedMs(t0));
+    c_compactions_->Increment();
     if (durable() && PersistManifest().ok()) {
       // Victim files (and newly-subsumed WAL generations) are deleted
       // only once the manifest no longer references the victims; a crash
@@ -996,6 +1117,7 @@ class Engine {
       sh.PublishLocked();
     }
     publish_epoch_.fetch_add(1, std::memory_order_release);
+    last_publish_ns_.store(wt::obs::TimerStart(), std::memory_order_relaxed);
 
     // 7. Oversized recovered memtables go straight to the freeze queue.
     // A salvaged replay instead settles synchronously before Open
@@ -1013,6 +1135,7 @@ class Engine {
         if (shards_[s].memtable.size() >= rotate_at) {
           RotateShardLocked(s);
         }
+        UpdateMemtableGaugesLocked(s);  // replayed tails count too
       }
     }
     if (salvaged) {
@@ -1034,6 +1157,28 @@ class Engine {
 
   Options opt_;
   Codec codec_;
+  // Declared before the pager (which shares it) and destroyed after every
+  // member that caches instrument pointers into it.
+  std::shared_ptr<wt::obs::MetricsRegistry> metrics_;
+  // Cached instrument pointers (owned by metrics_; see DESIGN.md #12 for
+  // the inventory). Raw pointers are safe: the shared_ptr above outlives
+  // this object.
+  wt::obs::Counter* c_appends_ = nullptr;
+  wt::obs::Counter* c_freezes_ = nullptr;
+  wt::obs::Counter* c_compactions_ = nullptr;
+  wt::obs::Counter* c_wal_appends_ = nullptr;
+  wt::obs::Counter* c_wal_fsyncs_ = nullptr;
+  wt::obs::Histogram* h_freeze_ms_ = nullptr;
+  wt::obs::Histogram* h_compaction_ms_ = nullptr;
+  wt::obs::Histogram* h_wal_append_us_ = nullptr;
+  wt::obs::Histogram* h_wal_fsync_us_ = nullptr;
+  wt::obs::Gauge* g_freeze_queue_ = nullptr;
+  wt::obs::Gauge* g_segments_ = nullptr;
+  wt::obs::Gauge* g_frozen_strings_ = nullptr;
+  wt::obs::Gauge* g_epoch_age_ms_ = nullptr;
+  wt::obs::Gauge* g_publish_epoch_ = nullptr;
+  std::vector<wt::obs::Gauge*> g_mem_strings_;
+  std::vector<wt::obs::Gauge*> g_mem_bytes_;
   // Segment blob cache: one live mapping per file however many snapshots
   // pin it; weak entries, so the pager never delays an unmap.
   wt::storage::Pager pager_;
@@ -1041,11 +1186,17 @@ class Engine {
   // wal, wal_gen) — those fields live in Shard, where this mutex cannot be
   // named by a WT_GUARDED_BY, so the discipline is enforced one level up:
   // the *Locked helpers that touch them are WT_REQUIRES(ingest_mu_).
-  // Stats() reads memtable sizes under it too.
   mutable wt::Mutex ingest_mu_;
-  std::atomic<uint64_t> total_{0};
-  std::atomic<uint64_t> publish_epoch_{0};
-  std::atomic<uint64_t> next_batch_id_{0};
+  // Sequencing state, not telemetry: these atomics order ingest and
+  // snapshot publication, so they stay bespoke rather than registry
+  // counters (RefreshMetrics mirrors what exposition needs).
+  std::atomic<uint64_t> total_{0};  // wt-lint: allow(bare-atomic-counter)
+  std::atomic<uint64_t> publish_epoch_{0};  // wt-lint: allow(bare-atomic-counter)
+  std::atomic<uint64_t> next_batch_id_{0};  // wt-lint: allow(bare-atomic-counter)
+  // Steady-clock stamp of the last view publication, feeding the
+  // snapshot-epoch-age gauge. 0 until the first publish (or always,
+  // under WT_OBS_OFF).
+  std::atomic<uint64_t> last_publish_ns_{0};  // wt-lint: allow(bare-atomic-counter)
   std::vector<engine::Shard<Codec>> shards_;
   // Orders concurrent manifest writers; always taken before (never inside)
   // a shard publish lock.

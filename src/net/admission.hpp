@@ -32,6 +32,7 @@
 #include "common/thread_annotations.hpp"
 #include "net/clock.hpp"
 #include "net/frame.hpp"
+#include "obs/metrics.hpp"
 
 namespace wt::net {
 
@@ -44,11 +45,14 @@ struct PendingRequest {
   RequestBody body;
   uint64_t deadline_ns = 0;  // absolute monotonic ns; 0 = no deadline
   uint64_t enqueued_ns = 0;
+  uint64_t dequeued_ns = 0;  // stamped by PopBatch/TryPopBatch
   size_t cost_bytes = 0;
 };
 
-/// Counters mirrored into kStats replies and the bench gate's accounting
-/// identity (admitted == completed + expired; nothing vanishes).
+/// Thin view over the registry counters, mirrored into kStats replies and
+/// the bench gate's accounting identity (admitted == completed + expired;
+/// nothing vanishes). The registry is the single place these are
+/// maintained (DESIGN.md #12); this struct is read-side compat only.
 struct AdmissionStats {
   uint64_t offered = 0;
   uint64_t admitted = 0;
@@ -68,8 +72,31 @@ class AdmissionQueue {
     size_t max_bytes = 32u << 20;
   };
 
-  AdmissionQueue(Limits limits, MonotonicClock* clock)
-      : limits_(limits), clock_(clock) {}
+  /// `metrics` is where the queue's counters/gauges and the admit-wait
+  /// histogram live; null creates a private registry (tests constructing
+  /// a bare queue). The server passes its own, so one snapshot covers
+  /// admission, serving stages and the engine alike.
+  AdmissionQueue(Limits limits, MonotonicClock* clock,
+                 std::shared_ptr<wt::obs::MetricsRegistry> metrics = nullptr)
+      : limits_(limits),
+        clock_(clock),
+        metrics_(metrics != nullptr
+                     ? std::move(metrics)
+                     : std::make_shared<wt::obs::MetricsRegistry>()) {
+    wt::obs::MetricsRegistry& reg = *metrics_;
+    c_offered_ = reg.GetCounter("wt_admission_offered_total");
+    c_admitted_ = reg.GetCounter("wt_admission_admitted_total");
+    c_shed_ = reg.GetCounter("wt_admission_shed_total");
+    c_refused_closed_ = reg.GetCounter("wt_admission_refused_closed_total");
+    c_expired_dequeue_ =
+        reg.GetCounter("wt_admission_expired_at_dequeue_total");
+    c_expired_reply_ =
+        reg.GetCounter("wt_admission_expired_before_reply_total");
+    c_completed_ = reg.GetCounter("wt_admission_completed_total");
+    g_depth_ = reg.GetGauge("wt_admission_queue_depth");
+    g_bytes_ = reg.GetGauge("wt_admission_queued_bytes");
+    h_admit_wait_us_ = reg.GetHistogram("wt_serving_admit_wait_us");
+  }
 
   /// Admits or sheds one request. On kShed, *retry_after_ms carries the
   /// backoff hint. Never blocks the caller: shedding is a synchronous
@@ -77,25 +104,39 @@ class AdmissionQueue {
   /// turning into "server stops reading and clients time out blind".
   Offer TryOffer(PendingRequest&& req, uint32_t* retry_after_ms)
       WT_EXCLUDES(mu_) {
-    wt::MutexLock lock(mu_);
-    stats_.offered++;
-    if (closed_) {
-      stats_.refused_closed++;
-      return Offer::kClosed;
+    Offer verdict = Offer::kAdmitted;
+    {
+      wt::MutexLock lock(mu_);
+      if (closed_) {
+        verdict = Offer::kClosed;
+      } else if (queue_.size() >= limits_.max_requests ||
+                 queued_bytes_ + req.cost_bytes > limits_.max_bytes) {
+        shed_streak_++;
+        *retry_after_ms = RetryAfterMsLocked();
+        verdict = Offer::kShed;
+      } else {
+        queued_bytes_ += req.cost_bytes;
+        shed_streak_ = 0;
+        queue_.push_back(std::move(req));
+        UpdateQueueGaugesLocked();
+        cv_.NotifyOne();
+      }
     }
-    if (queue_.size() >= limits_.max_requests ||
-        queued_bytes_ + req.cost_bytes > limits_.max_bytes) {
-      stats_.shed++;
-      shed_streak_++;
-      *retry_after_ms = RetryAfterMsLocked();
-      return Offer::kShed;
+    // Counter publication happens after the lock drops — same invariant as
+    // the batched paths: no shared RMWs inside the queue's critical section.
+    c_offered_->Increment();
+    switch (verdict) {
+      case Offer::kClosed:
+        c_refused_closed_->Increment();
+        break;
+      case Offer::kShed:
+        c_shed_->Increment();
+        break;
+      case Offer::kAdmitted:
+        c_admitted_->Increment();
+        break;
     }
-    queued_bytes_ += req.cost_bytes;
-    stats_.admitted++;
-    shed_streak_ = 0;
-    queue_.push_back(std::move(req));
-    cv_.NotifyOne();
-    return Offer::kAdmitted;
+    return verdict;
   }
 
   /// Batched TryOffer: one lock acquisition and one dispatcher wakeup for a
@@ -109,31 +150,39 @@ class AdmissionQueue {
       WT_EXCLUDES(mu_) {
     verdicts->clear();
     verdicts->reserve(reqs->size());
-    wt::MutexLock lock(mu_);
-    bool admitted_any = false;
-    for (PendingRequest& req : *reqs) {
-      stats_.offered++;
-      if (closed_) {
-        stats_.refused_closed++;
-        verdicts->push_back(Offer::kClosed);
-        continue;
+    // Tally verdicts locally; the counters take one Add per kind after the
+    // lock drops — this loop is the I/O thread's hot path, and per-frame
+    // shared RMWs here are measurable at saturation qps.
+    uint64_t n_closed = 0, n_shed = 0, n_admitted = 0;
+    {
+      wt::MutexLock lock(mu_);
+      for (PendingRequest& req : *reqs) {
+        if (closed_) {
+          n_closed++;
+          verdicts->push_back(Offer::kClosed);
+          continue;
+        }
+        if (queue_.size() >= limits_.max_requests ||
+            queued_bytes_ + req.cost_bytes > limits_.max_bytes) {
+          n_shed++;
+          shed_streak_++;
+          *retry_after_ms = RetryAfterMsLocked();
+          verdicts->push_back(Offer::kShed);
+          continue;
+        }
+        queued_bytes_ += req.cost_bytes;
+        n_admitted++;
+        shed_streak_ = 0;
+        queue_.push_back(std::move(req));
+        verdicts->push_back(Offer::kAdmitted);
       }
-      if (queue_.size() >= limits_.max_requests ||
-          queued_bytes_ + req.cost_bytes > limits_.max_bytes) {
-        stats_.shed++;
-        shed_streak_++;
-        *retry_after_ms = RetryAfterMsLocked();
-        verdicts->push_back(Offer::kShed);
-        continue;
-      }
-      queued_bytes_ += req.cost_bytes;
-      stats_.admitted++;
-      shed_streak_ = 0;
-      queue_.push_back(std::move(req));
-      verdicts->push_back(Offer::kAdmitted);
-      admitted_any = true;
+      UpdateQueueGaugesLocked();
+      if (n_admitted > 0) cv_.NotifyOne();
     }
-    if (admitted_any) cv_.NotifyOne();
+    c_offered_->Add(reqs->size());
+    if (n_closed > 0) c_refused_closed_->Add(n_closed);
+    if (n_shed > 0) c_shed_->Add(n_shed);
+    if (n_admitted > 0) c_admitted_->Add(n_admitted);
   }
 
   /// Pops up to max_batch admissible requests, blocking until at least one
@@ -145,22 +194,48 @@ class AdmissionQueue {
                 std::vector<PendingRequest>* expired) WT_EXCLUDES(mu_) {
     batch->clear();
     expired->clear();
-    wt::MutexLock lock(mu_);
-    while (queue_.empty() && !closed_) cv_.Wait(mu_);
-    if (queue_.empty()) return false;  // closed and drained
-    const uint64_t now = clock_->NowNanos();
-    while (!queue_.empty() && batch->size() < max_batch) {
-      PendingRequest req = std::move(queue_.front());
-      queue_.pop_front();
-      queued_bytes_ -= req.cost_bytes;
-      if (req.deadline_ns != 0 && now >= req.deadline_ns) {
-        stats_.expired_at_dequeue++;
-        expired->push_back(std::move(req));
+    bool drained = false;
+    bool slack = true;
+    uint64_t n_expired = 0;
+    {
+      wt::MutexLock lock(mu_);
+      while (queue_.empty() && !closed_) cv_.Wait(mu_);
+      if (queue_.empty()) {
+        drained = true;  // closed and drained
       } else {
-        batch->push_back(std::move(req));
+        const uint64_t now = clock_->NowNanos();
+        size_t popped = 0;
+        while (!queue_.empty() && popped < max_batch) {
+          PendingRequest req = std::move(queue_.front());
+          queue_.pop_front();
+          queued_bytes_ -= req.cost_bytes;
+          req.dequeued_ns = now;
+          pending_waits_.Add((now - req.enqueued_ns) / 1000);
+          popped++;
+          if (req.deadline_ns != 0 && now >= req.deadline_ns) {
+            n_expired++;
+            expired->push_back(std::move(req));
+          } else {
+            batch->push_back(std::move(req));
+          }
+        }
+        slack = popped < max_batch;
+        UpdateQueueGaugesLocked();
       }
     }
-    return true;
+    // Slack-aware publication (DESIGN.md #12): wait samples accumulate in
+    // the consumer-owned batch (plain stores) and reach the shared
+    // histogram only when the pop ran below max_batch — i.e. the queue has
+    // slack to spare — every kPublishEveryPops pops as a staleness bound,
+    // or when the queue drains for good. The saturated path publishes
+    // nothing per pop.
+    if constexpr (wt::obs::kObsEnabled) {
+      if (drained || slack || ++pending_pops_ >= kPublishEveryPops) {
+        FlushWaitSamples();
+      }
+    }
+    if (n_expired > 0) c_expired_dequeue_->Add(n_expired);
+    return !drained;
   }
 
   /// Non-blocking PopBatch — the deterministic-test / manual-dispatch seam.
@@ -168,28 +243,50 @@ class AdmissionQueue {
                    std::vector<PendingRequest>* expired) WT_EXCLUDES(mu_) {
     batch->clear();
     expired->clear();
-    wt::MutexLock lock(mu_);
-    if (queue_.empty()) return false;
-    const uint64_t now = clock_->NowNanos();
-    while (!queue_.empty() && batch->size() < max_batch) {
-      PendingRequest req = std::move(queue_.front());
-      queue_.pop_front();
-      queued_bytes_ -= req.cost_bytes;
-      if (req.deadline_ns != 0 && now >= req.deadline_ns) {
-        stats_.expired_at_dequeue++;
-        expired->push_back(std::move(req));
+    bool empty = false;
+    bool slack = true;
+    uint64_t n_expired = 0;
+    {
+      wt::MutexLock lock(mu_);
+      if (queue_.empty()) {
+        empty = true;
       } else {
-        batch->push_back(std::move(req));
+        const uint64_t now = clock_->NowNanos();
+        size_t popped = 0;
+        while (!queue_.empty() && popped < max_batch) {
+          PendingRequest req = std::move(queue_.front());
+          queue_.pop_front();
+          queued_bytes_ -= req.cost_bytes;
+          req.dequeued_ns = now;
+          pending_waits_.Add((now - req.enqueued_ns) / 1000);
+          popped++;
+          if (req.deadline_ns != 0 && now >= req.deadline_ns) {
+            n_expired++;
+            expired->push_back(std::move(req));
+          } else {
+            batch->push_back(std::move(req));
+          }
+        }
+        slack = popped < max_batch;
+        UpdateQueueGaugesLocked();
       }
     }
-    return true;
+    // Same slack-aware publication as PopBatch; an empty poll is the
+    // manual-dispatch loop going idle, which is also a publish point.
+    if constexpr (wt::obs::kObsEnabled) {
+      if (empty || slack || ++pending_pops_ >= kPublishEveryPops) {
+        FlushWaitSamples();
+      }
+    }
+    if (n_expired > 0) c_expired_dequeue_->Add(n_expired);
+    return !empty;
   }
 
   /// Records one served request's wall time, updating the EWMA behind the
   /// retry-after hint, and the completion counter.
   void NoteServiced(uint64_t service_ns) WT_EXCLUDES(mu_) {
+    c_completed_->Increment();
     wt::MutexLock lock(mu_);
-    stats_.completed++;
     if (ewma_service_ns_ == 0) {
       ewma_service_ns_ = service_ns;
     } else {
@@ -206,8 +303,8 @@ class AdmissionQueue {
   void NoteServicedBatch(uint64_t count, uint64_t per_req_ns)
       WT_EXCLUDES(mu_) {
     if (count == 0) return;
+    c_completed_->Add(count);
     wt::MutexLock lock(mu_);
-    stats_.completed += count;
     if (ewma_service_ns_ == 0) {
       ewma_service_ns_ = per_req_ns;
     } else {
@@ -217,10 +314,7 @@ class AdmissionQueue {
   }
 
   /// Records a request that expired after dequeue, before its reply.
-  void NoteExpiredBeforeReply() WT_EXCLUDES(mu_) {
-    wt::MutexLock lock(mu_);
-    stats_.expired_before_reply++;
-  }
+  void NoteExpiredBeforeReply() { c_expired_reply_->Increment(); }
 
   /// Drain mode: refuse new work, keep serving admitted work. Wakes any
   /// blocked PopBatch so the dispatcher can finish and exit.
@@ -240,12 +334,30 @@ class AdmissionQueue {
     return queue_.size();
   }
 
-  AdmissionStats stats() const WT_EXCLUDES(mu_) {
-    wt::MutexLock lock(mu_);
-    return stats_;
+  /// Lock-free view over the registry counters. Not a linearizable
+  /// snapshot while traffic is in flight; exact once the queue is
+  /// quiescent (which is when the bench checks its accounting identity).
+  AdmissionStats stats() const {
+    AdmissionStats s;
+    s.offered = c_offered_->Value();
+    s.admitted = c_admitted_->Value();
+    s.shed = c_shed_->Value();
+    s.refused_closed = c_refused_closed_->Value();
+    s.expired_at_dequeue = c_expired_dequeue_->Value();
+    s.expired_before_reply = c_expired_reply_->Value();
+    s.completed = c_completed_->Value();
+    return s;
   }
 
  private:
+  /// Mirrors queue depth/bytes into the exposition gauges. Telemetry
+  /// only — admission decisions read the guarded fields directly, so a
+  /// WT_OBS_OFF build (where Set is a no-op) behaves identically.
+  void UpdateQueueGaugesLocked() WT_REQUIRES(mu_) {
+    g_depth_->Set(static_cast<int64_t>(queue_.size()));
+    g_bytes_->Set(static_cast<int64_t>(queued_bytes_));
+  }
+
   /// Estimated drain time of the current backlog, clamped to [1ms, 10s].
   /// Callers hold mu_.
   ///
@@ -269,6 +381,39 @@ class AdmissionQueue {
 
   const Limits limits_;
   MonotonicClock* const clock_;
+  // Instrument home (shared so the server can unify all surfaces into one
+  // snapshot) plus cached pointers — the counters ARE the stats.
+  const std::shared_ptr<wt::obs::MetricsRegistry> metrics_;
+  wt::obs::Counter* c_offered_ = nullptr;
+  wt::obs::Counter* c_admitted_ = nullptr;
+  wt::obs::Counter* c_shed_ = nullptr;
+  wt::obs::Counter* c_refused_closed_ = nullptr;
+  wt::obs::Counter* c_expired_dequeue_ = nullptr;
+  wt::obs::Counter* c_expired_reply_ = nullptr;
+  wt::obs::Counter* c_completed_ = nullptr;
+  wt::obs::Gauge* g_depth_ = nullptr;
+  wt::obs::Gauge* g_bytes_ = nullptr;
+  wt::obs::Histogram* h_admit_wait_us_ = nullptr;
+
+  /// Publishes the deferred wait samples and resets the accumulator.
+  /// Consumer-thread only (see pending_waits_).
+  void FlushWaitSamples() {
+    h_admit_wait_us_->Record(pending_waits_);
+    pending_waits_ = {};
+    pending_pops_ = 0;
+  }
+
+  /// Staleness bound for deferred wait samples: a saturated dispatcher
+  /// publishes at least once every this many pops (~a millisecond of
+  /// full batches), so a live kMetrics poll is never more than that far
+  /// behind.
+  static constexpr size_t kPublishEveryPops = 64;
+  // Consumer-side accumulator for admit-wait samples. Written under mu_
+  // during pops, published outside it by the same thread; the server runs
+  // ONE dispatcher (or one manual-dispatch test thread), which is what
+  // makes the unlocked flush safe.
+  wt::obs::HistogramBatch pending_waits_;
+  size_t pending_pops_ = 0;
 
   mutable wt::Mutex mu_;
   wt::CondVar cv_;
@@ -277,7 +422,6 @@ class AdmissionQueue {
   bool closed_ WT_GUARDED_BY(mu_) = false;
   uint64_t ewma_service_ns_ WT_GUARDED_BY(mu_) = 0;
   uint64_t shed_streak_ WT_GUARDED_BY(mu_) = 0;
-  AdmissionStats stats_ WT_GUARDED_BY(mu_);
 };
 
 }  // namespace wt::net

@@ -58,12 +58,14 @@ enum class MsgType : uint8_t {
   kFrequent = 6,     // (range, threshold) -> heavy hitters
   kAppend = 7,       // strings -> durable ingest ack
   kStats = 8,        // server counters; served inline on the I/O thread
+  kMetrics = 9,      // serialized metrics snapshot (obs/snapshot.hpp);
+                     // served inline on the I/O thread
 };
 inline constexpr uint8_t kResponseBit = 0x80;
 
 inline bool IsKnownRequestType(uint8_t t) {
   return t >= static_cast<uint8_t>(MsgType::kPing) &&
-         t <= static_cast<uint8_t>(MsgType::kStats);
+         t <= static_cast<uint8_t>(MsgType::kMetrics);
 }
 
 /// First byte of every response payload. The wire status is deliberately
@@ -289,6 +291,7 @@ inline bool DecodeRequest(MsgType type, const std::string& payload,
   switch (type) {
     case MsgType::kPing:
     case MsgType::kStats:
+    case MsgType::kMetrics:
       return r.AtEnd();
     case MsgType::kAccess: {
       uint32_t n = 0;

@@ -63,6 +63,9 @@
 #include "net/frame.hpp"
 #include "net/session.hpp"
 #include "net/socket.hpp"
+#include "obs/metrics.hpp"
+#include "obs/slow_ring.hpp"
+#include "obs/snapshot.hpp"
 
 namespace wt::net {
 
@@ -93,8 +96,20 @@ class Server {
     /// currently pinned snapshot, invalidated whenever the engine
     /// publishes). Bounds the memo to cap * O(value) bytes; 0 disables.
     size_t access_cache_entries = 1 << 16;
+    /// Instrument home for the serving layer. Null uses the engine's
+    /// registry, so one kMetrics snapshot covers admission, per-stage
+    /// serving histograms and engine internals alike. The bench overrides
+    /// it to isolate per-arm counters.
+    std::shared_ptr<wt::obs::MetricsRegistry> metrics;
+    /// Ring of the last N requests slower end-to-end than the threshold
+    /// (DESIGN.md #12). The default threshold (1ms) keeps steady-state
+    /// point queries out of the ring's mutex entirely.
+    size_t slow_ring_capacity = 64;
+    uint64_t slow_request_threshold_ns = 1000000;
   };
 
+  /// Thin view over the registry counters (DESIGN.md #12) — kept for
+  /// source compat and the kStats wire reply; nothing is maintained twice.
   struct Stats {
     AdmissionStats admission;
     uint64_t accepted_conns = 0;
@@ -126,19 +141,25 @@ class Server {
   Stats stats() const {
     Stats out;
     out.admission = admission_.stats();
-    out.accepted_conns = accepted_conns_.load(std::memory_order_relaxed);
-    out.closed_conns = closed_conns_.load(std::memory_order_relaxed);
-    out.protocol_errors = protocol_errors_.load(std::memory_order_relaxed);
-    out.slow_client_disconnects =
-        slow_client_disconnects_.load(std::memory_order_relaxed);
-    out.coalesced_dup_hits =
-        coalesced_dup_hits_.load(std::memory_order_relaxed);
-    out.access_cache_hits =
-        access_cache_hits_.load(std::memory_order_relaxed);
+    out.accepted_conns = c_conns_accepted_->Value();
+    out.closed_conns = c_conns_closed_->Value();
+    out.protocol_errors = c_protocol_errors_->Value();
+    out.slow_client_disconnects = c_slow_client_disconnects_->Value();
+    out.coalesced_dup_hits = c_dup_hits_->Value();
+    out.access_cache_hits = c_memo_hits_->Value();
     return out;
   }
 
   size_t queue_depth() const { return admission_.depth(); }
+
+  /// The registry every serving-side instrument lives in (the engine's by
+  /// default; see Options::metrics).
+  const std::shared_ptr<wt::obs::MetricsRegistry>& metrics() const {
+    return metrics_;
+  }
+
+  /// Last-N-slowest-requests ring (tests and wt_top's future friends).
+  const wt::obs::SlowRequestRing& slow_ring() const { return slow_ring_; }
 
   /// Graceful shutdown: refuse new work, finish admitted work, flush
   /// replies (bounded by drain_timeout_ms for stalled clients), then
@@ -157,6 +178,8 @@ class Server {
                                     &expired)) {
         ExecuteBatch(batch, expired);
       }
+      // No DispatcherLoop to flush deferred samples on exit — do it here.
+      if constexpr (wt::obs::kObsEnabled) FlushDispatchStageSamples();
     }
     draining_.store(true, std::memory_order_release);
     wakeup_.Signal();
@@ -203,13 +226,32 @@ class Server {
     uint64_t conn_id = 0;
     uint64_t replies = 0;  // how many inflight requests these bytes answer
     std::string bytes;
+    uint64_t created_ns = 0;  // posted by the dispatcher; flush wait = now -
+                              // created (wt_serving_reply_flush_us)
   };
 
   Server(EngineT* engine, Options opt)
       : engine_(engine),
         opt_(std::move(opt)),
         clock_(opt_.clock != nullptr ? opt_.clock : RealClock::Instance()),
-        admission_(opt_.admission, clock_) {}
+        metrics_(opt_.metrics != nullptr ? opt_.metrics : engine->metrics()),
+        admission_(opt_.admission, clock_, metrics_),
+        slow_ring_(opt_.slow_ring_capacity, opt_.slow_request_threshold_ns) {
+    wt::obs::MetricsRegistry& reg = *metrics_;
+    c_conns_accepted_ = reg.GetCounter("wt_serving_conns_accepted_total");
+    c_conns_closed_ = reg.GetCounter("wt_serving_conns_closed_total");
+    c_protocol_errors_ = reg.GetCounter("wt_serving_protocol_errors_total");
+    c_slow_client_disconnects_ =
+        reg.GetCounter("wt_serving_slow_client_disconnects_total");
+    c_dup_hits_ = reg.GetCounter("wt_serving_coalesced_dup_hits_total");
+    c_memo_hits_ = reg.GetCounter("wt_serving_access_memo_hits_total");
+    c_access_positions_ = reg.GetCounter("wt_serving_access_positions_total");
+    h_batch_size_ = reg.GetHistogram("wt_serving_batch_size");
+    h_coalesce_us_ = reg.GetHistogram("wt_serving_coalesce_us");
+    h_engine_batch_us_ = reg.GetHistogram("wt_serving_engine_batch_us");
+    h_reply_flush_us_ = reg.GetHistogram("wt_serving_reply_flush_us");
+    h_total_us_ = reg.GetHistogram("wt_serving_total_us");
+  }
 
   Status Init() {
     wtrie::Result<Fd> listener = TcpListen(opt_.port);
@@ -290,7 +332,9 @@ class Server {
       }
       DrainCompletions();
     }
-    // Exit: drop every remaining connection.
+    // Exit: publish deferred flush samples, then drop every remaining
+    // connection.
+    if constexpr (wt::obs::kObsEnabled) FlushReplyFlushSamples();
     std::vector<uint64_t> ids;
     ids.reserve(conns_.size());
     for (const auto& [id, c] : conns_) ids.push_back(id);
@@ -303,11 +347,11 @@ class Server {
       wtrie::Result<Fd> conn = Accept(listener_.get(), &would_block);
       if (!conn.ok() || would_block) return;
       const uint64_t id = next_conn_id_++;
-      accepted_conns_.fetch_add(1, std::memory_order_relaxed);
+      c_conns_accepted_->Increment();
       auto c = std::make_unique<Conn>(id, opt_.session, std::move(*conn));
       if (!poller_.Add(c->fd.get(), id, /*read=*/true, /*write=*/false)
                .ok()) {
-        closed_conns_.fetch_add(1, std::memory_order_relaxed);
+        c_conns_closed_->Increment();
         continue;  // Fd destructor closes the socket
       }
       conns_.emplace(id, std::move(c));
@@ -337,7 +381,7 @@ class Server {
     if (parse != FrameParse::kFrame && parse != FrameParse::kNeedMore) {
       // Corrupt stream: one typed error frame, then close. The request id
       // is unknowable (the header failed), so echo id 0.
-      protocol_errors_.fetch_add(1, std::memory_order_relaxed);
+      c_protocol_errors_->Increment();
       PayloadWriter w;
       w.Pod<uint8_t>(static_cast<uint8_t>(WireStatus::kBadRequest));
       c.session.EnqueueWrite(
@@ -365,7 +409,7 @@ class Server {
         // A client sending response frames is talking a different
         // protocol; treat like a corrupt stream. Requests decoded before
         // the bad frame still get offered below.
-        protocol_errors_.fetch_add(1, std::memory_order_relaxed);
+        c_protocol_errors_->Increment();
         c.closing = true;
         break;
       }
@@ -390,11 +434,25 @@ class Server {
         ReplyInline(c, f.header, WireStatus::kOk, &body);
         continue;
       }
+      if (type == MsgType::kMetrics) {
+        // One merged snapshot for the whole process: the serving-side
+        // registry plus the engine's when they differ (they are usually
+        // the same object; see Options::metrics).
+        engine_->RefreshMetrics();
+        wt::obs::MetricsSnapshot snap = metrics_->Snapshot();
+        if (engine_->metrics() != metrics_) {
+          snap.MergeFrom(engine_->metrics()->Snapshot());
+        }
+        PayloadWriter body;
+        body.Str(wt::obs::SerializeMetricsSnapshot(snap));
+        ReplyInline(c, f.header, WireStatus::kOk, &body);
+        continue;
+      }
       PendingRequest req;
       if (!DecodeRequest(type, f.payload, &req.body)) {
         // Checksum-valid frame, malformed payload: the stream framing is
         // intact, so this is a per-request error, not a connection error.
-        protocol_errors_.fetch_add(1, std::memory_order_relaxed);
+        c_protocol_errors_->Increment();
         ReplyInline(c, f.header, WireStatus::kBadRequest, nullptr);
         continue;
       }
@@ -462,7 +520,7 @@ class Server {
     }
     if (c.session.OverHardLimit()) {
       // The client has stalled past the bound; its memory claim ends here.
-      slow_client_disconnects_.fetch_add(1, std::memory_order_relaxed);
+      c_slow_client_disconnects_->Increment();
       CloseConn(id);
       return;
     }
@@ -489,7 +547,7 @@ class Server {
     if (it == conns_.end()) return;
     poller_.Remove(it->second->fd.get());
     conns_.erase(it);
-    closed_conns_.fetch_add(1, std::memory_order_relaxed);
+    c_conns_closed_->Increment();
   }
 
   /// Moves completed replies from the dispatcher into their sessions'
@@ -515,6 +573,34 @@ class Server {
       auto it = conns_.find(done.conn_id);
       if (it != conns_.end()) FlushConn(done.conn_id, *it->second);
     }
+    if constexpr (wt::obs::kObsEnabled) {
+      if (batch.empty()) {
+        // Idle I/O pass: publish anything the busy path deferred (and skip
+        // the clock read — nothing to sample).
+        if (!acc_reply_flush_us_.Empty()) FlushReplyFlushSamples();
+        return;
+      }
+      // Handoff + first flush attempt per completion. Slow clients whose
+      // bytes sit in the session buffer past this point show up as
+      // backpressure (OverHardLimit), not here. Samples accumulate in the
+      // I/O-thread-owned batch; a small drain means the thread is lightly
+      // loaded, which is when publication to the shared histogram happens.
+      const uint64_t now = clock_->NowNanos();
+      for (const Completion& done : batch) {
+        acc_reply_flush_us_.Add((now - done.created_ns) / 1000);
+      }
+      if (batch.size() < kSmallDrain ||
+          ++acc_drains_ >= kPublishEveryBatches) {
+        FlushReplyFlushSamples();
+      }
+    }
+  }
+
+  /// Publishes the I/O-thread-owned reply-flush accumulator and resets it.
+  void FlushReplyFlushSamples() {
+    h_reply_flush_us_->Record(acc_reply_flush_us_);
+    acc_reply_flush_us_ = {};
+    acc_drains_ = 0;
   }
 
   bool AllFlushed() const {
@@ -539,6 +625,9 @@ class Server {
     while (admission_.PopBatch(opt_.max_dispatch_batch, &batch, &expired)) {
       ExecuteBatch(batch, expired);
     }
+    // Queue closed and drained: publish whatever the slack-aware path
+    // still holds so post-Stop snapshots are complete.
+    if constexpr (wt::obs::kObsEnabled) FlushDispatchStageSamples();
   }
 
   /// One-byte reply body: just the status (errors and acks carry nothing
@@ -579,19 +668,58 @@ class Server {
       const uint64_t per_req_ns = (t1 - t0) / batch.size();
       uint64_t serviced = 0;
       for (size_t i = 0; i < batch.size(); ++i) {
-        if (batch[i].deadline_ns != 0 && t1 >= batch[i].deadline_ns) {
+        const PendingRequest& req = batch[i];
+        // End-to-end latency + the slow ring see every admitted request
+        // that reached execution, replied or expired alike.
+        acc_total_us_.Add((t1 - req.enqueued_ns) / 1000);
+        if constexpr (wt::obs::kObsEnabled) {
+          // Threshold check before building the record: fast requests pay
+          // one compare here, not a 7-field struct fill per request.
+          if (t1 - req.enqueued_ns >= slow_ring_.threshold_ns()) {
+            slow_ring_.MaybeRecord({req.conn_id, req.request_id, req.type,
+                                    req.enqueued_ns, req.dequeued_ns, t1,
+                                    t1 - req.enqueued_ns});
+          }
+        }
+        if (req.deadline_ns != 0 && t1 >= req.deadline_ns) {
           // Expired during execution: discard the result, never serve
           // stale-late.
           admission_.NoteExpiredBeforeReply();
-          emit(batch[i], StatusBody(WireStatus::kDeadlineExceeded));
+          emit(req, StatusBody(WireStatus::kDeadlineExceeded));
         } else {
           serviced++;
-          emit(batch[i], reply_scratch_[i]);
+          emit(req, reply_scratch_[i]);
         }
       }
       admission_.NoteServicedBatch(serviced, per_req_ns);
     }
+    // Slack-aware publication (DESIGN.md #12): stage samples reach the
+    // shared histograms only when this batch ran below the dispatch cap —
+    // i.e. the dispatcher has cycles to spare — or at the staleness bound.
+    // Publishing before PostCompletions keeps tests deterministic: a
+    // client that saw its reply queries a registry that already counts it.
+    if constexpr (wt::obs::kObsEnabled) {
+      const bool slack =
+          batch.size() + expired.size() < opt_.max_dispatch_batch;
+      if (slack || ++acc_batches_ >= kPublishEveryBatches) {
+        FlushDispatchStageSamples();
+      }
+    }
     PostCompletions(std::move(out));
+  }
+
+  /// Publishes the dispatcher-owned stage accumulators and resets them.
+  /// Dispatcher-thread only.
+  void FlushDispatchStageSamples() {
+    h_total_us_->Record(acc_total_us_);
+    h_batch_size_->Record(acc_batch_size_);
+    h_coalesce_us_->Record(acc_coalesce_us_);
+    h_engine_batch_us_->Record(acc_engine_us_);
+    acc_total_us_ = {};
+    acc_batch_size_ = {};
+    acc_coalesce_us_ = {};
+    acc_engine_us_ = {};
+    acc_batches_ = 0;
   }
 
   /// The coalescing core: one engine batch call per opcode present.
@@ -600,6 +728,8 @@ class Server {
   /// buffers). Scratch slots keep their capacity across batches, so the
   /// steady-state reply path allocates nothing per request.
   void ExecuteCoalesced(std::vector<PendingRequest>& batch) {
+    const uint64_t tc0 = wt::obs::TimerStart();
+    acc_batch_size_.Add(batch.size());
     if (reply_scratch_.size() < batch.size()) {
       reply_scratch_.resize(batch.size());
     }
@@ -729,12 +859,18 @@ class Server {
         }
         case MsgType::kPing:
         case MsgType::kStats:
+        case MsgType::kMetrics:
           // Served inline on the I/O thread; reaching here is a bug kept
           // non-fatal on the serving path.
           reply[i].assign(1, static_cast<char>(WireStatus::kBadRequest));
           break;
       }
     }
+    // Stage split: everything above is column building + dedup/memo lookup
+    // (wt_serving_coalesce_us); everything below is engine batch walks +
+    // reply encoding (wt_serving_engine_batch_us).
+    const uint64_t tc1 = wt::obs::TimerStart();
+    acc_coalesce_us_.Add((tc1 - tc0) / 1000);
 
     if (!access_slices.empty()) {
       std::vector<std::string> fresh;
@@ -788,8 +924,9 @@ class Server {
                            : *column[id]);
         }
       }
-      coalesced_dup_hits_.fetch_add(dup_hits, std::memory_order_relaxed);
-      access_cache_hits_.fetch_add(cache_hits, std::memory_order_relaxed);
+      c_dup_hits_->Add(dup_hits);
+      c_memo_hits_->Add(cache_hits);
+      c_access_positions_->Add(access_ids.size());
     }
     if (!rank_slices.empty()) {
       // Guard the engine call on the merged column, not the slice list: a
@@ -842,10 +979,15 @@ class Server {
         reply[i].assign(1, static_cast<char>(ws));
       }
     }
+    acc_engine_us_.Add((wt::obs::TimerStart() - tc1) / 1000);
   }
 
   void PostCompletions(std::vector<Completion>&& done) {
     if (done.empty()) return;
+    if constexpr (wt::obs::kObsEnabled) {
+      const uint64_t now = clock_->NowNanos();
+      for (Completion& c : done) c.created_ns = now;
+    }
     {
       wt::MutexLock lock(completion_mu_);
       for (Completion& c : done) completions_.push_back(std::move(c));
@@ -858,7 +1000,41 @@ class Server {
   EngineT* const engine_;
   const Options opt_;
   MonotonicClock* const clock_;
+  // Declared before admission_ (which registers its instruments here) and
+  // shared so a bench/test holder can outlive the server.
+  const std::shared_ptr<wt::obs::MetricsRegistry> metrics_;
   AdmissionQueue admission_;
+  wt::obs::SlowRequestRing slow_ring_;
+  // Cached instrument pointers (deque-stable in the registry); the
+  // counters ARE the server stats — stats() is a view.
+  wt::obs::Counter* c_conns_accepted_ = nullptr;
+  wt::obs::Counter* c_conns_closed_ = nullptr;
+  wt::obs::Counter* c_protocol_errors_ = nullptr;
+  wt::obs::Counter* c_slow_client_disconnects_ = nullptr;
+  wt::obs::Counter* c_dup_hits_ = nullptr;
+  wt::obs::Counter* c_memo_hits_ = nullptr;
+  wt::obs::Counter* c_access_positions_ = nullptr;
+  wt::obs::Histogram* h_batch_size_ = nullptr;
+  wt::obs::Histogram* h_coalesce_us_ = nullptr;
+  wt::obs::Histogram* h_engine_batch_us_ = nullptr;
+  wt::obs::Histogram* h_reply_flush_us_ = nullptr;
+  /// Staleness bound for slack-aware publication (DESIGN.md #12): a
+  /// saturated thread publishes its stage accumulators at least once
+  /// every this many batches/drains.
+  static constexpr size_t kPublishEveryBatches = 64;
+  /// Drains below this size mean the I/O thread has slack — publish.
+  static constexpr size_t kSmallDrain = 8;
+  // Dispatcher-thread-owned stage accumulators (plain stores on the hot
+  // path; Record merges happen only at publication points).
+  wt::obs::HistogramBatch acc_total_us_;
+  wt::obs::HistogramBatch acc_batch_size_;
+  wt::obs::HistogramBatch acc_coalesce_us_;
+  wt::obs::HistogramBatch acc_engine_us_;
+  size_t acc_batches_ = 0;
+  // I/O-thread-owned reply-flush accumulator.
+  wt::obs::HistogramBatch acc_reply_flush_us_;
+  size_t acc_drains_ = 0;
+  wt::obs::Histogram* h_total_us_ = nullptr;
 
   Fd listener_;
   uint16_t port_ = 0;
@@ -892,7 +1068,6 @@ class Server {
   // re-pin. Node pointers are stable across inserts, which the reply path
   // relies on within a batch.
   std::unordered_map<uint64_t, std::string> access_cache_;
-  std::atomic<uint64_t> access_cache_hits_{0};
 
   // Dispatcher -> I/O thread handoff.
   mutable wt::Mutex completion_mu_;
@@ -900,11 +1075,6 @@ class Server {
 
   std::atomic<bool> stopped_{false};
   std::atomic<bool> draining_{false};
-  std::atomic<uint64_t> accepted_conns_{0};
-  std::atomic<uint64_t> closed_conns_{0};
-  std::atomic<uint64_t> protocol_errors_{0};
-  std::atomic<uint64_t> slow_client_disconnects_{0};
-  std::atomic<uint64_t> coalesced_dup_hits_{0};
 
   std::thread io_thread_;
   std::thread dispatcher_;

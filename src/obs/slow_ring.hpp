@@ -1,0 +1,83 @@
+// Ring buffer of the last N slowest requests (DESIGN.md #12).
+//
+// The per-stage histograms answer "what does p99 look like"; this ring
+// answers "show me an actual slow request". Every request whose total
+// latency crossed the threshold is inserted with its full timestamp
+// trail; when the ring is full the OLDEST entry is overwritten, so a
+// snapshot is always the most recent N slow requests in arrival order.
+//
+// One short mutex hold per slow request — the threshold keeps the ring
+// off the steady-state fast path entirely (tests drop it to 0 to make
+// every request eligible and pin the eviction order).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "common/thread_annotations.hpp"
+
+namespace wt::obs {
+
+/// One admitted request's timestamp trail. Stage durations are the
+/// deltas: admit wait = dequeued - enqueued, execute = done - dequeued.
+/// Reply flush is per-connection, so it lives in the flush histogram, not
+/// here.
+struct SlowRequestRecord {
+  uint64_t conn_id = 0;
+  uint64_t request_id = 0;
+  uint8_t opcode = 0;
+  uint64_t enqueued_ns = 0;
+  uint64_t dequeued_ns = 0;
+  uint64_t done_ns = 0;   // reply encoded and posted for flush
+  uint64_t total_ns = 0;  // done - enqueued
+};
+
+class SlowRequestRing {
+ public:
+  SlowRequestRing(size_t capacity, uint64_t threshold_ns)
+      : capacity_(capacity == 0 ? 1 : capacity), threshold_ns_(threshold_ns) {}
+
+  uint64_t threshold_ns() const { return threshold_ns_; }
+
+  /// Inserts rec if it is slow enough, evicting the oldest entry when the
+  /// ring is full. Compiled out under WT_OBS_OFF like every other write.
+  void MaybeRecord(const SlowRequestRecord& rec) WT_EXCLUDES(mu_) {
+#if !defined(WT_OBS_OFF)
+    if (rec.total_ns < threshold_ns_) return;
+    wt::MutexLock lock(mu_);
+    if (ring_.size() < capacity_) {
+      ring_.push_back(rec);
+    } else {
+      ring_[next_] = rec;
+    }
+    next_ = (next_ + 1) % capacity_;
+#else
+    (void)rec;
+#endif
+  }
+
+  /// The retained slow requests, oldest first.
+  std::vector<SlowRequestRecord> Snapshot() const WT_EXCLUDES(mu_) {
+    wt::MutexLock lock(mu_);
+    std::vector<SlowRequestRecord> out;
+    out.reserve(ring_.size());
+    if (ring_.size() < capacity_) {
+      out = ring_;
+    } else {
+      for (size_t i = 0; i < capacity_; ++i) {
+        out.push_back(ring_[(next_ + i) % capacity_]);
+      }
+    }
+    return out;
+  }
+
+ private:
+  const size_t capacity_;
+  const uint64_t threshold_ns_;
+  mutable wt::Mutex mu_;
+  std::vector<SlowRequestRecord> ring_ WT_GUARDED_BY(mu_);
+  size_t next_ WT_GUARDED_BY(mu_) = 0;
+};
+
+}  // namespace wt::obs

@@ -1,0 +1,214 @@
+// Versioned, checksummed serialization of a MetricsSnapshot, plus the
+// Prometheus-style text exposition (DESIGN.md #12).
+//
+// Wire layout, same discipline as the WAL/envelope/frame formats: a fixed
+// 24-byte little-endian POD header whose layout IS the format (pinned in
+// common/layout_contracts.hpp), followed by `metric_count` entries
+// covered end-to-end by an FNV-1a checksum:
+//
+//   MetricsSnapshotHeader { magic "WTMETRX1", version, metric_count,
+//                           body_checksum }
+//   entry := u8 kind (0 counter | 1 gauge | 2 histogram)
+//            u32 name_len, name bytes
+//            counter   -> u64 value
+//            gauge     -> i64 value
+//            histogram -> u64 count, u64 sum, u64 max, u64 bucket[64]
+//
+// ParseMetricsSnapshot follows the ParseWalBytes rules: non-aborting,
+// every length untrusted until checked against the bytes present, bounded
+// allocations, and the full body must be consumed — trailing bytes are a
+// format violation, not padding. fuzz/fuzz_metrics.cpp drives it.
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+#include <string>
+#include <string_view>
+
+#include "common/serialize.hpp"
+#include "obs/metrics.hpp"
+
+namespace wt::obs {
+
+inline constexpr uint64_t kMetricsSnapshotMagic =
+    0x31585254454D5457ull;  // "WTMETRX1" little-endian
+inline constexpr uint32_t kMetricsSnapshotVersion = 1;
+
+/// Sanity ceilings applied before any allocation: a snapshot is
+/// server-produced but travels the same untrusted socket as everything
+/// else, so the parser trusts nothing.
+inline constexpr uint32_t kMaxSnapshotMetrics = 1u << 20;
+inline constexpr uint32_t kMaxMetricNameLen = 1u << 12;
+
+struct MetricsSnapshotHeader {
+  uint64_t magic = 0;
+  uint32_t version = 0;
+  uint32_t metric_count = 0;
+  uint64_t body_checksum = 0;  // FNV-1a over the entry bytes
+};
+static_assert(sizeof(MetricsSnapshotHeader) == 24);
+
+enum class MetricKind : uint8_t {
+  kCounter = 0,
+  kGauge = 1,
+  kHistogram = 2,
+};
+
+inline std::string SerializeMetricsSnapshot(const MetricsSnapshot& s) {
+  std::string body;
+  auto pod = [&body](const auto& v) {
+    body.append(reinterpret_cast<const char*>(&v), sizeof(v));
+  };
+  auto name = [&](const std::string& n) {
+    pod(static_cast<uint32_t>(n.size()));
+    body.append(n);
+  };
+  for (const auto& [n, v] : s.counters) {
+    pod(static_cast<uint8_t>(MetricKind::kCounter));
+    name(n);
+    pod(v);
+  }
+  for (const auto& [n, v] : s.gauges) {
+    pod(static_cast<uint8_t>(MetricKind::kGauge));
+    name(n);
+    pod(v);
+  }
+  for (const auto& [n, h] : s.histograms) {
+    pod(static_cast<uint8_t>(MetricKind::kHistogram));
+    name(n);
+    pod(h.count);
+    pod(h.sum);
+    pod(h.max);
+    for (uint64_t b : h.buckets) pod(b);
+  }
+
+  MetricsSnapshotHeader hdr;
+  hdr.magic = kMetricsSnapshotMagic;
+  hdr.version = kMetricsSnapshotVersion;
+  hdr.metric_count = static_cast<uint32_t>(s.MetricCount());
+  hdr.body_checksum = wt::Fnv1a(body.data(), body.size());
+  std::string out;
+  out.reserve(sizeof(hdr) + body.size());
+  out.append(reinterpret_cast<const char*>(&hdr), sizeof(hdr));
+  out.append(body);
+  return out;
+}
+
+/// Non-aborting parse of a serialized snapshot. Returns false on any
+/// structural violation: short buffer, bad magic/version, checksum
+/// mismatch, lying lengths, unknown entry kind, or trailing bytes.
+inline bool ParseMetricsSnapshot(const char* data, size_t size,
+                                 MetricsSnapshot* out) {
+  out->counters.clear();
+  out->gauges.clear();
+  out->histograms.clear();
+  MetricsSnapshotHeader hdr;
+  if (size < sizeof(hdr)) return false;
+  std::memcpy(&hdr, data, sizeof(hdr));
+  if (hdr.magic != kMetricsSnapshotMagic) return false;
+  if (hdr.version != kMetricsSnapshotVersion) return false;
+  if (hdr.metric_count > kMaxSnapshotMetrics) return false;
+  const char* p = data + sizeof(hdr);
+  size_t left = size - sizeof(hdr);
+  if (wt::Fnv1a(p, left) != hdr.body_checksum) return false;
+
+  auto pod = [&p, &left](auto* v) {
+    if (left < sizeof(*v)) return false;
+    std::memcpy(v, p, sizeof(*v));
+    p += sizeof(*v);
+    left -= sizeof(*v);
+    return true;
+  };
+  for (uint32_t i = 0; i < hdr.metric_count; ++i) {
+    uint8_t kind = 0;
+    uint32_t name_len = 0;
+    if (!pod(&kind) || !pod(&name_len)) return false;
+    if (name_len > kMaxMetricNameLen || left < name_len) return false;
+    std::string name(p, name_len);
+    p += name_len;
+    left -= name_len;
+    switch (static_cast<MetricKind>(kind)) {
+      case MetricKind::kCounter: {
+        uint64_t v = 0;
+        if (!pod(&v)) return false;
+        out->counters.emplace_back(std::move(name), v);
+        break;
+      }
+      case MetricKind::kGauge: {
+        int64_t v = 0;
+        if (!pod(&v)) return false;
+        out->gauges.emplace_back(std::move(name), v);
+        break;
+      }
+      case MetricKind::kHistogram: {
+        HistogramSnapshot h;
+        if (!pod(&h.count) || !pod(&h.sum) || !pod(&h.max)) return false;
+        for (size_t b = 0; b < kHistogramBuckets; ++b) {
+          if (!pod(&h.buckets[b])) return false;
+        }
+        out->histograms.emplace_back(std::move(name), std::move(h));
+        break;
+      }
+      default:
+        return false;
+    }
+  }
+  return left == 0;
+}
+
+// ------------------------------------------------------ text exposition
+
+/// `base{a="1"}` + suffix "_count" + label `quantile="0.5"` ->
+/// `base_count{a="1",quantile="0.5"}`. Suffix lands on the bare name,
+/// extra labels merge into the existing brace set.
+inline std::string MetricNameWith(std::string_view name,
+                                  std::string_view suffix,
+                                  std::string_view extra_label = {}) {
+  const size_t brace = name.find('{');
+  std::string_view base =
+      brace == std::string_view::npos ? name : name.substr(0, brace);
+  std::string_view labels =  // without braces
+      brace == std::string_view::npos
+          ? std::string_view{}
+          : name.substr(brace + 1, name.size() - brace - 2);
+  std::string out(base);
+  out.append(suffix);
+  if (labels.empty() && extra_label.empty()) return out;
+  out.push_back('{');
+  out.append(labels);
+  if (!labels.empty() && !extra_label.empty()) out.push_back(',');
+  out.append(extra_label);
+  out.push_back('}');
+  return out;
+}
+
+/// Prometheus-style `name{labels} value` lines. Histograms render as
+/// summaries: `_count`, `_sum`, `_max`, and quantile lines at p50/p99/p999
+/// (upper-bound semantics, see HistogramSnapshot::Quantile).
+inline std::string RenderPromText(const MetricsSnapshot& s) {
+  std::string out;
+  auto line = [&out](const std::string& name, uint64_t v) {
+    out.append(name);
+    out.push_back(' ');
+    out.append(std::to_string(v));
+    out.push_back('\n');
+  };
+  for (const auto& [n, v] : s.counters) line(n, v);
+  for (const auto& [n, v] : s.gauges) {
+    out.append(n);
+    out.push_back(' ');
+    out.append(std::to_string(v));
+    out.push_back('\n');
+  }
+  for (const auto& [n, h] : s.histograms) {
+    line(MetricNameWith(n, "_count"), h.count);
+    line(MetricNameWith(n, "_sum"), h.sum);
+    line(MetricNameWith(n, "_max"), h.max);
+    line(MetricNameWith(n, "", "quantile=\"0.5\""), h.Quantile(0.5));
+    line(MetricNameWith(n, "", "quantile=\"0.99\""), h.Quantile(0.99));
+    line(MetricNameWith(n, "", "quantile=\"0.999\""), h.Quantile(0.999));
+  }
+  return out;
+}
+
+}  // namespace wt::obs

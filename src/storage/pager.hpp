@@ -30,6 +30,7 @@
 
 #include "common/assert.hpp"
 #include "common/thread_annotations.hpp"
+#include "obs/metrics.hpp"
 
 #if defined(__unix__) || defined(__APPLE__)
 #define WT_STORAGE_HAS_MMAP 1
@@ -190,17 +191,32 @@ class Pager {
     /// Byte provider; null means the real filesystem. Not owned — must
     /// outlive the pager (the engine owns both).
     BlobSource* source = nullptr;
+    /// Optional instrumentation (DESIGN.md #12): wt_pager_maps_total,
+    /// wt_pager_map_cache_hits_total, wt_pager_unmaps_total. Shared
+    /// ownership on purpose — unmaps are counted when the last snapshot
+    /// pinning a blob drops it, which can be after the engine (and its
+    /// registry handle) is gone.
+    std::shared_ptr<wt::obs::MetricsRegistry> metrics;
   };
 
   Pager() = default;
-  explicit Pager(Options opt) : opt_(opt) {}
+  explicit Pager(Options opt) : opt_(std::move(opt)) {
+    if (opt_.metrics != nullptr) {
+      maps_ = opt_.metrics->GetCounter("wt_pager_maps_total");
+      cache_hits_ = opt_.metrics->GetCounter("wt_pager_map_cache_hits_total");
+      unmaps_ = opt_.metrics->GetCounter("wt_pager_unmaps_total");
+    }
+  }
 
   std::shared_ptr<const Blob> Map(const std::string& path, std::string* err) {
     {
       wt::MutexLock lk(mu_);
       auto it = cache_.find(path);
       if (it != cache_.end()) {
-        if (std::shared_ptr<const Blob> live = it->second.lock()) return live;
+        if (std::shared_ptr<const Blob> live = it->second.lock()) {
+          if (cache_hits_ != nullptr) cache_hits_->Increment();
+          return live;
+        }
         cache_.erase(it);
       }
     }
@@ -209,6 +225,13 @@ class Pager {
             ? opt_.source->MapOrRead(path, opt_.prefer_mmap, opt_.advise, err)
             : MapFileBlob(path, opt_.prefer_mmap, opt_.advise, err);
     if (blob != nullptr) {
+      if (maps_ != nullptr) {
+        maps_->Increment();
+        // The wrapper counts the unmap when the last pin drops; caching
+        // the wrapper (not the inner blob) keeps one count per mapping.
+        blob = std::make_shared<TrackedBlob>(std::move(blob), opt_.metrics,
+                                             unmaps_);
+      }
       wt::MutexLock lk(mu_);
       cache_[path] = blob;
     }
@@ -231,7 +254,35 @@ class Pager {
   }
 
  private:
+  /// Forwards to an inner blob and bumps the unmap counter on destruction.
+  /// Holds the registry shared_ptr so the counter stays valid even when a
+  /// long-lived snapshot outlives the pager that mapped the file.
+  class TrackedBlob final : public Blob {
+   public:
+    TrackedBlob(std::shared_ptr<const Blob> inner,
+                std::shared_ptr<wt::obs::MetricsRegistry> keepalive,
+                wt::obs::Counter* unmaps)
+        : inner_(std::move(inner)),
+          keepalive_(std::move(keepalive)),
+          unmaps_(unmaps) {
+      data_ = inner_->data();
+      size_ = inner_->size();
+      mapped_ = inner_->mapped();
+    }
+    ~TrackedBlob() override {
+      if (unmaps_ != nullptr) unmaps_->Increment();
+    }
+
+   private:
+    std::shared_ptr<const Blob> inner_;
+    std::shared_ptr<wt::obs::MetricsRegistry> keepalive_;
+    wt::obs::Counter* unmaps_;
+  };
+
   Options opt_;
+  wt::obs::Counter* maps_ = nullptr;
+  wt::obs::Counter* cache_hits_ = nullptr;
+  wt::obs::Counter* unmaps_ = nullptr;
   mutable wt::Mutex mu_;
   std::unordered_map<std::string, std::weak_ptr<const Blob>> cache_
       WT_GUARDED_BY(mu_);

@@ -221,6 +221,58 @@ TEST(EngineDifferential, FixedIntCodecEngine) {
   }
 }
 
+// The observability seam (DESIGN.md #12): the caller-buffer Stats()
+// overload matches the allocating shim (and resizes an over-sized reused
+// buffer), the totals account for every appended string, and the registry
+// gauges/counters the engine maintains are the same numbers — Stats() is
+// a view, not a second ledger.
+TEST(EngineObservability, StatsBufferReuseAndRegistryViews) {
+  StrEngine::Options opt;
+  opt.num_shards = 2;
+  opt.memtable_limit = 256;
+  auto eng = StrEngine::Open(opt).value();
+  const auto values = UrlWorkload(1000, 13);
+  ASSERT_TRUE(eng->AppendBatch(values).ok());
+  // Quiesce first: strings riding the async freeze queue are transiently
+  // in neither the memtable gauge nor a published view, so the totals
+  // identity below only holds with no freeze in flight.
+  ASSERT_TRUE(eng->Flush().ok());
+
+  std::vector<StrEngine::ShardStats> buf(7);  // stale, over-sized: reused
+  eng->Stats(&buf);
+  ASSERT_EQ(buf.size(), 2u);
+  const std::vector<StrEngine::ShardStats> alloc = eng->Stats();
+  ASSERT_EQ(alloc.size(), buf.size());
+  uint64_t mem = 0, frozen = 0;
+  for (size_t s = 0; s < buf.size(); ++s) {
+    EXPECT_EQ(buf[s].memtable_count, alloc[s].memtable_count);
+    EXPECT_EQ(buf[s].frozen_count, alloc[s].frozen_count);
+    EXPECT_EQ(buf[s].num_segments, alloc[s].num_segments);
+    mem += buf[s].memtable_count;
+    frozen += buf[s].frozen_count;
+  }
+  EXPECT_EQ(mem, 0u);  // flush froze every memtable
+  EXPECT_EQ(frozen, values.size());
+
+#if !defined(WT_OBS_OFF)
+  eng->RefreshMetrics();
+  const wt::obs::MetricsSnapshot snap = eng->metrics()->Snapshot();
+  const int64_t* frozen_g = snap.FindGauge("wt_engine_frozen_strings");
+  ASSERT_NE(frozen_g, nullptr);
+  EXPECT_EQ(static_cast<uint64_t>(*frozen_g), values.size());
+  const uint64_t* appends = snap.FindCounter("wt_engine_appends_total");
+  ASSERT_NE(appends, nullptr);
+  EXPECT_EQ(*appends, values.size());
+  const uint64_t* freezes = snap.FindCounter("wt_engine_freezes_total");
+  ASSERT_NE(freezes, nullptr);
+  EXPECT_GE(*freezes, 1u);
+  const wt::obs::HistogramSnapshot* fh =
+      snap.FindHistogram("wt_engine_freeze_ms");
+  ASSERT_NE(fh, nullptr);
+  EXPECT_EQ(fh->count, *freezes);
+#endif
+}
+
 // --------------------------------------------------------------- snapshots
 
 TEST(EngineSnapshot, VisibleSizeIsConsistentPrefixAndPinned) {

@@ -5,6 +5,9 @@
 //                                   segment file's format + section table
 //   wt_inspect <file.wt|.img>       dump one segment/image file
 //   wt_inspect --fsck <engine-dir>  offline consistency audit (see below)
+//   wt_inspect --metrics <port>     fetch a live daemon's kMetrics snapshot
+//                                   and print it as Prometheus-style text
+//                                   (DESIGN.md #12; Linux only)
 //
 // For a v4 image it prints the header (strings, encoded bits, codec id,
 // checksum state) and the per-section table: tag, offset, size — the
@@ -39,8 +42,14 @@
 #include "engine/recovery_invariants.hpp"
 #include "engine/wal.hpp"
 #include "io/vfs.hpp"
+#include "obs/metrics.hpp"
+#include "obs/snapshot.hpp"
 #include "storage/image.hpp"
 #include "storage/pager.hpp"
+
+#if defined(__linux__)
+#include "net/client.hpp"
+#endif
 
 namespace fs = std::filesystem;
 namespace stor = wt::storage;
@@ -294,9 +303,54 @@ int FsckDir(const fs::path& dir) {
   return 0;
 }
 
+// --------------------------------------------------------------- metrics
+
+// Scrape mode: one kMetrics round trip, rendered as the text exposition.
+// Pipe it to a file and diff two scrapes, or feed an actual scraper.
+int DumpMetrics(uint16_t port) {
+#if defined(__linux__)
+  wtrie::Result<wt::net::Client> c = wt::net::Client::Connect(port);
+  if (!c.ok()) {
+    std::fprintf(stderr, "cannot connect to port %u: %s\n", port,
+                 c.status().message());
+    return 1;
+  }
+  wtrie::Result<wt::net::Frame> f =
+      c->Call(wt::net::MsgType::kMetrics, /*request_id=*/1, /*deadline_ms=*/0,
+              "");
+  if (!f.ok()) {
+    std::fprintf(stderr, "kMetrics call failed: %s\n", f.status().message());
+    return 1;
+  }
+  wt::net::WireStatus st{};
+  wt::net::PayloadReader r("", 0);
+  std::string bytes;
+  if (!wt::net::Client::DecodeStatus(*f, &st, &r) ||
+      st != wt::net::WireStatus::kOk || !r.Str(&bytes)) {
+    std::fprintf(stderr, "malformed kMetrics reply\n");
+    return 1;
+  }
+  wt::obs::MetricsSnapshot snap;
+  if (!wt::obs::ParseMetricsSnapshot(bytes.data(), bytes.size(), &snap)) {
+    std::fprintf(stderr, "metrics snapshot failed to parse\n");
+    return 1;
+  }
+  std::fputs(wt::obs::RenderPromText(snap).c_str(), stdout);
+  return 0;
+#else
+  (void)port;
+  std::fprintf(stderr, "--metrics needs the Linux serving layer\n");
+  return 2;
+#endif
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
+  if (argc == 3 && std::strcmp(argv[1], "--metrics") == 0) {
+    return DumpMetrics(static_cast<uint16_t>(std::strtoul(argv[2], nullptr,
+                                                          10)));
+  }
   if (argc == 3 && std::strcmp(argv[1], "--fsck") == 0) {
     const fs::path target(argv[2]);
     std::error_code ec;
@@ -309,8 +363,9 @@ int main(int argc, char** argv) {
   if (argc != 2) {
     std::fprintf(stderr,
                  "usage: %s <engine-dir | segment-file>\n"
-                 "       %s --fsck <engine-dir>\n",
-                 argv[0], argv[0]);
+                 "       %s --fsck <engine-dir>\n"
+                 "       %s --metrics <port>\n",
+                 argv[0], argv[0], argv[0]);
     return 2;
   }
   const fs::path target(argv[1]);

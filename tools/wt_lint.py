@@ -35,6 +35,14 @@ compiler flag can express:
   tsa-escape        WT_NO_THREAD_SAFETY_ANALYSIS outside the macro's own
                     header without an explicit waiver. Escape hatches
                     must be visible and justified.
+  bare-atomic-counter
+                    An integer std::atomic outside src/obs/. Ad-hoc atomic
+                    counters are how stats get maintained twice and drift;
+                    countable quantities belong in the MetricsRegistry
+                    (obs/metrics.hpp). Genuine sequencing/state atomics
+                    (epochs, ids, flags) take a waiver stating they are
+                    not telemetry. atomic<bool> is exempt (a flag, never
+                    a counter).
 
 Waivers: append `// wt-lint: allow(<rule>)` to the offending line, with a
 reason. Use sparingly; CI reviews every new waiver.
@@ -161,6 +169,15 @@ RAW_MUTEX_PATTERN = re.compile(
 
 TSA_ESCAPE_ALLOWED = {"src/common/thread_annotations.hpp"}
 
+# The obs layer IS the sanctioned home for atomic counters; everything else
+# either registers an instrument or waives with a sequencing rationale.
+BARE_ATOMIC_ALLOWED_PREFIX = "src/obs/"
+BARE_ATOMIC_PATTERN = re.compile(
+    r"\bstd::atomic<\s*(?:std::)?"
+    r"(?:u?int(?:8|16|32|64)_t|size_t|ptrdiff_t|int|unsigned"
+    r"(?:\s+(?:int|long(?:\s+long)?))?|long(?:\s+long)?)\s*>"
+)
+
 # Parse functions over untrusted bytes: (file suffix, function name).
 # The rule scans each function's direct body.
 PARSE_FUNCTIONS = [
@@ -191,6 +208,9 @@ RULES = {
     "raw-socket": "socket/epoll syscall outside the net/socket.hpp seam",
     "raw-mutex": "raw std::mutex family outside the annotated wrapper",
     "tsa-escape": "unwaived WT_NO_THREAD_SAFETY_ANALYSIS",
+    "bare-atomic-counter":
+        "integer std::atomic outside src/obs/ (use the MetricsRegistry, "
+        "or waive as sequencing state)",
 }
 
 
@@ -280,6 +300,13 @@ def lint_file(root: pathlib.Path, path: pathlib.Path) -> list[Finding]:
             report(m.start(), "tsa-escape",
                    "escape hatch from the locking proof; waive with a "
                    "reason if genuinely inexpressible")
+
+    if not rel.startswith(BARE_ATOMIC_ALLOWED_PREFIX):
+        for m in BARE_ATOMIC_PATTERN.finditer(stripped):
+            report(m.start(), "bare-atomic-counter",
+                   f"`{m.group(0)}`: countable quantities belong in the "
+                   "MetricsRegistry (obs/metrics.hpp); waive if this is "
+                   "sequencing state, not telemetry")
 
     for suffix, fn in PARSE_FUNCTIONS:
         if rel != suffix:
