@@ -42,10 +42,13 @@ int main() {
 }
 #else
 
+#include <unistd.h>
+
 #include <algorithm>
 #include <atomic>
 #include <chrono>
 #include <cstdint>
+#include <filesystem>
 #include <fstream>
 #include <iterator>
 #include <memory>
@@ -58,6 +61,7 @@ int main() {
 #include "net/client.hpp"
 #include "net/server.hpp"
 #include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "util/workloads.hpp"
 #include "util/zipf.hpp"
 
@@ -303,8 +307,20 @@ bool RunAll() {
   // publishing epochs) for the whole measurement: coalescing batches are
   // formed per snapshot pin, so publishes mid-run are the realistic case.
   const auto values = MakeLog(n);
+  // A real on-disk store, not the in-memory engine: the trace gate below
+  // requires WAL-fsync and pager spans, which only exist when freezes
+  // persist segments and queries map them back. Both obs arms get the
+  // same dir shape, so the overhead ratio still compares like with like.
+  namespace fs = std::filesystem;
+  const fs::path dir =
+      fs::temp_directory_path() /
+      ("wt_bench_serving_" + std::to_string(static_cast<long>(getpid())));
+  std::error_code ec;
+  fs::remove_all(dir, ec);
+  fs::create_directories(dir, ec);
   StrEngine::Options eopt;
   eopt.num_shards = 4;
+  eopt.dir = dir.string();
   auto engine = StrEngine::Open(eopt).value();
   if (!engine->AppendBatch(values).ok()) return false;
   if (!engine->Flush().ok()) return false;
@@ -367,6 +383,48 @@ bool RunAll() {
   stop_ingest.store(true, std::memory_order_release);
   ingester.join();
 
+  // Trace gate (DESIGN.md #13): the run above — freezes and compactions
+  // from the concurrent ingester, WAL and pager traffic from the on-disk
+  // store, dispatch batches from the serving path — must leave a
+  // publishable span timeline. Serialize the process tracer to
+  // BENCH_serving_trace.bin (load it in chrome://tracing via wt_trace),
+  // then require the validator clean AND every span family present.
+  bool trace_ok = true;
+  size_t trace_events = 0;
+  uint64_t trace_dropped = 0;
+  std::string trace_why;
+  if (wt::obs::kObsEnabled) {
+    wt::obs::Tracer& tracer = wt::obs::Tracer::Get();
+    tracer.FlushThisThread();
+    const wt::obs::TraceSnapshot snap = tracer.Snapshot();
+    trace_events = snap.events.size();
+    trace_dropped = snap.dropped;
+    const std::string bytes = wt::obs::SerializeTraceSnapshot(snap);
+    if (FILE* tf = std::fopen("BENCH_serving_trace.bin", "wb")) {
+      std::fwrite(bytes.data(), 1, bytes.size(), tf);
+      std::fclose(tf);
+    }
+    trace_ok = wt::obs::ValidateTraceSnapshot(snap, &trace_why);
+    const wt::obs::TraceName required[] = {
+        wt::obs::TraceName::kFreeze, wt::obs::TraceName::kCompaction,
+        wt::obs::TraceName::kWalFsync, wt::obs::TraceName::kPagerMap,
+        wt::obs::TraceName::kEngineBatch};
+    for (const wt::obs::TraceName need : required) {
+      bool found = false;
+      for (const auto& e : snap.events) {
+        if (e.name == static_cast<uint8_t>(need)) {
+          found = true;
+          break;
+        }
+      }
+      if (!found) {
+        trace_ok = false;
+        trace_why += std::string(trace_why.empty() ? "" : "; ") + "missing " +
+                     wt::obs::TraceNameString(need) + " spans";
+      }
+    }
+  }
+
   const double speedup = baseline.goodput_qps > 0
                              ? coalesced.goodput_qps / baseline.goodput_qps
                              : 0;
@@ -387,6 +445,7 @@ bool RunAll() {
            retained >= 0.8 && overload.shed > 0 &&
            rss_growth_kb < 256 * 1024;
     if (obs_baseline_qps > 0) pass = pass && obs_ratio >= 0.98;
+    if (wt::obs::kObsEnabled) pass = pass && trace_ok;
   }
 
   FILE* f = std::fopen(wt::obs::kObsEnabled ? "BENCH_serving.json"
@@ -473,6 +532,13 @@ bool RunAll() {
   std::fprintf(f, "    \"obs_off_baseline_qps\": %.0f,\n", obs_baseline_qps);
   std::fprintf(f, "    \"obs_overhead_ratio\": %.3f,\n", obs_ratio);
   std::fprintf(f, "    \"obs_overhead_required\": 0.98,\n");
+  if (wt::obs::kObsEnabled) {
+    std::fprintf(f,
+                 "    \"trace\": {\"events\": %zu, \"dropped\": %llu, "
+                 "\"valid\": %s},\n",
+                 trace_events, (unsigned long long)trace_dropped,
+                 trace_ok ? "true" : "false");
+  }
   std::fprintf(f, "    \"pass\": %s\n", pass ? "true" : "false");
   std::fprintf(f, "  }\n");
   std::fprintf(f, "}\n");
@@ -481,14 +547,18 @@ bool RunAll() {
       "%s: coalesced %.0f qps (p99 %.0f us) vs one-per "
       "%.0f qps (%.1fx); overload %.0f qps (%.0f%% retained, %llu shed, "
       "rss +%ld KB); accounting %s; obs ratio %.3f (baseline %.0f); "
-      "pass=%s\n",
+      "trace %zu events (%llu dropped) %s%s%s; pass=%s\n",
       wt::obs::kObsEnabled ? "BENCH_serving.json"
                            : "BENCH_serving_obs_off.json",
       coalesced.goodput_qps, coalesced.p99_us, baseline.goodput_qps, speedup,
       overload.goodput_qps, retained * 100,
       (unsigned long long)overload.shed, rss_growth_kb,
-      ok ? "balanced" : "VIOLATED", obs_ratio, obs_baseline_qps,
+      ok ? "balanced" : "VIOLATED", obs_ratio, obs_baseline_qps, trace_events,
+      (unsigned long long)trace_dropped, trace_ok ? "valid" : "INVALID: ",
+      trace_ok ? "" : trace_why.c_str(), wt::obs::kObsEnabled ? "" : " (off)",
       pass ? "yes" : "no");
+  engine.reset();
+  fs::remove_all(dir, ec);
   return pass;
 }
 

@@ -1,0 +1,51 @@
+// Fuzz target: the span-trace snapshot parser (obs/trace.hpp).
+//
+// The kTrace reply body crosses the same untrusted socket as every other
+// frame, and wt_trace parses saved .bin files from disk — so
+// ParseTraceSnapshot gets the full parser contract: never abort, never
+// read outside [data, data+size), never allocate unbounded memory from a
+// lying event_count, reject trailing bytes and non-canonical events
+// (unknown kind/name, nonzero reserved pad). On accept, the harness
+// re-serializes and re-parses: a parsed snapshot must round-trip
+// byte-identically, or the writer and parser have drifted.
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+#include "obs/trace.hpp"
+#include "fuzz_common.hpp"
+
+bool wt_fuzz_accepted = false;
+
+extern "C" int LLVMFuzzerTestOneInput(const uint8_t* data, size_t size) {
+  wt::obs::TraceSnapshot snap;
+  const bool ok = wt::obs::ParseTraceSnapshot(
+      reinterpret_cast<const char*>(data), size, &snap);
+  wt_fuzz_accepted = ok;
+  uint64_t sink = 0;
+  if (ok) {
+    // Touch everything an exporter would, so ASan sees any slip; the
+    // validator walks its own maps over every event too.
+    for (const auto& e : snap.events) {
+      sink += e.ts_ns + e.span_id + e.parent_id + e.arg + e.tid;
+      sink += static_cast<uint64_t>(
+          wt::obs::TraceNameString(static_cast<wt::obs::TraceName>(e.name))[0]);
+    }
+    std::string why;
+    sink += wt::obs::ValidateTraceSnapshot(snap, &why) ? 1 : why.size();
+    // Round trip: serialize what we parsed and parse it again. The second
+    // pass must accept and reproduce the same bytes (the parser rejects
+    // every non-canonical encoding, so accepted bytes are the serializer's
+    // own output format).
+    const std::string again = wt::obs::SerializeTraceSnapshot(snap);
+    wt::obs::TraceSnapshot snap2;
+    if (!wt::obs::ParseTraceSnapshot(again.data(), again.size(), &snap2) ||
+        wt::obs::SerializeTraceSnapshot(snap2) != again) {
+      __builtin_trap();  // writer/parser drift — a real format bug
+    }
+  }
+  volatile uint64_t keep = sink;
+  (void)keep;
+  return 0;
+}

@@ -1,6 +1,6 @@
 // Regenerates the committed seed corpora under fuzz/corpus/{image,wal,
-// envelope,frame}/ — run after any deliberate format change, never
-// silently.
+// envelope,frame,metrics,trace}/ — run after any deliberate format
+// change, never silently.
 //
 //   make_seed_corpus <repo-root>/fuzz/corpus
 //
@@ -28,6 +28,7 @@
 #include "net/frame.hpp"
 #include "obs/metrics.hpp"
 #include "obs/snapshot.hpp"
+#include "obs/trace.hpp"
 #include "storage/image.hpp"
 
 namespace fs = std::filesystem;
@@ -161,6 +162,36 @@ std::string MetricsSeed() {
   return wt::obs::SerializeMetricsSnapshot(reg.Snapshot());
 }
 
+// A hand-built span timeline through the live serializer: a freeze with a
+// nested compaction, a WAL fsync on another thread, and a pager-unmap
+// instant — the shape bench_serving's trace gate requires, with fixed
+// timestamps so regenerating the corpus must not churn the file.
+std::string TraceSeed() {
+  wt::obs::TraceSnapshot s;
+  auto ev = [&s](uint64_t ts, wt::obs::TraceKind k, wt::obs::TraceName n,
+                 uint64_t span, uint64_t parent, uint64_t arg, uint32_t tid) {
+    wt::obs::TraceWireEvent e;
+    e.ts_ns = ts;
+    e.span_id = span;
+    e.parent_id = parent;
+    e.arg = arg;
+    e.tid = tid;
+    e.kind = static_cast<uint8_t>(k);
+    e.name = static_cast<uint8_t>(n);
+    s.events.push_back(e);
+  };
+  using K = wt::obs::TraceKind;
+  using N = wt::obs::TraceName;
+  ev(1000, K::kBegin, N::kFreeze, 0x101, 0, 0, 2);
+  ev(2000, K::kBegin, N::kCompaction, 0x102, 0x101, 0, 2);
+  ev(3000, K::kEnd, N::kCompaction, 0x102, 0x101, 0, 2);
+  ev(4000, K::kEnd, N::kFreeze, 0x101, 0, 0, 2);
+  ev(5000, K::kBegin, N::kWalFsync, 0x103, 0, 1, 3);
+  ev(6000, K::kEnd, N::kWalFsync, 0x103, 0, 1, 3);
+  ev(7000, K::kInstant, N::kPagerUnmap, 0, 0, 4096, 3);
+  return wt::obs::SerializeTraceSnapshot(s);
+}
+
 std::string TinyEnvelopeSeed() {
   std::ostringstream out;
   wt::VersionedEnvelope::Write(out, /*magic=*/0x5754534551415031ull,
@@ -176,7 +207,8 @@ int main(int argc, char** argv) {
     return 2;
   }
   const fs::path root(argv[1]);
-  for (const char* d : {"image", "wal", "envelope", "frame", "metrics"}) {
+  for (const char* d :
+       {"image", "wal", "envelope", "frame", "metrics", "trace"}) {
     fs::create_directories(root / d);
   }
 
@@ -227,5 +259,16 @@ int main(int argc, char** argv) {
   // Truncated mid-entry: checksum/lengths must fail, never over-read.
   WriteFile(root / "metrics" / "raw-truncated.bin",
             metrics.substr(0, metrics.size() / 2));
+
+  const std::string trace = TraceSeed();
+  WriteFile(root / "trace" / "ok-span-timeline.bin", trace);
+  // Flip inside an event body: the FNV checksum must reject it.
+  WriteFile(root / "trace" / "corrupt-bodyflip.bin",
+            FlipByte(trace, trace.size() - 5));
+  // Flip inside the magic: rejected before the body is even hashed.
+  WriteFile(root / "trace" / "corrupt-magicflip.bin", FlipByte(trace, 2));
+  // Truncated mid-event: the exact-size check must fail, never over-read.
+  WriteFile(root / "trace" / "raw-truncated.bin",
+            trace.substr(0, trace.size() - 13));
   return 0;
 }

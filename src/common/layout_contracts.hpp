@@ -35,6 +35,7 @@
 #include "engine/wal.hpp"
 #include "net/frame.hpp"
 #include "obs/snapshot.hpp"
+#include "obs/trace.hpp"
 #include "storage/image.hpp"
 
 namespace wt::contracts {
@@ -223,6 +224,33 @@ WT_PIN_FIELD(wt::obs::MetricsSnapshotHeader, body_checksum, 16, 8);
 static_assert(wt::obs::kMetricsSnapshotMagic == 0x31585254454D5457ull);
 static_assert(wt::obs::kMetricsSnapshotVersion == 1);
 static_assert(static_cast<uint8_t>(wt::net::MsgType::kMetrics) == 9);
+
+// --------------------------------------- trace snapshot (obs/trace.hpp)
+//
+// The kTrace reply body: header plus a flat array of 40-byte events,
+// parsed as PODs by wt_trace and the fuzzer — same wire-contract status
+// as the metrics snapshot above.
+
+static_assert(PinnedLayout<wt::obs::TraceSnapshotHeader, 32, 8>());
+WT_PIN_FIELD(wt::obs::TraceSnapshotHeader, magic, 0, 8);
+WT_PIN_FIELD(wt::obs::TraceSnapshotHeader, version, 8, 4);
+WT_PIN_FIELD(wt::obs::TraceSnapshotHeader, event_count, 12, 4);
+WT_PIN_FIELD(wt::obs::TraceSnapshotHeader, dropped, 16, 8);
+WT_PIN_FIELD(wt::obs::TraceSnapshotHeader, body_checksum, 24, 8);
+
+static_assert(PinnedLayout<wt::obs::TraceWireEvent, 40, 8>());
+WT_PIN_FIELD(wt::obs::TraceWireEvent, ts_ns, 0, 8);
+WT_PIN_FIELD(wt::obs::TraceWireEvent, span_id, 8, 8);
+WT_PIN_FIELD(wt::obs::TraceWireEvent, parent_id, 16, 8);
+WT_PIN_FIELD(wt::obs::TraceWireEvent, arg, 24, 8);
+WT_PIN_FIELD(wt::obs::TraceWireEvent, tid, 32, 4);
+WT_PIN_FIELD(wt::obs::TraceWireEvent, kind, 36, 1);
+WT_PIN_FIELD(wt::obs::TraceWireEvent, name, 37, 1);
+WT_PIN_FIELD(wt::obs::TraceWireEvent, reserved, 38, 2);
+
+static_assert(wt::obs::kTraceSnapshotMagic == 0x3145434152545457ull);
+static_assert(wt::obs::kTraceSnapshotVersion == 1);
+static_assert(static_cast<uint8_t>(wt::net::MsgType::kTrace) == 10);
 
 // ------------------------------------------------ manifest (manifest.hpp)
 //

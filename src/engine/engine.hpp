@@ -69,7 +69,9 @@
 #include "engine/thread_pool.hpp"
 #include "engine/wal.hpp"
 #include "io/vfs.hpp"
+#include "obs/log.hpp"
 #include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "storage/image.hpp"
 #include "storage/pager.hpp"
 
@@ -242,6 +244,7 @@ class Engine {
         const uint64_t t0 = wt::obs::TimerStart();
         Status append_st = shards_[s].wal.Append(batch_id, touched, slice[s]);
         h_wal_append_us_->Record(wt::obs::ElapsedUs(t0));
+        h_wal_bytes_->Record(slice_bits[s] / 8);
         c_wal_appends_->Increment();
         if (Status st = std::move(append_st); !st.ok()) {
           // No memtable was touched yet; the partially-logged batch is
@@ -334,9 +337,11 @@ class Engine {
   /// safe: Append flushes them to the OS before the memtable is touched.)
   Status SyncWal() {
     wt::MutexLock lk(ingest_mu_);
-    for (auto& sh : shards_) {
+    for (size_t s = 0; s < shards_.size(); ++s) {
+      wt::obs::ScopedSpan span(wt::obs::Tracer::Get(),
+                               wt::obs::TraceName::kWalFsync, s);
       const uint64_t t0 = wt::obs::TimerStart();
-      Status st = sh.wal.SyncFile();
+      Status st = shards_[s].wal.SyncFile();
       h_wal_fsync_us_->Record(wt::obs::ElapsedUs(t0));
       c_wal_fsyncs_->Increment();
       if (!st.ok()) return st;
@@ -349,14 +354,21 @@ class Engine {
   /// policy already bounds stack depth during normal operation.
   Status Compact() {
     pool_->Drain();  // let queued freezes land first
+    // The coordinator span is the parent every per-shard merge links to
+    // (explicitly, across the pool boundary — the workers' own span
+    // stacks are empty).
+    wt::obs::ScopedSpan tier_span(wt::obs::Tracer::Get(),
+                                  wt::obs::TraceName::kTierMerge,
+                                  shards_.size());
+    const uint64_t tier_id = tier_span.id();
     for (size_t s = 0; s < shards_.size(); ++s) {
-      pool_->Submit(s, [this, s] {
+      pool_->Submit(s, [this, s, tier_id] {
         size_t count;
         {
           wt::MutexLock lk(shards_[s].publish_mu);
           count = shards_[s].entries.size();
         }
-        if (count >= 2) MergeTail(s, count);
+        if (count >= 2) MergeTail(s, count, tier_id);
       });
     }
     pool_->Drain();
@@ -426,13 +438,20 @@ class Engine {
     if constexpr (!wt::obs::kObsEnabled) return;
     uint64_t frozen = 0;
     int64_t segments = 0;
-    for (const auto& sh : shards_) {
-      auto view = sh.view.Load();
+    int64_t debt = 0;
+    for (size_t s = 0; s < shards_.size(); ++s) {
+      auto view = shards_[s].view.Load();
       frozen += view->total();
-      segments += static_cast<int64_t>(view->segments.size());
+      const int64_t n = static_cast<int64_t>(view->segments.size());
+      segments += n;
+      // Debt: segments beyond one per shard are pending merge work the
+      // tail-compaction loop still owes (DESIGN.md #13).
+      debt += std::max<int64_t>(0, n - 1);
+      g_shard_segments_[s]->Set(n);
     }
     g_frozen_strings_->Set(static_cast<int64_t>(frozen));
     g_segments_->Set(segments);
+    g_compaction_debt_->Set(debt);
     g_publish_epoch_->Set(
         static_cast<int64_t>(publish_epoch_.load(std::memory_order_acquire)));
     const uint64_t last = last_publish_ns_.load(std::memory_order_relaxed);
@@ -491,18 +510,23 @@ class Engine {
     h_compaction_ms_ = reg.GetHistogram("wt_engine_compaction_ms");
     h_wal_append_us_ = reg.GetHistogram("wt_wal_append_us");
     h_wal_fsync_us_ = reg.GetHistogram("wt_wal_fsync_us");
+    h_wal_bytes_ = reg.GetHistogram("wt_wal_append_bytes");
     g_freeze_queue_ = reg.GetGauge("wt_engine_freeze_queue_depth");
     g_segments_ = reg.GetGauge("wt_engine_segments");
+    g_compaction_debt_ = reg.GetGauge("wt_engine_compaction_debt");
     g_frozen_strings_ = reg.GetGauge("wt_engine_frozen_strings");
     g_epoch_age_ms_ = reg.GetGauge("wt_engine_snapshot_epoch_age_ms");
     g_publish_epoch_ = reg.GetGauge("wt_engine_publish_epoch");
     g_mem_strings_.reserve(shards_.size());
     g_mem_bytes_.reserve(shards_.size());
+    g_shard_segments_.reserve(shards_.size());
     for (size_t s = 0; s < shards_.size(); ++s) {
       const std::string label = "{shard=\"" + std::to_string(s) + "\"}";
       g_mem_strings_.push_back(
           reg.GetGauge("wt_engine_memtable_strings" + label));
       g_mem_bytes_.push_back(reg.GetGauge("wt_engine_memtable_bytes" + label));
+      g_shard_segments_.push_back(
+          reg.GetGauge("wt_engine_segments" + label));
     }
   }
 
@@ -577,6 +601,8 @@ class Engine {
     uint64_t floor_after = sh.wal_gen;
     uint64_t frozen_upto = 0;
     if (durable()) {
+      wt::obs::ScopedSpan rotate_span(wt::obs::Tracer::Get(),
+                                      wt::obs::TraceName::kWalRotate, s);
       // Everything this shard holds of batches below the current id is in
       // the departing memtable or older entries; once this entry is
       // durably saved, the manifest may publish the bound as
@@ -588,8 +614,12 @@ class Engine {
       // the manifest writer re-syncs the current generation and vetoes on
       // failure, and this closed file's records are additionally covered
       // by sync_wal when the caller asked for OS-crash durability.
-      if (Status st = sh.wal.SyncFile(); !st.ok()) {
-        RecordBackgroundError(st);
+      {
+        wt::obs::ScopedSpan fsync_span(wt::obs::Tracer::Get(),
+                                       wt::obs::TraceName::kWalFsync, s);
+        if (Status st = sh.wal.SyncFile(); !st.ok()) {
+          RecordBackgroundError(st);
+        }
       }
       sh.wal_gen += 1;
       floor_after = sh.wal_gen;
@@ -602,8 +632,12 @@ class Engine {
     }
     UpdateMemtableGaugesLocked(s);  // fresh (empty) memtable installed
     g_freeze_queue_->Add(1);
-    pool_->Submit(s, [this, s, mem, floor_after, frozen_upto] {
-      FreezeJob(s, mem, floor_after, frozen_upto);
+    // The freeze job nests under whatever span scheduled it (a serving
+    // engine-batch span when ingest triggered the rotation) — captured
+    // here, carried through the closure across the pool boundary.
+    const uint64_t parent_span = wt::obs::Tracer::Get().CurrentSpan();
+    pool_->Submit(s, [this, s, mem, floor_after, frozen_upto, parent_span] {
+      FreezeJob(s, mem, floor_after, frozen_upto, parent_span);
       g_freeze_queue_->Add(-1);
     });
   }
@@ -615,7 +649,13 @@ class Engine {
   /// size-tiered policy compact the tail. Jobs of one shard run FIFO on
   /// one pool stripe, so stack mutations here need no cross-job ordering.
   void FreezeJob(size_t s, std::shared_ptr<Memtable> mem, uint64_t floor_after,
-                 uint64_t frozen_upto) {
+                 uint64_t frozen_upto, uint64_t parent_span = 0) {
+    // The freeze span stays open across the tail-compaction loop below,
+    // so those MergeTail runs nest under it implicitly (same thread) —
+    // the parentage `wt_trace --validate` asserts.
+    wt::obs::ScopedSpan freeze_span(wt::obs::Tracer::Get(),
+                                    wt::obs::TraceName::kFreeze, parent_span,
+                                    s);
     const uint64_t t0 = wt::obs::TimerStart();
     engine::Shard<Codec>& sh = shards_[s];
     if (durable()) RetryUnsavedSegments(s);
@@ -653,6 +693,10 @@ class Engine {
     if (durable() && PersistManifest().ok()) CleanWal(s);
     h_freeze_ms_->Record(wt::obs::ElapsedMs(t0));
     c_freezes_->Increment();
+    WT_LOG(wt::obs::LogLevel::kInfo, "freeze_done", wt::obs::KV("shard", s),
+           wt::obs::KV("strings", seg->size()),
+           wt::obs::KV("saved", saved),
+           wt::obs::KV("ms", wt::obs::ElapsedMs(t0)));
     // Size-tiered tail compaction: merge while the penultimate segment is
     // within ratio of the last, so segment sizes decay geometrically.
     for (;;) {
@@ -702,7 +746,14 @@ class Engine {
   /// order: enumerate each segment's encoded strings (one Rank per trie
   /// node total), concatenate, BulkBuild. Runs on the shard's pool stripe;
   /// the publish lock is held only to swap stacks, not during the build.
-  bool MergeTail(size_t s, size_t k) {
+  /// `parent_span` links a pool-worker merge to the Compact() coordinator
+  /// span; 0 (the FreezeJob path) nests under the caller's open freeze
+  /// span via the thread-local stack.
+  bool MergeTail(size_t s, size_t k, uint64_t parent_span = 0) {
+    wt::obs::Tracer& tracer = wt::obs::Tracer::Get();
+    wt::obs::ScopedSpan compaction_span(
+        tracer, wt::obs::TraceName::kCompaction,
+        parent_span != 0 ? parent_span : tracer.CurrentSpan(), s);
     const uint64_t t0 = wt::obs::TimerStart();
     engine::Shard<Codec>& sh = shards_[s];
     std::vector<typename engine::Shard<Codec>::Entry> victims;
@@ -862,6 +913,9 @@ class Engine {
   /// manifest no longer needs only when the write succeeded — on failure
   /// the previous manifest stays authoritative and still references them.
   Status PersistManifest() {
+    wt::obs::ScopedSpan span(wt::obs::Tracer::Get(),
+                             wt::obs::TraceName::kManifestPersist,
+                             shards_.size());
     wt::MutexLock mlk(manifest_mu_);
     engine::Manifest m;
     m.num_shards = static_cast<uint32_t>(shards_.size());
@@ -896,8 +950,10 @@ class Engine {
     // the previous one stays authoritative and promises nothing new.
     {
       wt::MutexLock ilk(ingest_mu_);
-      for (auto& sh : shards_) {
-        if (Status st = sh.wal.SyncFile(); !st.ok()) {
+      for (size_t s = 0; s < shards_.size(); ++s) {
+        wt::obs::ScopedSpan fsync_span(wt::obs::Tracer::Get(),
+                                       wt::obs::TraceName::kWalFsync, s);
+        if (Status st = shards_[s].wal.SyncFile(); !st.ok()) {
           RecordBackgroundError(st);
           return st;
         }
@@ -919,6 +975,9 @@ class Engine {
       from = shards_[s].wal_cleaned;
       to = shards_[s].wal_floor;
     }
+    wt::obs::ScopedSpan span(wt::obs::Tracer::Get(),
+                             wt::obs::TraceName::kWalClean,
+                             to > from ? to - from : 0);
     for (uint64_t gen = from; gen < to; ++gen) {
       // Best-effort, no directory fsync: a deletion that un-happens after
       // a crash only leaves a stale generation below the floor, which
@@ -1128,6 +1187,17 @@ class Engine {
     // already in segments. Were a dropped batch left behind, it would
     // resurface complete on the next recovery and shadow — or render
     // unsalvageable — batches acknowledged after this open.
+    std::optional<wt::obs::ScopedSpan> salvage_span;
+    if (salvaged) {
+      // The settle below (freezes + WAL generation deletion) runs under a
+      // salvage span so a trace of a degraded open shows the repair work;
+      // the log line is the durable breadcrumb that data past the cut was
+      // dropped.
+      salvage_span.emplace(wt::obs::Tracer::Get(),
+                           wt::obs::TraceName::kSalvage, cut);
+      WT_LOG(wt::obs::LogLevel::kWarn, "wal_salvage",
+             wt::obs::KV("cut", cut), wt::obs::KV("total", plan->total));
+    }
     {
       wt::MutexLock lk(ingest_mu_);
       const uint64_t rotate_at = salvaged ? 1 : opt_.memtable_limit;
@@ -1151,6 +1221,8 @@ class Engine {
   }
 
   void RecordBackgroundError(const Status& st) {
+    WT_LOG(wt::obs::LogLevel::kError, "background_error",
+           wt::obs::KV("message", st.message()));
     wt::MutexLock lk(bg_error_mu_);
     if (bg_error_.ok()) bg_error_ = st;
   }
@@ -1172,13 +1244,16 @@ class Engine {
   wt::obs::Histogram* h_compaction_ms_ = nullptr;
   wt::obs::Histogram* h_wal_append_us_ = nullptr;
   wt::obs::Histogram* h_wal_fsync_us_ = nullptr;
+  wt::obs::Histogram* h_wal_bytes_ = nullptr;
   wt::obs::Gauge* g_freeze_queue_ = nullptr;
   wt::obs::Gauge* g_segments_ = nullptr;
+  wt::obs::Gauge* g_compaction_debt_ = nullptr;
   wt::obs::Gauge* g_frozen_strings_ = nullptr;
   wt::obs::Gauge* g_epoch_age_ms_ = nullptr;
   wt::obs::Gauge* g_publish_epoch_ = nullptr;
   std::vector<wt::obs::Gauge*> g_mem_strings_;
   std::vector<wt::obs::Gauge*> g_mem_bytes_;
+  std::vector<wt::obs::Gauge*> g_shard_segments_;
   // Segment blob cache: one live mapping per file however many snapshots
   // pin it; weak entries, so the pager never delays an unmap.
   wt::storage::Pager pager_;

@@ -60,12 +60,14 @@ enum class MsgType : uint8_t {
   kStats = 8,        // server counters; served inline on the I/O thread
   kMetrics = 9,      // serialized metrics snapshot (obs/snapshot.hpp);
                      // served inline on the I/O thread
+  kTrace = 10,       // serialized span-trace snapshot (obs/trace.hpp);
+                     // served inline on the I/O thread
 };
 inline constexpr uint8_t kResponseBit = 0x80;
 
 inline bool IsKnownRequestType(uint8_t t) {
   return t >= static_cast<uint8_t>(MsgType::kPing) &&
-         t <= static_cast<uint8_t>(MsgType::kMetrics);
+         t <= static_cast<uint8_t>(MsgType::kTrace);
 }
 
 /// First byte of every response payload. The wire status is deliberately
@@ -292,6 +294,7 @@ inline bool DecodeRequest(MsgType type, const std::string& payload,
     case MsgType::kPing:
     case MsgType::kStats:
     case MsgType::kMetrics:
+    case MsgType::kTrace:
       return r.AtEnd();
     case MsgType::kAccess: {
       uint32_t n = 0;

@@ -66,6 +66,7 @@
 #include "obs/metrics.hpp"
 #include "obs/slow_ring.hpp"
 #include "obs/snapshot.hpp"
+#include "obs/trace.hpp"
 
 namespace wt::net {
 
@@ -448,6 +449,16 @@ class Server {
         ReplyInline(c, f.header, WireStatus::kOk, &body);
         continue;
       }
+      if (type == MsgType::kTrace) {
+        // The process-wide span timeline: engine background jobs, pager
+        // activity and dispatcher batches all land in one snapshot, so
+        // the ids cross-link (slow_ring.trace_id -> engine-batch span).
+        PayloadWriter body;
+        body.Str(wt::obs::SerializeTraceSnapshot(
+            wt::obs::Tracer::Get().Snapshot()));
+        ReplyInline(c, f.header, WireStatus::kOk, &body);
+        continue;
+      }
       PendingRequest req;
       if (!DecodeRequest(type, f.payload, &req.body)) {
         // Checksum-valid frame, malformed payload: the stream framing is
@@ -661,7 +672,21 @@ class Server {
     }
     if (!batch.empty()) {
       const uint64_t t0 = clock_->NowNanos();
+      // One span per coalesced batch (arg = batch size). Engine work the
+      // batch triggers synchronously (WAL append/fsync on the dispatcher
+      // thread) nests under it via the thread-local span stack; the id
+      // lands in every slow_ring record this batch produced, which is
+      // the slow-request -> trace timeline join wt_top renders.
+      uint64_t batch_span = 0;
+      if constexpr (wt::obs::kObsEnabled) {
+        batch_span = wt::obs::Tracer::Get().SpanBegin(
+            wt::obs::TraceName::kEngineBatch, batch.size());
+      }
       ExecuteCoalesced(batch);
+      if constexpr (wt::obs::kObsEnabled) {
+        wt::obs::Tracer::Get().SpanEnd(
+            batch_span, wt::obs::TraceName::kEngineBatch, batch.size());
+      }
       const uint64_t t1 = clock_->NowNanos();
       // EWMA feed: execution cost only (queue wait excluded), split evenly
       // across the batch — what one more queued request costs to serve.
@@ -678,7 +703,7 @@ class Server {
           if (t1 - req.enqueued_ns >= slow_ring_.threshold_ns()) {
             slow_ring_.MaybeRecord({req.conn_id, req.request_id, req.type,
                                     req.enqueued_ns, req.dequeued_ns, t1,
-                                    t1 - req.enqueued_ns});
+                                    t1 - req.enqueued_ns, batch_span});
           }
         }
         if (req.deadline_ns != 0 && t1 >= req.deadline_ns) {

@@ -1,0 +1,363 @@
+// Structured async logging (DESIGN.md #13).
+//
+// One line per event, `key=value` fields, machine-splittable:
+//
+//   ts=171234 level=info event=freeze_done shard=2 ms=14
+//
+// Design constraints, in order:
+//
+//   * Emitting a line never blocks the emitter on I/O: lines go into a
+//     bounded in-memory queue and a background flusher writes them. A
+//     full queue DROPS (counted), it never stalls a compaction to wait
+//     for a disk.
+//   * All file I/O goes through the io::Vfs seam, so FaultVfs crash/
+//     fault tests cover the logger like they cover the WAL: a test can
+//     fail the Nth append and assert the logger degrades to counting.
+//   * Per-site rate limiting: each WT_LOG call site owns a static
+//     LogSite window; a site that fires faster than the window allows is
+//     suppressed (counted) and the NEXT line from that site carries
+//     `suppressed=N`, so floods show up as one line saying how big the
+//     flood was.
+//
+// Like every obs write path, emission compiles out under WT_OBS_OFF.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <initializer_list>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <thread>
+#include <type_traits>
+#include <utility>
+#include <vector>
+
+#include "common/thread_annotations.hpp"
+#include "io/vfs.hpp"
+#include "obs/metrics.hpp"
+
+namespace wt::obs {
+
+enum class LogLevel : uint8_t {
+  kDebug = 0,
+  kInfo = 1,
+  kWarn = 2,
+  kError = 3,
+};
+
+inline const char* LogLevelString(LogLevel l) {
+  switch (l) {
+    case LogLevel::kDebug: return "debug";
+    case LogLevel::kInfo: return "info";
+    case LogLevel::kWarn: return "warn";
+    case LogLevel::kError: return "error";
+  }
+  return "?";
+}
+
+/// One rendered field. Build with the KV() helpers; values are formatted
+/// eagerly (logging is background-path only, never serving hot path).
+struct LogKV {
+  std::string_view key;
+  std::string value;
+};
+
+inline LogKV KV(std::string_view k, std::string v) {
+  return {k, std::move(v)};
+}
+inline LogKV KV(std::string_view k, std::string_view v) {
+  return {k, std::string(v)};
+}
+inline LogKV KV(std::string_view k, const char* v) {
+  return {k, std::string(v)};
+}
+template <typename T,
+          std::enable_if_t<std::is_integral_v<T> && !std::is_same_v<T, bool>,
+                           int> = 0>
+inline LogKV KV(std::string_view k, T v) {
+  return {k, std::to_string(v)};
+}
+inline LogKV KV(std::string_view k, bool v) {
+  return {k, v ? "true" : "false"};
+}
+
+/// Per-call-site rate-limit state; one static instance per WT_LOG site.
+struct LogSite {
+  std::atomic<uint64_t> window_start_ns{0};
+  std::atomic<uint32_t> emitted_in_window{0};
+  std::atomic<uint64_t> suppressed{0};
+};
+
+/// The async structured logger. Instantiable for tests; production call
+/// sites share Logger::Get(). Safe to log before Configure(): lines
+/// buffer in memory (up to the queue bound) and flush once a sink exists.
+class Logger {
+ public:
+  struct Options {
+    std::string path;
+    /// Null uses the real filesystem. Tests inject FaultVfs here.
+    wt::io::Vfs* vfs = nullptr;
+    /// Queue bound in lines; beyond it lines drop (counted).
+    size_t max_queue_lines = 4096;
+    /// Per-site rate limit: at most `site_max_per_window` lines from one
+    /// WT_LOG site per window.
+    uint32_t site_window_ms = 1000;
+    uint32_t site_max_per_window = 32;
+    LogLevel min_level = LogLevel::kInfo;
+  };
+
+  Logger() = default;
+  ~Logger() { Shutdown(); }
+  Logger(const Logger&) = delete;
+  Logger& operator=(const Logger&) = delete;
+
+  static Logger& Get() {
+    static Logger logger;
+    return logger;
+  }
+
+  /// Opens the sink (append mode: restarts extend, never clobber) and
+  /// starts the flusher. Idempotent per process run in practice; calling
+  /// again replaces the sink.
+  wtrie::Status Configure(Options opt) WT_EXCLUDES(mu_) {
+    Shutdown();
+    wt::io::Vfs* vfs =
+        opt.vfs != nullptr ? opt.vfs : &wt::io::RealVfs::Instance();
+    wtrie::Result<std::unique_ptr<wt::io::VfsFile>> file =
+        vfs->OpenWrite(opt.path, /*truncate=*/false);
+    if (!file.ok()) return file.status();
+    {
+      wt::MutexLock lock(mu_);
+      file_ = std::move(*file);
+      max_queue_lines_ = opt.max_queue_lines;
+      stop_ = false;
+    }
+    site_window_ns_.store(uint64_t{opt.site_window_ms} * 1000000,
+                          std::memory_order_relaxed);
+    site_max_per_window_.store(opt.site_max_per_window,
+                               std::memory_order_relaxed);
+    min_level_.store(static_cast<uint8_t>(opt.min_level),
+                     std::memory_order_relaxed);
+    flusher_ = std::thread([this] { FlusherLoop(); });
+    return wtrie::Status::Ok();
+  }
+
+  /// Drains the queue, syncs, closes the sink, joins the flusher.
+  /// Idempotent; also the destructor path.
+  void Shutdown() WT_EXCLUDES(mu_) {
+    {
+      wt::MutexLock lock(mu_);
+      stop_ = true;
+    }
+    cv_.NotifyAll();
+    if (flusher_.joinable()) flusher_.join();
+    wt::MutexLock lock(mu_);
+    if (file_ != nullptr) {
+      (void)file_->Close();
+      file_ = nullptr;
+    }
+  }
+
+  /// Blocks until every line enqueued before the call reached the sink
+  /// and was synced (or was dropped/failed, counted). Test seam.
+  void Flush() WT_EXCLUDES(mu_) {
+    cv_.NotifyAll();
+    wt::MutexLock lock(mu_);
+    while (file_ != nullptr && (!queue_.empty() || flushing_)) {
+      idle_cv_.Wait(mu_);
+    }
+  }
+
+  uint64_t dropped() const {
+    return dropped_.load(std::memory_order_relaxed);
+  }
+  uint64_t suppressed() const {
+    return suppressed_.load(std::memory_order_relaxed);
+  }
+  uint64_t write_errors() const {
+    return write_errors_.load(std::memory_order_relaxed);
+  }
+  uint64_t emitted() const {
+    return emitted_.load(std::memory_order_relaxed);
+  }
+
+  /// The WT_LOG entry point: rate-limited through `site`.
+  void LogAt(LogSite& site, LogLevel level, std::string_view event,
+             std::initializer_list<LogKV> fields) {
+#if !defined(WT_OBS_OFF)
+    if (static_cast<uint8_t>(level) <
+        min_level_.load(std::memory_order_relaxed)) {
+      return;
+    }
+    const uint64_t now = NowNanos();
+    const uint64_t window = site_window_ns_.load(std::memory_order_relaxed);
+    uint64_t carried_suppressed = 0;
+    uint64_t start = site.window_start_ns.load(std::memory_order_relaxed);
+    if (now - start >= window) {
+      // One winner rolls the window; its line carries the flood count.
+      if (site.window_start_ns.compare_exchange_strong(
+              start, now, std::memory_order_relaxed)) {
+        site.emitted_in_window.store(0, std::memory_order_relaxed);
+        carried_suppressed =
+            site.suppressed.exchange(0, std::memory_order_relaxed);
+      }
+    }
+    if (site.emitted_in_window.fetch_add(1, std::memory_order_relaxed) >=
+        site_max_per_window_.load(std::memory_order_relaxed)) {
+      site.suppressed.fetch_add(1, std::memory_order_relaxed);
+      suppressed_.fetch_add(1, std::memory_order_relaxed);
+      return;
+    }
+    Emit(now, level, event, fields, carried_suppressed);
+#else
+    (void)site;
+    (void)level;
+    (void)event;
+    (void)fields;
+#endif
+  }
+
+  /// Unlimited variant for rare, must-see lines (startup, recovery).
+  void Log(LogLevel level, std::string_view event,
+           std::initializer_list<LogKV> fields) {
+#if !defined(WT_OBS_OFF)
+    if (static_cast<uint8_t>(level) <
+        min_level_.load(std::memory_order_relaxed)) {
+      return;
+    }
+    Emit(NowNanos(), level, event, fields, 0);
+#else
+    (void)level;
+    (void)event;
+    (void)fields;
+#endif
+  }
+
+ private:
+  void Emit(uint64_t ts_ns, LogLevel level, std::string_view event,
+            std::initializer_list<LogKV> fields, uint64_t carried_suppressed)
+      WT_EXCLUDES(mu_) {
+    std::string line;
+    line.reserve(64);
+    line.append("ts=");
+    line.append(std::to_string(ts_ns));
+    line.append(" level=");
+    line.append(LogLevelString(level));
+    line.append(" event=");
+    AppendValue(line, event);
+    if (carried_suppressed != 0) {
+      line.append(" suppressed=");
+      line.append(std::to_string(carried_suppressed));
+    }
+    for (const LogKV& kv : fields) {
+      line.push_back(' ');
+      line.append(kv.key);
+      line.push_back('=');
+      AppendValue(line, kv.value);
+    }
+    line.push_back('\n');
+    bool notify = false;
+    {
+      wt::MutexLock lock(mu_);
+      if (queue_.size() >= max_queue_lines_) {
+        dropped_.fetch_add(1, std::memory_order_relaxed);
+      } else {
+        queue_.push_back(std::move(line));
+        notify = file_ != nullptr;
+      }
+    }
+    emitted_.fetch_add(1, std::memory_order_relaxed);
+    if (notify) cv_.NotifyOne();
+  }
+
+  /// Values containing separators are quoted; quotes and backslashes are
+  /// backslash-escaped, so a line always splits on unquoted spaces.
+  static void AppendValue(std::string& out, std::string_view v) {
+    const bool quote =
+        v.find_first_of(" \"=\n\\") != std::string_view::npos || v.empty();
+    if (!quote) {
+      out.append(v);
+      return;
+    }
+    out.push_back('"');
+    for (char c : v) {
+      if (c == '"' || c == '\\') out.push_back('\\');
+      if (c == '\n') {
+        out.append("\\n");
+        continue;
+      }
+      out.push_back(c);
+    }
+    out.push_back('"');
+  }
+
+  void FlusherLoop() WT_EXCLUDES(mu_) {
+    std::vector<std::string> batch;
+    for (;;) {
+      batch.clear();
+      {
+        wt::MutexLock lock(mu_);
+        while (queue_.empty() && !stop_) cv_.Wait(mu_);
+        if (queue_.empty() && stop_) return;
+        batch.swap(queue_);
+        flushing_ = true;
+      }
+      bool wrote = false;
+      for (const std::string& line : batch) {
+        wt::MutexLock lock(mu_);
+        if (file_ == nullptr) break;
+        if (file_->Append(line.data(), line.size()).ok()) {
+          wrote = true;
+        } else {
+          write_errors_.fetch_add(1, std::memory_order_relaxed);
+        }
+      }
+      {
+        wt::MutexLock lock(mu_);
+        // One sync per drained batch: durability amortized across the
+        // batch, never per line.
+        if (wrote && file_ != nullptr && !file_->Sync().ok()) {
+          write_errors_.fetch_add(1, std::memory_order_relaxed);
+        }
+        flushing_ = false;
+      }
+      idle_cv_.NotifyAll();
+    }
+  }
+
+  mutable wt::Mutex mu_;
+  wt::CondVar cv_;       // lines arrived / stop requested
+  wt::CondVar idle_cv_;  // queue drained and batch synced
+  std::vector<std::string> queue_ WT_GUARDED_BY(mu_);
+  std::unique_ptr<wt::io::VfsFile> file_ WT_GUARDED_BY(mu_);
+  size_t max_queue_lines_ WT_GUARDED_BY(mu_) = 4096;
+  bool stop_ WT_GUARDED_BY(mu_) = false;
+  bool flushing_ WT_GUARDED_BY(mu_) = false;
+  std::atomic<uint64_t> site_window_ns_{1000000000};
+  std::atomic<uint32_t> site_max_per_window_{32};
+  std::atomic<uint8_t> min_level_{static_cast<uint8_t>(LogLevel::kDebug)};
+  std::atomic<uint64_t> dropped_{0};
+  std::atomic<uint64_t> suppressed_{0};
+  std::atomic<uint64_t> write_errors_{0};
+  std::atomic<uint64_t> emitted_{0};
+  std::thread flusher_;
+};
+
+/// Structured log macro: `WT_LOG(LogLevel::kInfo, "freeze_done",
+/// KV("shard", s), KV("ms", ms))`. The static site state gives each call
+/// site its own rate-limit window. Compiles to nothing under WT_OBS_OFF.
+#if !defined(WT_OBS_OFF)
+#define WT_LOG(level, event, ...)                                   \
+  do {                                                              \
+    static ::wt::obs::LogSite wt_log_site_;                         \
+    ::wt::obs::Logger::Get().LogAt(wt_log_site_, (level), (event),  \
+                                   {__VA_ARGS__});                  \
+  } while (0)
+#else
+#define WT_LOG(level, event, ...) \
+  do {                            \
+  } while (0)
+#endif
+
+}  // namespace wt::obs

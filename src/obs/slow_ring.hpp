@@ -31,6 +31,11 @@ struct SlowRequestRecord {
   uint64_t dequeued_ns = 0;
   uint64_t done_ns = 0;   // reply encoded and posted for flush
   uint64_t total_ns = 0;  // done - enqueued
+  // Span id of the slowest stage this request sat in (the coalesced
+  // engine-batch span that executed it), so wt_top can join a slow
+  // request to the trace timeline and show WHY it was slow. 0 when
+  // tracing saw nothing.
+  uint64_t trace_id = 0;
 };
 
 class SlowRequestRing {

@@ -31,6 +31,7 @@
 #include "common/assert.hpp"
 #include "common/thread_annotations.hpp"
 #include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 
 #if defined(__unix__) || defined(__APPLE__)
 #define WT_STORAGE_HAS_MMAP 1
@@ -192,10 +193,11 @@ class Pager {
     /// outlive the pager (the engine owns both).
     BlobSource* source = nullptr;
     /// Optional instrumentation (DESIGN.md #12): wt_pager_maps_total,
-    /// wt_pager_map_cache_hits_total, wt_pager_unmaps_total. Shared
-    /// ownership on purpose — unmaps are counted when the last snapshot
-    /// pinning a blob drops it, which can be after the engine (and its
-    /// registry handle) is gone.
+    /// wt_pager_map_cache_hits_total, wt_pager_unmaps_total, plus the
+    /// wt_pager_mapped_bytes gauge (DESIGN.md #13). Shared ownership on
+    /// purpose — unmaps are counted (and mapped bytes released) when the
+    /// last snapshot pinning a blob drops it, which can be after the
+    /// engine (and its registry handle) is gone.
     std::shared_ptr<wt::obs::MetricsRegistry> metrics;
   };
 
@@ -205,6 +207,7 @@ class Pager {
       maps_ = opt_.metrics->GetCounter("wt_pager_maps_total");
       cache_hits_ = opt_.metrics->GetCounter("wt_pager_map_cache_hits_total");
       unmaps_ = opt_.metrics->GetCounter("wt_pager_unmaps_total");
+      mapped_bytes_ = opt_.metrics->GetGauge("wt_pager_mapped_bytes");
     }
   }
 
@@ -220,17 +223,28 @@ class Pager {
         cache_.erase(it);
       }
     }
+    // A span per fresh mapping (cache hits stay silent — they touch no
+    // kernel state). End arg = mapped size; the advise instant records
+    // which residency hint the mapping was opened with.
+    wt::obs::ScopedSpan map_span(wt::obs::Tracer::Get(),
+                                 wt::obs::TraceName::kPagerMap);
     std::shared_ptr<const Blob> blob =
         opt_.source != nullptr
             ? opt_.source->MapOrRead(path, opt_.prefer_mmap, opt_.advise, err)
             : MapFileBlob(path, opt_.prefer_mmap, opt_.advise, err);
     if (blob != nullptr) {
+      map_span.SetEndArg(blob->size());
+      wt::obs::Tracer::Get().Instant(wt::obs::TraceName::kPagerAdvise,
+                                     static_cast<uint64_t>(opt_.advise));
       if (maps_ != nullptr) {
         maps_->Increment();
+        if (mapped_bytes_ != nullptr) {
+          mapped_bytes_->Add(static_cast<int64_t>(blob->size()));
+        }
         // The wrapper counts the unmap when the last pin drops; caching
         // the wrapper (not the inner blob) keeps one count per mapping.
         blob = std::make_shared<TrackedBlob>(std::move(blob), opt_.metrics,
-                                             unmaps_);
+                                             unmaps_, mapped_bytes_);
       }
       wt::MutexLock lk(mu_);
       cache_[path] = blob;
@@ -254,35 +268,44 @@ class Pager {
   }
 
  private:
-  /// Forwards to an inner blob and bumps the unmap counter on destruction.
-  /// Holds the registry shared_ptr so the counter stays valid even when a
-  /// long-lived snapshot outlives the pager that mapped the file.
+  /// Forwards to an inner blob; on destruction bumps the unmap counter,
+  /// releases the mapped-bytes gauge, and drops an unmap instant on the
+  /// trace timeline. Holds the registry shared_ptr so the instruments stay
+  /// valid even when a long-lived snapshot outlives the pager that mapped
+  /// the file.
   class TrackedBlob final : public Blob {
    public:
     TrackedBlob(std::shared_ptr<const Blob> inner,
                 std::shared_ptr<wt::obs::MetricsRegistry> keepalive,
-                wt::obs::Counter* unmaps)
+                wt::obs::Counter* unmaps, wt::obs::Gauge* mapped_bytes)
         : inner_(std::move(inner)),
           keepalive_(std::move(keepalive)),
-          unmaps_(unmaps) {
+          unmaps_(unmaps),
+          mapped_bytes_(mapped_bytes) {
       data_ = inner_->data();
       size_ = inner_->size();
       mapped_ = inner_->mapped();
     }
     ~TrackedBlob() override {
       if (unmaps_ != nullptr) unmaps_->Increment();
+      if (mapped_bytes_ != nullptr) {
+        mapped_bytes_->Add(-static_cast<int64_t>(size_));
+      }
+      wt::obs::Tracer::Get().Instant(wt::obs::TraceName::kPagerUnmap, size_);
     }
 
    private:
     std::shared_ptr<const Blob> inner_;
     std::shared_ptr<wt::obs::MetricsRegistry> keepalive_;
     wt::obs::Counter* unmaps_;
+    wt::obs::Gauge* mapped_bytes_;
   };
 
   Options opt_;
   wt::obs::Counter* maps_ = nullptr;
   wt::obs::Counter* cache_hits_ = nullptr;
   wt::obs::Counter* unmaps_ = nullptr;
+  wt::obs::Gauge* mapped_bytes_ = nullptr;
   mutable wt::Mutex mu_;
   std::unordered_map<std::string, std::weak_ptr<const Blob>> cache_
       WT_GUARDED_BY(mu_);

@@ -43,6 +43,12 @@ compiler flag can express:
                     (epochs, ids, flags) take a waiver stating they are
                     not telemetry. atomic<bool> is exempt (a flag, never
                     a counter).
+  raw-stderr        fprintf(stderr, ...) outside the structured logger
+                    (src/obs/log.hpp). Library code must report through
+                    WT_LOG so events come out as bounded, rate-limited
+                    key=value lines on the Vfs seam, not interleaved
+                    free-text on a shared stream. Crash-path diagnostics
+                    that must survive a broken logger take a waiver.
 
 Waivers: append `// wt-lint: allow(<rule>)` to the offending line, with a
 reason. Use sparingly; CI reviews every new waiver.
@@ -169,6 +175,11 @@ RAW_MUTEX_PATTERN = re.compile(
 
 TSA_ESCAPE_ALLOWED = {"src/common/thread_annotations.hpp"}
 
+# The async logger is the one place allowed to write raw stderr (its own
+# last-resort path); everything else goes through WT_LOG.
+RAW_STDERR_ALLOWED = {"src/obs/log.hpp"}
+RAW_STDERR_PATTERN = re.compile(r"\b(?:std::\s*)?fprintf\s*\(\s*stderr\b")
+
 # The obs layer IS the sanctioned home for atomic counters; everything else
 # either registers an instrument or waives with a sequencing rationale.
 BARE_ATOMIC_ALLOWED_PREFIX = "src/obs/"
@@ -211,6 +222,9 @@ RULES = {
     "bare-atomic-counter":
         "integer std::atomic outside src/obs/ (use the MetricsRegistry, "
         "or waive as sequencing state)",
+    "raw-stderr":
+        "fprintf(stderr) outside the structured logger (use WT_LOG, "
+        "or waive for crash-path diagnostics)",
 }
 
 
@@ -300,6 +314,12 @@ def lint_file(root: pathlib.Path, path: pathlib.Path) -> list[Finding]:
             report(m.start(), "tsa-escape",
                    "escape hatch from the locking proof; waive with a "
                    "reason if genuinely inexpressible")
+
+    if rel not in RAW_STDERR_ALLOWED:
+        for m in RAW_STDERR_PATTERN.finditer(stripped):
+            report(m.start(), "raw-stderr",
+                   "raw stderr write: structured events go through WT_LOG "
+                   "(obs/log.hpp); waive only for crash-path diagnostics")
 
     if not rel.startswith(BARE_ATOMIC_ALLOWED_PREFIX):
         for m in BARE_ATOMIC_PATTERN.finditer(stripped):

@@ -7,7 +7,7 @@
 // engine batch, reply flush, end-to-end).
 //
 //   wt_top --port N [--interval-ms 1000] [--iterations 0] [--plain]
-//          [--require-stages]
+//          [--require-stages] [--pane=serving|background|all]
 //
 //   --iterations 0     poll forever (Ctrl-C to quit); N polls otherwise
 //   --plain            no screen clearing — append one block per poll
@@ -16,6 +16,12 @@
 //                      reply-flush histograms all have samples by the
 //                      final poll — the smoke check that tracing is
 //                      actually wired through a live daemon
+//   --pane             which panel(s) to render (default all): "serving"
+//                      is the request-side view (admission, coalescing,
+//                      stage histograms); "background" is the engine's
+//                      own work — compaction debt, per-shard segment
+//                      stacks, WAL append bytes + fsync latency, pager
+//                      mapped bytes (DESIGN.md #13)
 //
 // Reconnects on every poll, so a daemon restart mid-watch shows up as one
 // failed poll, not a dead tool.
@@ -24,6 +30,7 @@
 #include <cstdio>
 #include <cstring>
 #include <string>
+#include <string_view>
 #include <thread>
 
 #if defined(__linux__)
@@ -117,17 +124,9 @@ Totals TotalsOf(const MetricsSnapshot& s) {
   return t;
 }
 
-void Render(const MetricsSnapshot& s, const Totals& prev, double dt_s,
-            uint16_t port, uint64_t poll, bool plain) {
-  if (!plain) std::printf("\x1b[H\x1b[2J");
-  const Totals cur = TotalsOf(s);
-  const double qps =
-      dt_s > 0 ? static_cast<double>(cur.completed - prev.completed) / dt_s
-               : 0.0;
-  const double shed_ps =
-      dt_s > 0 ? static_cast<double>(cur.shed - prev.shed) / dt_s : 0.0;
-  std::printf("wt_top — port %u, poll %" PRIu64 "\n\n", port, poll);
-  std::printf("  qps (completed)   %12.1f      shed/s %10.1f\n", qps, shed_ps);
+enum class Pane { kServing, kBackground, kAll };
+
+void RenderServing(const MetricsSnapshot& s, const Totals& cur) {
   std::printf("  admission         %" PRIu64 " offered, %" PRIu64
               " admitted, %" PRIu64 " shed, %" PRIu64 " expired\n",
               CounterOr0(s, "wt_admission_offered_total"), cur.admitted,
@@ -172,6 +171,65 @@ void Render(const MetricsSnapshot& s, const Totals& prev, double dt_s,
   PrintStageRow(s, "total", "wt_serving_total_us", true);
   PrintStageRow(s, "batch_size", "wt_serving_batch_size", false);
   PrintStageRow(s, "wal_append", "wt_wal_append_us", true);
+}
+
+/// The engine's own work: what it owes (compaction debt, per-shard stack
+/// heights), what the WAL is costing (append bytes, fsync tail), and what
+/// the pager holds mapped. The trace timeline (wt_trace) shows WHEN this
+/// work ran; this panel shows HOW MUCH is outstanding right now.
+void RenderBackground(const MetricsSnapshot& s) {
+  std::printf("  background work\n");
+  std::printf("  compaction debt   %" PRId64
+              " segment(s) over target, %" PRIu64 " freezes, %" PRIu64
+              " compactions\n",
+              GaugeOr0(s, "wt_engine_compaction_debt"),
+              CounterOr0(s, "wt_engine_freezes_total"),
+              CounterOr0(s, "wt_engine_compactions_total"));
+  // Per-shard stack heights, in shard order (the gauges were registered
+  // shard 0..N-1 and the snapshot preserves registration order).
+  std::printf("  shard segments   ");
+  bool any = false;
+  for (const auto& [name, v] : s.gauges) {
+    constexpr std::string_view kPrefix = "wt_engine_segments{shard=\"";
+    if (std::string_view(name).substr(0, kPrefix.size()) != kPrefix) continue;
+    std::printf(" %s:%" PRId64,
+                std::string(name.begin() + static_cast<long>(kPrefix.size()),
+                            name.end() - 2)
+                    .c_str(),
+                v);
+    any = true;
+  }
+  std::printf(any ? "\n" : " -\n");
+  const HistogramSnapshot* fsync = s.FindHistogram("wt_wal_fsync_us");
+  std::printf("  wal fsync p99     %s (%" PRIu64 " fsyncs)\n",
+              fsync != nullptr && fsync->count > 0
+                  ? HumanUs(fsync->Quantile(0.99)).c_str()
+                  : "-",
+              CounterOr0(s, "wt_wal_fsyncs_total"));
+  std::printf("  pager mapped      %" PRId64 " bytes\n",
+              GaugeOr0(s, "wt_pager_mapped_bytes"));
+  std::printf("  %-14s %10s %10s %10s %12s\n", "background", "p50", "p99",
+              "max", "samples");
+  PrintStageRow(s, "freeze_ms", "wt_engine_freeze_ms", false);
+  PrintStageRow(s, "compaction_ms", "wt_engine_compaction_ms", false);
+  PrintStageRow(s, "wal_bytes", "wt_wal_append_bytes", false);
+  PrintStageRow(s, "wal_fsync", "wt_wal_fsync_us", true);
+}
+
+void Render(const MetricsSnapshot& s, const Totals& prev, double dt_s,
+            uint16_t port, uint64_t poll, bool plain, Pane pane) {
+  if (!plain) std::printf("\x1b[H\x1b[2J");
+  const Totals cur = TotalsOf(s);
+  const double qps =
+      dt_s > 0 ? static_cast<double>(cur.completed - prev.completed) / dt_s
+               : 0.0;
+  const double shed_ps =
+      dt_s > 0 ? static_cast<double>(cur.shed - prev.shed) / dt_s : 0.0;
+  std::printf("wt_top — port %u, poll %" PRIu64 "\n\n", port, poll);
+  std::printf("  qps (completed)   %12.1f      shed/s %10.1f\n", qps, shed_ps);
+  if (pane != Pane::kBackground) RenderServing(s, cur);
+  if (pane == Pane::kAll) std::printf("\n");
+  if (pane != Pane::kServing) RenderBackground(s);
   std::fflush(stdout);
 }
 
@@ -193,6 +251,7 @@ int main(int argc, char** argv) {
   uint64_t iterations = 0;  // 0 = forever
   bool plain = false;
   bool require_stages = false;
+  Pane pane = Pane::kAll;
   bool bad = false;
   for (int i = 1; i < argc; ++i) {
     // Both spellings, matching the daemon/loadgen flags: --port 7411
@@ -221,13 +280,25 @@ int main(int argc, char** argv) {
       plain = true;
     } else if (a == "--require-stages") {
       require_stages = true;
+    } else if (a == "--pane") {
+      const std::string v = value();
+      if (v == "serving") {
+        pane = Pane::kServing;
+      } else if (v == "background") {
+        pane = Pane::kBackground;
+      } else if (v == "all") {
+        pane = Pane::kAll;
+      } else {
+        bad = true;
+      }
     } else {
       bad = true;
     }
     if (bad) {
       std::fprintf(stderr,
                    "usage: %s --port N [--interval-ms 1000] [--iterations 0] "
-                   "[--plain] [--require-stages]\n",
+                   "[--plain] [--require-stages] "
+                   "[--pane=serving|background|all]\n",
                    argv[0]);
       return 2;
     }
@@ -251,7 +322,7 @@ int main(int argc, char** argv) {
     }
     Render(snap, have_prev ? prev : TotalsOf(snap),
            have_prev ? static_cast<double>(interval_ms) / 1e3 : 0.0, port,
-           poll, plain);
+           poll, plain, pane);
     prev = TotalsOf(snap);
     have_prev = true;
     stages_live = StagesLive(snap);
